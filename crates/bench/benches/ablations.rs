@@ -1,0 +1,75 @@
+//! Performance ablations of DESIGN.md's called-out design choices that
+//! affect *runtime cost* (the quality ablations live in the `experiments`
+//! binary's `ablation` subcommand): correlation-window length, bin-packing
+//! strategy, and the end-to-end orchestrator tick.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knots_core::experiment::{run_mix, ExperimentConfig};
+use knots_core::OrchestratorConfig;
+use knots_forecast::spearman::spearman;
+use knots_sched::binpack::{pick_bin, PackStrategy};
+use knots_sched::pp::CbpPp;
+use knots_sim::time::SimDuration;
+use knots_workloads::AppMix;
+
+fn bench_correlation_window(c: &mut Criterion) {
+    // The §IV-C window `d` drives CBP's O(N²·d) placement cost.
+    let mut group = c.benchmark_group("spearman_window");
+    for &d in &[50usize, 500, 5_000] {
+        let a: Vec<f64> = (0..d).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b2: Vec<f64> = (0..d).map(|i| (i as f64 * 0.13).cos()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| spearman(&a, &b2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_binpack(c: &mut Criterion) {
+    let bins: Vec<(usize, f64)> = (0..256).map(|i| (i, 1_000.0 + (i % 17) as f64 * 900.0)).collect();
+    let mut group = c.benchmark_group("binpack_256bins");
+    for (name, strat) in [
+        ("first_fit", PackStrategy::FirstFit),
+        ("best_fit", PackStrategy::BestFit),
+        ("worst_fit", PackStrategy::WorstFit),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for size in [512.0, 2_048.0, 8_192.0, 15_000.0] {
+                    if pick_bin(&bins, size, strat).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_orchestrated_second(c: &mut Criterion) {
+    // End-to-end cost of simulating one workload second at two ticks.
+    let mut group = c.benchmark_group("orchestrated_mix3_10s");
+    group.sample_size(10);
+    for &tick_ms in &[10u64, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(tick_ms), &tick_ms, |b, &t| {
+            b.iter(|| {
+                let mut orch = OrchestratorConfig::default();
+                orch.tick = SimDuration::from_millis(t);
+                orch.heartbeat = orch.tick;
+                orch.drain_grace = SimDuration::from_secs(5);
+                let cfg = ExperimentConfig {
+                    duration: SimDuration::from_secs(10),
+                    orch,
+                    ..Default::default()
+                };
+                run_mix(Box::new(CbpPp::new()), AppMix::Mix3, &cfg).completed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_correlation_window, bench_binpack, bench_orchestrated_second);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Run-time cost of the forecasting models — the "profiling overheads of
+//! different regression models" §IV-D weighs against their accuracy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knots_forecast::arima::Ar1;
+use knots_forecast::autocorr::{acf, autocorrelation};
+use knots_forecast::regressors::{Mlp, Regressor, SgdLinear, TheilSen};
+use knots_forecast::spearman::spearman;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 50.0 + 30.0 * (i as f64 * 0.07).sin() + (i % 13) as f64).collect()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_predict");
+    for &n in &[64usize, 512, 5_000] {
+        let ys = series(n);
+        group.bench_with_input(BenchmarkId::new("arima_ar1", n), &ys, |b, ys| {
+            b.iter(|| {
+                let m = Ar1::fit(ys);
+                m.forecast(*ys.last().unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sgd", n), &ys, |b, ys| {
+            b.iter(|| {
+                let mut m = SgdLinear::default();
+                m.fit(ys);
+                m.predict_next()
+            });
+        });
+        // Theil-Sen is O(n^2): keep it to the sizes the harness caps it at.
+        if n <= 512 {
+            group.bench_with_input(BenchmarkId::new("theil_sen", n), &ys, |b, ys| {
+                b.iter(|| {
+                    let mut m = TheilSen::default();
+                    m.fit(ys);
+                    m.predict_next()
+                });
+            });
+        }
+        if n <= 512 {
+            group.bench_with_input(BenchmarkId::new("mlp", n), &ys, |b, ys| {
+                b.iter(|| {
+                    let mut m = Mlp::default();
+                    m.fit(ys);
+                    m.predict_next()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    let a = series(512);
+    let b2 = series(512).into_iter().rev().collect::<Vec<_>>();
+    group.bench_function("spearman_512", |b| b.iter(|| spearman(&a, &b2)));
+    group.bench_function("autocorr_lag1_512", |b| b.iter(|| autocorrelation(&a, 1)));
+    group.bench_function("acf_32_512", |b| b.iter(|| acf(&a, 32)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Telemetry-path throughput: the Knots heartbeat pipeline must sustain
+//! millisecond-rate sampling across the fleet (§VI-D runs at 1 ms).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use knots_sim::ids::{NodeId, PodId};
+use knots_sim::metrics::{GpuSample, Metric};
+use knots_sim::resources::Usage;
+use knots_sim::time::{SimDuration, SimTime};
+use knots_telemetry::{TimeSeriesDb, TsdbConfig};
+
+fn bench_tsdb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsdb");
+
+    group.bench_function("push_node", |b| {
+        let db = TimeSeriesDb::new(TsdbConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            db.push_node(
+                NodeId((t % 10) as usize),
+                GpuSample { at: SimTime::from_micros(t), sm_util: 0.5, ..Default::default() },
+            );
+        });
+    });
+
+    group.bench_function("push_pod", |b| {
+        let db = TimeSeriesDb::new(TsdbConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            db.push_pod(PodId(t % 64), SimTime::from_micros(t), Usage::new(0.3, 900.0, 0.0, 0.0));
+        });
+    });
+
+    group.bench_function("window_query_5s_of_1ms", |b| {
+        let db = TimeSeriesDb::new(TsdbConfig { node_capacity: 8192, pod_capacity: 8192 });
+        for t in 0..8000u64 {
+            db.push_node(
+                NodeId(0),
+                GpuSample { at: SimTime::from_millis(t), sm_util: 0.5, ..Default::default() },
+            );
+        }
+        let now = SimTime::from_millis(8000);
+        b.iter(|| db.node_series(NodeId(0), Metric::MemUsedMb, now, SimDuration::from_secs(5)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsdb);
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments <command> [--quick] [--seed N] [--secs N] [--json DIR]
+//!
+//! commands:
+//!   fig1      energy efficiency vs utilization (GPU vs CPUs)
+//!   fig2      Alibaba trace analysis (correlations + CDFs)
+//!   fig3      Rodinia resource consumption on one node
+//!   fig4      DNN inference memory vs batch size (incl. TF bar)
+//!   cluster   the ten-node study: Figs. 6, 7, 8, 9, 10a, 11a, 11b
+//!   fig10b    prediction accuracy vs heartbeat interval
+//!   dnn       the 256-GPU DL study: Fig. 12a, Fig. 12b, Table IV
+//!   all       everything above
+//! ```
+//!
+//! `--quick` shrinks run lengths for smoke testing; the defaults match the
+//! numbers recorded in EXPERIMENTS.md.
+
+use knots_bench::figures::*;
+use knots_bench::render::Table;
+use knots_core::experiment::ExperimentConfig;
+use knots_sim::time::SimDuration;
+use knots_workloads::dnn::DnnWorkloadConfig;
+use std::io::Write as _;
+
+struct Opts {
+    quick: bool,
+    seed: u64,
+    secs: Option<u64>,
+    json_dir: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts { quick: false, seed: 42, secs: None, json_dir: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            "--secs" => o.secs = it.next().and_then(|v| v.parse().ok()),
+            "--json" => o.json_dir = it.next().cloned(),
+            _ => {}
+        }
+    }
+    o
+}
+
+fn emit(opts: &Opts, name: &str, tables: &[Table]) {
+    for t in tables {
+        println!("{}", t.render());
+    }
+    if let Some(dir) = &opts.json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{name}.json");
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        let payload = serde_json::to_string_pretty(tables).expect("serialize tables");
+        f.write_all(payload.as_bytes()).expect("write json");
+        eprintln!("[wrote {path}]");
+    }
+}
+
+fn cluster_cfg(opts: &Opts) -> ExperimentConfig {
+    let secs = opts.secs.unwrap_or(if opts.quick { 60 } else { 300 });
+    ExperimentConfig {
+        duration: SimDuration::from_secs(secs),
+        seed: opts.seed,
+        ..Default::default()
+    }
+}
+
+fn run_fig1(opts: &Opts) {
+    let rows = fig01_energy_efficiency::run();
+    emit(opts, "fig1", &[fig01_energy_efficiency::table(&rows)]);
+}
+
+fn run_fig2(opts: &Opts) {
+    let fig = fig02_alibaba::run(opts.seed);
+    emit(opts, "fig2", &fig02_alibaba::tables(&fig));
+}
+
+fn run_fig3(opts: &Opts) {
+    let scale = if opts.quick { 0.3 } else { 1.0 };
+    let fig = fig03_rodinia::run(scale, 500);
+    emit(opts, "fig3", &[fig03_rodinia::table(&fig, 40)]);
+}
+
+fn run_fig4(opts: &Opts) {
+    let rows = fig04_djinn_memory::run();
+    emit(opts, "fig4", &[fig04_djinn_memory::table(&rows)]);
+}
+
+fn run_cluster(opts: &Opts) {
+    let cfg = cluster_cfg(opts);
+    eprintln!(
+        "[cluster study: 4 schedulers x 3 mixes, {}s window each ...]",
+        cfg.duration.as_secs_f64()
+    );
+    let t0 = std::time::Instant::now();
+    let study = fig06_09_cluster::ClusterStudy::run(&cfg);
+    eprintln!("[cluster study done in {:.1?}]", t0.elapsed());
+
+    let mut tables = Vec::new();
+    for m in 0..3 {
+        tables.push(fig06_09_cluster::per_node_table(&study, m, "Res-Ag", "Fig. 6"));
+    }
+    tables.push(fig06_09_cluster::fig7_table(&study));
+    for m in 0..3 {
+        tables.push(fig06_09_cluster::per_node_table(&study, m, "CBP+PP", "Fig. 8"));
+    }
+    for m in 0..3 {
+        tables.push(fig06_09_cluster::fig9_table(&study, m));
+    }
+    tables.push(fig10a_qos::table(&fig10a_qos::run(&study)));
+    tables.push(fig11_power::table(&fig11_power::run(&study)));
+    tables.push(fig06_09_cluster::fig11b_table(&study, 0));
+    emit(opts, "cluster", &tables);
+}
+
+fn run_fig10b(opts: &Opts) {
+    let mut cfg = fig10b_accuracy::Fig10bConfig { seed: opts.seed, ..Default::default() };
+    if opts.quick {
+        cfg.evaluations = 40;
+    }
+    eprintln!("[fig10b sweep ...]");
+    let t0 = std::time::Instant::now();
+    let points = fig10b_accuracy::run(&cfg);
+    eprintln!("[fig10b done in {:.1?}]", t0.elapsed());
+    emit(opts, "fig10b", &[fig10b_accuracy::table(&points)]);
+}
+
+fn run_dnn(opts: &Opts) {
+    let workload = if opts.quick {
+        DnnWorkloadConfig::smoke()
+    } else {
+        DnnWorkloadConfig { seed: opts.seed, ..DnnWorkloadConfig::compressed() }
+    };
+    eprintln!(
+        "[dnn study: 4 schedulers, {} DLT + {} DLI, 256 GPUs ...]",
+        workload.dlt_jobs, workload.dli_tasks
+    );
+    let t0 = std::time::Instant::now();
+    let study = fig12_dnn::DnnStudy::run(&workload);
+    eprintln!("[dnn study done in {:.1?}]", t0.elapsed());
+    emit(
+        opts,
+        "dnn",
+        &[
+            fig12_dnn::fig12a_table(&study, 12),
+            fig12_dnn::fig12b_table(&study),
+            fig12_dnn::table4(&study),
+        ],
+    );
+}
+
+fn run_ablations(opts: &Opts) {
+    let mut cfg = cluster_cfg(opts);
+    if opts.secs.is_none() {
+        cfg.duration = SimDuration::from_secs(if opts.quick { 30 } else { 120 });
+    }
+    eprintln!("[ablation sweeps over App-Mix-1, {}s each ...]", cfg.duration.as_secs_f64());
+    let tables = vec![
+        ablations::table(
+            "Ablation — CBP resize percentile (paper: p80)",
+            &ablations::resize_percentile(&cfg),
+        ),
+        ablations::table(
+            "Ablation — Spearman co-location threshold (Algorithm 1: 0.5)",
+            &ablations::correlation_threshold(&cfg),
+        ),
+        ablations::table(
+            "Ablation — sliding window d (paper: 5 s)",
+            &ablations::window_length(&cfg),
+        ),
+        ablations::table(
+            "Ablation — Res-Ag bin-packing strategy (paper: first-fit decreasing)",
+            &ablations::pack_strategy(&cfg),
+        ),
+    ];
+    emit(opts, "ablations", &tables);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    let opts = parse_opts(&args);
+    match cmd {
+        "fig1" => run_fig1(&opts),
+        "fig2" => run_fig2(&opts),
+        "fig3" => run_fig3(&opts),
+        "fig4" => run_fig4(&opts),
+        "cluster" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10a" | "fig11a" | "fig11b" => {
+            run_cluster(&opts)
+        }
+        "fig10b" => run_fig10b(&opts),
+        "dnn" | "fig12a" | "fig12b" | "table4" => run_dnn(&opts),
+        "ablation" | "ablations" => run_ablations(&opts),
+        "all" => {
+            run_fig1(&opts);
+            run_fig2(&opts);
+            run_fig3(&opts);
+            run_fig4(&opts);
+            run_cluster(&opts);
+            run_fig10b(&opts);
+            run_dnn(&opts);
+            run_ablations(&opts);
+        }
+        _ => {
+            eprintln!(
+                "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|ablation|all> \
+                 [--quick] [--seed N] [--secs N] [--json DIR]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Fig. 1 — normalized energy efficiency vs device utilization for the
+//! P100 GPU and two CPU generations. The GPU curve must be monotonically
+//! increasing (peak efficiency at 100%), the CPUs must peak in the 60–80%
+//! zone above 1.0.
+
+use crate::render::{f, Table};
+use knots_sim::power::{cpu_energy_efficiency, gpu_energy_efficiency, CpuGeneration};
+use knots_sim::resources::GpuModel;
+use serde::Serialize;
+
+/// One row of the Fig. 1 series.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Row {
+    /// Device utilization, percent.
+    pub util_pct: f64,
+    /// GPU normalized energy efficiency.
+    pub gpu: f64,
+    /// Sandy Bridge normalized energy efficiency.
+    pub sandybridge: f64,
+    /// Westmere normalized energy efficiency.
+    pub westmere: f64,
+}
+
+/// Compute the figure's series at 10% steps (as plotted).
+pub fn run() -> Vec<Row> {
+    let spec = GpuModel::P100.spec();
+    (1..=10)
+        .map(|i| {
+            let u = i as f64 / 10.0;
+            Row {
+                util_pct: u * 100.0,
+                gpu: gpu_energy_efficiency(&spec, u),
+                sandybridge: cpu_energy_efficiency(CpuGeneration::SandyBridge, u),
+                westmere: cpu_energy_efficiency(CpuGeneration::Westmere, u),
+            }
+        })
+        .collect()
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Fig. 1 — Energy efficiency vs utilization (normalized to EE at 100%)",
+        &["util%", "GPU", "Intel-SandyBridge", "Intel-Westmere"],
+    );
+    for r in rows {
+        t.row(vec![f(r.util_pct, 0), f(r.gpu, 3), f(r.sandybridge, 3), f(r.westmere, 3)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig1_shape() {
+        let rows = run();
+        assert_eq!(rows.len(), 10);
+        // GPU strictly increasing, ending at 1.0.
+        for w in rows.windows(2) {
+            assert!(w[1].gpu > w[0].gpu);
+        }
+        assert!((rows[9].gpu - 1.0).abs() < 1e-9);
+        // CPUs exceed 1.0 somewhere in the proportionality zone and return
+        // to 1.0 at full load.
+        assert!(rows.iter().any(|r| r.sandybridge > 1.0));
+        assert!((rows[9].sandybridge - 1.0).abs() < 1e-9);
+        // Low-utilization zone: GPU EE is low (the "low energy
+        // proportionality zone" of the figure).
+        assert!(rows[0].gpu < 0.5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig. 2 — Alibaba trace analysis: (a) latency-critical metric
+//! correlation heat map, (b) utilization CDFs, (c) batch metric
+//! correlation heat map.
+
+use crate::render::{f, Table};
+use knots_forecast::spearman::correlation_matrix;
+use knots_forecast::stats::cdf_points;
+use knots_workloads::alibaba::{
+    batch_metric_series, container_records, lc_metric_series, trace_scale, BATCH_METRICS,
+    LC_METRICS,
+};
+use serde::Serialize;
+
+/// The figure's computed content.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2 {
+    /// 8×8 Spearman matrix over LC metrics (Fig. 2a).
+    pub lc_corr: Vec<Vec<f64>>,
+    /// 6×6 Spearman matrix over batch metrics (Fig. 2c).
+    pub batch_corr: Vec<Vec<f64>>,
+    /// CDF of average CPU utilization (value, fraction).
+    pub cdf_avg_cpu: Vec<(f64, f64)>,
+    /// CDF of average memory utilization.
+    pub cdf_avg_mem: Vec<(f64, f64)>,
+    /// CDF of maximum CPU utilization.
+    pub cdf_max_cpu: Vec<(f64, f64)>,
+    /// CDF of maximum memory utilization.
+    pub cdf_max_mem: Vec<(f64, f64)>,
+    /// Mean of average CPU utilization (paper: ≈ 47%).
+    pub mean_avg_cpu: f64,
+    /// Mean of average memory utilization (paper: ≈ 76%).
+    pub mean_avg_mem: f64,
+}
+
+/// Synthesize the trace statistics and compute the figure.
+pub fn run(seed: u64) -> Fig2 {
+    let records = container_records(trace_scale::LC_CONTAINERS, seed);
+    let avg_cpu: Vec<f64> = records.iter().map(|r| r.avg_cpu * 100.0).collect();
+    let avg_mem: Vec<f64> = records.iter().map(|r| r.avg_mem * 100.0).collect();
+    let max_cpu: Vec<f64> = records.iter().map(|r| r.max_cpu * 100.0).collect();
+    let max_mem: Vec<f64> = records.iter().map(|r| r.max_mem * 100.0).collect();
+    Fig2 {
+        lc_corr: correlation_matrix(&lc_metric_series(4096, seed ^ 1)),
+        batch_corr: correlation_matrix(&batch_metric_series(4096, seed ^ 2)),
+        cdf_avg_cpu: cdf_points(&avg_cpu, 20),
+        cdf_avg_mem: cdf_points(&avg_mem, 20),
+        cdf_max_cpu: cdf_points(&max_cpu, 20),
+        cdf_max_mem: cdf_points(&max_mem, 20),
+        mean_avg_cpu: knots_forecast::stats::mean(&avg_cpu),
+        mean_avg_mem: knots_forecast::stats::mean(&avg_mem),
+    }
+}
+
+fn corr_table(title: &str, names: &[&str], m: &[Vec<f64>]) -> Table {
+    let mut headers = vec![""];
+    headers.extend_from_slice(names);
+    let mut t = Table::new(title, &headers);
+    for (i, row) in m.iter().enumerate() {
+        let mut cells = vec![names[i].to_string()];
+        cells.extend(row.iter().map(|v| f(*v, 2)));
+        t.row(cells);
+    }
+    t
+}
+
+/// Render the three panels.
+pub fn tables(fig: &Fig2) -> Vec<Table> {
+    let a = corr_table(
+        "Fig. 2a — Spearman correlation, latency-critical task metrics",
+        &LC_METRICS,
+        &fig.lc_corr,
+    );
+    let c = corr_table(
+        "Fig. 2c — Spearman correlation, batch task metrics",
+        &BATCH_METRICS,
+        &fig.batch_corr,
+    );
+    let mut b = Table::new(
+        format!(
+            "Fig. 2b — utilization CDFs (mean avg cpu {:.1}%, mean avg mem {:.1}%)",
+            fig.mean_avg_cpu, fig.mean_avg_mem
+        ),
+        &["util%", "avgCPU", "avgMem", "maxCPU", "maxMem"],
+    );
+    for i in 0..fig.cdf_avg_cpu.len() {
+        b.row(vec![
+            f(i as f64 * 100.0 / (fig.cdf_avg_cpu.len() - 1) as f64, 0),
+            f(fig.cdf_avg_cpu[i].1, 3),
+            f(fig.cdf_avg_mem[i].1, 3),
+            f(fig.cdf_max_cpu[i].1, 3),
+            f(fig.cdf_max_mem[i].1, 3),
+        ]);
+    }
+    vec![a, b, c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig2_statistics() {
+        let fig = run(7);
+        // Fig 2b moments.
+        assert!((fig.mean_avg_cpu - 47.0).abs() < 3.0, "avg cpu {}", fig.mean_avg_cpu);
+        assert!((fig.mean_avg_mem - 76.0).abs() < 3.0, "avg mem {}", fig.mean_avg_mem);
+        // Fig 2c: strong batch correlations; Fig 2a: none.
+        assert!(fig.batch_corr[0][1] > 0.6);
+        let max_off_diag = fig
+            .lc_corr
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| {
+                row.iter().enumerate().filter(move |(j, _)| i != *j).map(|(_, v)| v.abs())
+            })
+            .fold(0.0f64, f64::max);
+        assert!(max_off_diag < 0.2, "LC metrics must look structureless: {max_off_diag}");
+    }
+
+    #[test]
+    fn renders_three_panels() {
+        let fig = run(7);
+        let t = tables(&fig);
+        assert_eq!(t.len(), 3);
+        assert!(t[0].render().contains("cpu_util"));
+        assert!(t[2].render().contains("core_util"));
+    }
+}

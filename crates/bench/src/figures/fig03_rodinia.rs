@@ -1,0 +1,124 @@
+//! Fig. 3 — GPU resource consumption of the Rodinia suite run
+//! sequentially on one node: bandwidth, SM utilization and memory over
+//! time, with per-application grid lines.
+
+use crate::render::{f, Table};
+use knots_forecast::stats::percentile;
+use knots_sim::cluster::{Cluster, ClusterConfig};
+use knots_sim::ids::NodeId;
+use knots_sim::resources::GpuModel;
+use knots_sim::time::{SimDuration, SimTime};
+use knots_workloads::rodinia::RodiniaApp;
+use serde::Serialize;
+
+/// One time-bucket of the figure's three panels.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Row {
+    /// Bucket start, seconds.
+    pub t_secs: f64,
+    /// Receive bandwidth, MB/s (panel 1).
+    pub rx_mbps: f64,
+    /// Transmit bandwidth, MB/s (panel 1).
+    pub tx_mbps: f64,
+    /// SM utilization, percent (panel 2).
+    pub sm_pct: f64,
+    /// Memory used, MB (panel 3).
+    pub mem_mb: f64,
+}
+
+/// The figure's data plus the per-application boundaries (grid lines).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3 {
+    /// Time series, bucketed.
+    pub rows: Vec<Row>,
+    /// `(app name, completion time in seconds)` boundaries.
+    pub boundaries: Vec<(String, f64)>,
+    /// Median-to-peak SM ratio over the whole suite (paper: ~90×).
+    pub sm_median_to_peak: f64,
+    /// Median-to-peak bandwidth spread (paper: ~400×; medians are zero, so
+    /// this reports peak / mean instead).
+    pub bw_peak_to_mean: f64,
+}
+
+/// Execute the whole suite sequentially on a single simulated P100 and
+/// sample its telemetry.
+pub fn run(scale: f64, bucket_ms: u64) -> Fig3 {
+    let mut cfg = ClusterConfig::homogeneous(1, GpuModel::P100);
+    cfg.overheads.cold_start_pull = SimDuration::ZERO;
+    let mut cluster = Cluster::new(cfg);
+    let tick = SimDuration::from_millis(10);
+    let mut rows = Vec::new();
+    let mut boundaries = Vec::new();
+
+    let mut acc = (0.0, 0.0, 0.0, 0.0, 0usize);
+    let mut next_bucket = SimDuration::from_millis(bucket_ms);
+    for app in RodiniaApp::ALL {
+        let id = cluster.submit(app.pod_spec(scale, 0.2), cluster.now());
+        cluster.place(id, NodeId(0)).expect("placement on idle node");
+        while !cluster.pod(id).expect("pod exists").state().is_terminal() {
+            cluster.step(tick);
+            let s = cluster.node(NodeId(0)).expect("node 0").last_sample();
+            acc = (acc.0 + s.rx_mbps, acc.1 + s.tx_mbps, acc.2 + s.sm_util, acc.3 + s.mem_used_mb, acc.4 + 1);
+            if cluster.now().saturating_since(SimTime::ZERO) >= next_bucket {
+                let n = acc.4.max(1) as f64;
+                rows.push(Row {
+                    t_secs: cluster.now().as_secs_f64(),
+                    rx_mbps: acc.0 / n,
+                    tx_mbps: acc.1 / n,
+                    sm_pct: acc.2 / n * 100.0,
+                    mem_mb: acc.3 / n,
+                });
+                acc = (0.0, 0.0, 0.0, 0.0, 0);
+                next_bucket = next_bucket + SimDuration::from_millis(bucket_ms);
+            }
+        }
+        boundaries.push((app.name().to_string(), cluster.now().as_secs_f64()));
+    }
+
+    let sm: Vec<f64> = rows.iter().map(|r| r.sm_pct).collect();
+    let bw: Vec<f64> = rows.iter().map(|r| r.rx_mbps + r.tx_mbps).collect();
+    let sm_peak = sm.iter().cloned().fold(0.0f64, f64::max);
+    let sm_median = percentile(&sm, 0.5).max(1e-9);
+    let bw_peak = bw.iter().cloned().fold(0.0f64, f64::max);
+    let bw_mean = (bw.iter().sum::<f64>() / bw.len().max(1) as f64).max(1e-9);
+    Fig3 {
+        rows,
+        boundaries,
+        sm_median_to_peak: sm_peak / sm_median,
+        bw_peak_to_mean: bw_peak / bw_mean,
+    }
+}
+
+/// Render (downsampled to at most `max_rows` lines).
+pub fn table(fig: &Fig3, max_rows: usize) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig. 3 — Rodinia suite on one P100 (SM median→peak {:.0}x, BW peak/mean {:.0}x)",
+            fig.sm_median_to_peak, fig.bw_peak_to_mean
+        ),
+        &["t(s)", "rx MB/s", "tx MB/s", "SM%", "mem MB"],
+    );
+    let step = (fig.rows.len() / max_rows.max(1)).max(1);
+    for r in fig.rows.iter().step_by(step) {
+        t.row(vec![f(r.t_secs, 1), f(r.rx_mbps, 0), f(r.tx_mbps, 0), f(r.sm_pct, 1), f(r.mem_mb, 0)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_sequentially_with_nine_boundaries() {
+        let fig = run(0.2, 200);
+        assert_eq!(fig.boundaries.len(), 9);
+        assert!(fig.boundaries.windows(2).all(|w| w[0].1 < w[1].1));
+        assert!(!fig.rows.is_empty());
+        // The figure's headline statistics: large median-to-peak spreads.
+        assert!(fig.sm_median_to_peak > 5.0, "sm spread {}", fig.sm_median_to_peak);
+        assert!(fig.bw_peak_to_mean > 5.0, "bw spread {}", fig.bw_peak_to_mean);
+        // Memory stays within the device.
+        assert!(fig.rows.iter().all(|r| r.mem_mb <= 16_384.0));
+    }
+}

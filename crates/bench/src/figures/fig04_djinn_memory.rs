@@ -1,0 +1,85 @@
+//! Fig. 4 — memory footprint of DNN inference queries vs batch size,
+//! including the TensorFlow-managed ("TF") earmarking bar that consumes
+//! ~99% of device memory regardless of need.
+
+use crate::render::{f, Table};
+use knots_sim::node::GREEDY_EARMARK_FRAC;
+use knots_sim::resources::GpuModel;
+use knots_workloads::djinn::InferenceService;
+use serde::Serialize;
+
+/// One row: a batch size and each service's memory use as % of the device.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Inference batch size.
+    pub batch: u32,
+    /// `(service, % of device memory)` pairs.
+    pub services: Vec<(String, f64)>,
+    /// The TF default: fraction of device memory earmarked (constant).
+    pub tf_managed_pct: f64,
+}
+
+/// Compute the figure for the paper's batch sweep 1–128.
+pub fn run() -> Vec<Row> {
+    let cap = GpuModel::P100.spec().mem_mb;
+    [1u32, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&batch| Row {
+            batch,
+            services: InferenceService::ALL
+                .iter()
+                .map(|s| (s.name().to_string(), s.mem_mb(batch) / cap * 100.0))
+                .collect(),
+            tf_managed_pct: GREEDY_EARMARK_FRAC * 100.0,
+        })
+        .collect()
+}
+
+/// Render.
+pub fn table(rows: &[Row]) -> Table {
+    let mut headers = vec!["batch"];
+    let names: Vec<String> =
+        rows[0].services.iter().map(|(n, _)| n.clone()).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    headers.extend(name_refs);
+    headers.push("TF");
+    let mut t = Table::new("Fig. 4 — % GPU memory used by inference queries vs batch size", &headers);
+    for r in rows {
+        let mut cells = vec![r.batch.to_string()];
+        cells.extend(r.services.iter().map(|(_, v)| f(*v, 1)));
+        cells.push(f(r.tf_managed_pct, 0));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig4_claims() {
+        let rows = run();
+        assert_eq!(rows.len(), 8);
+        // Batch 1: most services below 10% of device memory.
+        let small = rows[0].services.iter().filter(|(_, v)| *v < 10.0).count();
+        assert!(small >= 5, "{small}/7 under 10% at batch 1");
+        // Batch 128: all below 50%.
+        assert!(rows[7].services.iter().all(|(_, v)| *v < 50.0));
+        // The TF bar dwarfs actual demand.
+        assert!(rows.iter().all(|r| r.tf_managed_pct > 95.0));
+        // Monotone growth per service.
+        for i in 0..rows[0].services.len() {
+            for w in rows.windows(2) {
+                assert!(w[1].services[i].1 >= w[0].services[i].1);
+            }
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let t = table(&run());
+        let s = t.render();
+        assert!(s.contains("face") && s.contains("TF"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Fig. 10b — prediction accuracy vs heartbeat interval.
+//!
+//! §VI-D: the aggregator's sampling interval is swept from 1000 ms down to
+//! 0.1 ms; CBP+PP's ARIMA accuracy rises from 36% to 84% at 1 ms and then
+//! *drops* at 0.1 ms, while Theil-Sen / SGD / MLP stay "similar or worse
+//! despite their high run-time complexity".
+//!
+//! Methodology reproduced here:
+//!
+//! * a node-utilization signal with the workload's real phase structure
+//!   (two staggered Rodinia-style batch profiles plus sub-second inference
+//!   spikes) is sampled at each heartbeat — coarse heartbeats alias the
+//!   phase changes away;
+//! * each sample carries measurement noise whose standard deviation shrinks
+//!   with the averaging interval (`σ(h) = σ₀·(dt₀/h)^0.25` — a counter read
+//!   over a longer window is smoother, though not white-noise-fast because
+//!   NVML jitter is partly quantization), so ultra-fine sampling trains the
+//!   models on noise: the §VI-D "over-fitting of the model from the
+//!   training data" that makes accuracy *drop* past 1 ms;
+//! * the model is refitted on the trailing 5 s window at every origin and
+//!   asked for the next sample (the Eq. 3 recurrence), exactly the
+//!   [`AccuracyConfig::paper`] setup.
+
+use crate::render::{f, pct, Table};
+use knots_forecast::accuracy::{walk_forward, AccuracyConfig, AccuracyReport};
+use knots_forecast::arima::ArimaRegressor;
+use knots_forecast::regressors::{Mlp, Regressor, SgdLinear, TheilSen};
+use knots_workloads::distributions::normal;
+use knots_workloads::rodinia::RodiniaApp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10bConfig {
+    /// Heartbeat intervals to evaluate, microseconds.
+    pub heartbeats_us: [u64; 6],
+    /// Noise std at the 0.1 ms base interval, utilization percentage points.
+    pub sigma0_pct: f64,
+    /// Base measurement interval, microseconds.
+    pub dt0_us: u64,
+    /// Inference-spike arrival rate, per second.
+    pub spike_rate: f64,
+    /// Spike duration range, seconds.
+    pub spike_dur: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+    /// Target number of walk-forward evaluations per point.
+    pub evaluations: usize,
+}
+
+impl Default for Fig10bConfig {
+    fn default() -> Self {
+        Fig10bConfig {
+            heartbeats_us: [1_000_000, 500_000, 100_000, 10_000, 1_000, 100],
+            sigma0_pct: 9.0,
+            dt0_us: 100,
+            spike_rate: 6.0,
+            spike_dur: (0.002, 0.012),
+            seed: 17,
+            evaluations: 120,
+        }
+    }
+}
+
+/// One sweep point for one model.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Heartbeat interval, ms.
+    pub heartbeat_ms: f64,
+    /// Model label.
+    pub model: String,
+    /// Accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Forecast RMSE.
+    pub rmse: f64,
+    /// Evaluations performed.
+    pub evaluated: usize,
+}
+
+/// The deterministic *clean* node-utilization signal, percent, at time `t`
+/// seconds: two staggered batch applications plus inference spikes drawn
+/// from a seeded schedule.
+pub struct UtilSignal {
+    app_a: knots_sim::profile::ResourceProfile,
+    app_b: knots_sim::profile::ResourceProfile,
+    period_a: f64,
+    period_b: f64,
+    /// Sorted spike start times, seconds.
+    spikes: Vec<(f64, f64)>, // (start, duration)
+}
+
+impl UtilSignal {
+    /// Build the signal for a trace of `duration_secs`.
+    pub fn new(duration_secs: f64, spike_rate: f64, seed: u64) -> Self {
+        Self::with_durations(duration_secs, spike_rate, (0.030, 0.150), seed)
+    }
+
+    /// Build with an explicit spike-duration range.
+    pub fn with_durations(
+        duration_secs: f64,
+        spike_rate: f64,
+        spike_dur: (f64, f64),
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut spikes = Vec::new();
+        if spike_rate > 0.0 {
+            let mut t = 0.0;
+            while t < duration_secs {
+                t += knots_workloads::distributions::exponential(&mut rng, spike_rate);
+                spikes.push((t, rng.gen_range(spike_dur.0..spike_dur.1)));
+            }
+        }
+        let app_a = RodiniaApp::Kmeans.profile(1.0);
+        let app_b = RodiniaApp::Lud.profile(1.0);
+        let period_a = app_a.total_work();
+        let period_b = app_b.total_work();
+        UtilSignal { app_a, app_b, period_a, period_b, spikes }
+    }
+
+    /// Clean utilization (percent) at `t` seconds.
+    pub fn at(&self, t: f64) -> f64 {
+        let a = self.app_a.demand_at(t % self.period_a).sm_frac;
+        // Stagger the second app by a third of its period.
+        let b = self.app_b.demand_at((t + self.period_b / 3.0) % self.period_b).sm_frac;
+        let spike = self
+            .spikes
+            .binary_search_by(|(s, _)| s.partial_cmp(&t).expect("finite"))
+            .map(|_| true)
+            .unwrap_or_else(|i| i > 0 && t < self.spikes[i - 1].0 + self.spikes[i - 1].1);
+        let s = if spike { 0.8 } else { 0.0 };
+        ((a + b + s) * 100.0).min(100.0)
+    }
+}
+
+/// Sample the signal at heartbeat `h_us` with interval-scaled noise.
+pub fn sample_series(
+    signal: &UtilSignal,
+    duration_secs: f64,
+    h_us: u64,
+    cfg: &Fig10bConfig,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ h_us);
+    let h_secs = h_us as f64 / 1e6;
+    let n = (duration_secs / h_secs) as usize;
+    let sigma = cfg.sigma0_pct * (cfg.dt0_us as f64 / h_us as f64).powf(0.25);
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * h_secs;
+            // The sample is the mean over the interval: a hardware counter
+            // integrates continuously, so coarse heartbeats need enough
+            // sub-samples to genuinely average the sub-interval structure.
+            let subs = (h_us / 250).clamp(4, 64) as usize;
+            let clean: f64 = (0..subs)
+                .map(|k| signal.at(t + h_secs * (k as f64 + 0.5) / subs as f64))
+                .sum::<f64>()
+                / subs as f64;
+            (clean + normal(&mut rng, 0.0, sigma)).clamp(0.0, 100.0)
+        })
+        .collect()
+}
+
+/// Run the full sweep.
+pub fn run(cfg: &Fig10bConfig) -> Vec<Point> {
+    let mut out = Vec::new();
+    for &h_us in &cfg.heartbeats_us {
+        let acc_cfg = AccuracyConfig::paper(h_us);
+        // Trace long enough for `evaluations` strided origins.
+        let stride = ((acc_cfg.window / 4).max(1)).min(2_000);
+        let needed = acc_cfg.window + acc_cfg.horizon + cfg.evaluations * stride;
+        let duration_secs = needed as f64 * h_us as f64 / 1e6 + 1.0;
+        let signal =
+            UtilSignal::with_durations(duration_secs, cfg.spike_rate, cfg.spike_dur, cfg.seed);
+        let series = sample_series(&signal, duration_secs, h_us, cfg);
+
+        // The expensive models train on a capped trailing window — the
+        // "profiling overhead" the paper cites makes anything more
+        // impractical at millisecond heartbeats.
+        let cap = |n: usize| AccuracyConfig { window: acc_cfg.window.min(n), stride, ..acc_cfg };
+        let mut models: Vec<(Box<dyn Regressor>, AccuracyConfig)> = vec![
+            (Box::new(ArimaRegressor::default()), AccuracyConfig { stride, ..acc_cfg }),
+            (Box::new(TheilSen::default()), cap(400)),
+            (Box::new(SgdLinear::default()), cap(2_000)),
+            (Box::new(Mlp::default()), cap(1_200)),
+        ];
+        for (model, mcfg) in models.iter_mut() {
+            let rep: AccuracyReport = walk_forward(&series, model.as_mut(), mcfg);
+            out.push(Point {
+                heartbeat_ms: h_us as f64 / 1_000.0,
+                model: model.name().to_string(),
+                accuracy: rep.accuracy,
+                rmse: rep.rmse,
+                evaluated: rep.evaluated,
+            });
+        }
+    }
+    out
+}
+
+/// Render as one table (models as columns).
+pub fn table(points: &[Point]) -> Table {
+    let models: Vec<String> = {
+        let mut v = Vec::new();
+        for p in points {
+            if !v.contains(&p.model) {
+                v.push(p.model.clone());
+            }
+        }
+        v
+    };
+    let mut headers = vec!["heartbeat"];
+    let refs: Vec<&str> = models.iter().map(|s| s.as_str()).collect();
+    headers.extend(refs);
+    let mut t = Table::new("Fig. 10b — prediction accuracy vs heartbeat interval", &headers);
+    let mut hbs: Vec<f64> = Vec::new();
+    for p in points {
+        if !hbs.contains(&p.heartbeat_ms) {
+            hbs.push(p.heartbeat_ms);
+        }
+    }
+    for hb in hbs {
+        let mut cells = vec![if hb >= 1.0 {
+            format!("{hb:.0}ms")
+        } else {
+            format!("{hb:.1}ms")
+        }];
+        for m in &models {
+            let p = points
+                .iter()
+                .find(|p| p.heartbeat_ms == hb && &p.model == m)
+                .expect("point exists");
+            cells.push(pct(p.accuracy * 100.0));
+        }
+        t.row(cells);
+    }
+    let _ = f(0.0, 0);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_is_deterministic_and_bounded() {
+        let s1 = UtilSignal::new(30.0, 1.0, 3);
+        let s2 = UtilSignal::new(30.0, 1.0, 3);
+        for i in 0..300 {
+            let t = i as f64 * 0.1;
+            let v = s1.at(t);
+            assert!((0.0..=100.0).contains(&v));
+            assert_eq!(v, s2.at(t));
+        }
+    }
+
+    #[test]
+    fn sampling_noise_shrinks_with_interval() {
+        // Compare the *residual* against the known clean signal (the
+        // signal itself moves more per coarse step, so raw sample-to-sample
+        // roughness would not isolate the measurement noise).
+        let cfg = Fig10bConfig::default();
+        let signal = UtilSignal::new(20.0, 0.0, 5); // no spikes
+        let resid_std = |h_us: u64| {
+            let series = sample_series(&signal, 20.0, h_us, &cfg);
+            let h_secs = h_us as f64 / 1e6;
+            let subs = (h_us / 250).clamp(4, 64) as usize;
+            let residuals: Vec<f64> = series
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| {
+                    let t = i as f64 * h_secs;
+                    let clean: f64 = (0..subs)
+                        .map(|k| signal.at(t + h_secs * (k as f64 + 0.5) / subs as f64))
+                        .sum::<f64>()
+                        / subs as f64;
+                    y - clean
+                })
+                .collect();
+            knots_forecast::stats::stddev(&residuals)
+        };
+        let fine = resid_std(100);
+        let coarse = resid_std(100_000);
+        assert!(fine > 3.0 * coarse, "fine noise {fine} vs coarse {coarse}");
+    }
+
+    /// The headline Fig. 10b shape. This doubles as the regression test for
+    /// the experiment itself (marked ignored in normal runs: ~seconds).
+    #[test]
+    #[ignore = "several seconds; run with --ignored or via the experiments binary"]
+    fn arima_accuracy_peaks_at_1ms() {
+        let points = run(&Fig10bConfig::default());
+        let arima: Vec<&Point> =
+            points.iter().filter(|p| p.model.contains("ARIMA")).collect();
+        let acc = |ms: f64| arima.iter().find(|p| p.heartbeat_ms == ms).unwrap().accuracy;
+        assert!(acc(1000.0) < acc(1.0), "coarse {} fine {}", acc(1000.0), acc(1.0));
+        assert!(acc(0.1) < acc(1.0), "overfit drop: {} vs {}", acc(0.1), acc(1.0));
+        assert!(acc(1.0) > 0.6, "peak accuracy {}", acc(1.0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Experiment accounting: everything the paper's figures report, computed
+//! from a finished run.
+
+use knots_forecast::stats::{cov, mean, percentile, utilization_quartet};
+use knots_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Job-completion-time statistics, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct JctStats {
+    /// Number of jobs summarized.
+    pub count: usize,
+    /// Mean JCT.
+    pub avg: f64,
+    /// Median JCT.
+    pub median: f64,
+    /// 99th-percentile JCT.
+    pub p99: f64,
+    /// Maximum JCT.
+    pub max: f64,
+}
+
+impl JctStats {
+    /// Summarize a set of completion times (seconds).
+    pub fn from_secs(mut xs: Vec<f64>) -> JctStats {
+        if xs.is_empty() {
+            return JctStats::default();
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite JCTs"));
+        JctStats {
+            count: xs.len(),
+            avg: mean(&xs),
+            median: percentile(&xs, 0.5),
+            p99: percentile(&xs, 0.99),
+            max: *xs.last().expect("non-empty"),
+        }
+    }
+
+    /// Element-wise ratio against a baseline (how Table IV normalizes).
+    pub fn normalized_to(&self, base: &JctStats) -> (f64, f64, f64) {
+        let safe = |x: f64, y: f64| if y.abs() < 1e-12 { 0.0 } else { x / y };
+        (safe(self.avg, base.avg), safe(self.median, base.median), safe(self.p99, base.p99))
+    }
+}
+
+/// Everything measured over one orchestrated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Per-node SM-utilization samples (percent, `metric_interval` apart),
+    /// including idle/sleeping periods as zeros — the Fig. 6 / Fig. 8 view.
+    pub node_util_series: Vec<Vec<f64>>,
+    /// SM-utilization samples pooled over *active* GPUs only (nodes hosting
+    /// at least one pod at sample time) — the Fig. 9 cluster-wide view,
+    /// where consolidation shows up as higher utilization per active GPU.
+    pub active_util_samples: Vec<f64>,
+    /// Pods submitted / completed.
+    pub submitted: usize,
+    /// Pods completed.
+    pub completed: usize,
+    /// Latency-critical queries completed.
+    pub lc_completed: usize,
+    /// Latency-critical queries that missed the 150 ms deadline (completed
+    /// late, or still unfinished past their deadline at the end of the run).
+    pub lc_violations: usize,
+    /// Batch JCT statistics.
+    pub batch_jct: JctStats,
+    /// Latency-critical end-to-end latency statistics.
+    pub lc_latency: JctStats,
+    /// All-pod JCT statistics.
+    pub all_jct: JctStats,
+    /// Total GPU energy, joules.
+    pub energy_joules: f64,
+    /// OOM crash count.
+    pub crashes: usize,
+    /// Preemption count.
+    pub preemptions: usize,
+    /// Migration count.
+    pub migrations: usize,
+    /// Actions the orchestrator skipped because they raced with state
+    /// changes (diagnostic; should stay near zero).
+    pub skipped_actions: usize,
+}
+
+impl RunReport {
+    /// Per-node (p50, p90, p99, max) utilization — the Fig. 6 / Fig. 8 bars.
+    pub fn node_quartets(&self) -> Vec<(f64, f64, f64, f64)> {
+        self.node_util_series.iter().map(|s| utilization_quartet(s)).collect()
+    }
+
+    /// Cluster-wide (p50, p90, p99, max) over all node samples pooled
+    /// (idle periods included).
+    pub fn cluster_quartet(&self) -> (f64, f64, f64, f64) {
+        let pooled: Vec<f64> = self.node_util_series.iter().flatten().copied().collect();
+        utilization_quartet(&pooled)
+    }
+
+    /// Cluster-wide (p50, p90, p99, max) over active-GPU samples — the
+    /// Fig. 9 bars.
+    pub fn active_quartet(&self) -> (f64, f64, f64, f64) {
+        utilization_quartet(&self.active_util_samples)
+    }
+
+    /// Mean SM utilization over active-GPU samples, percent.
+    pub fn mean_active_util(&self) -> f64 {
+        mean(&self.active_util_samples)
+    }
+
+    /// Per-node COV of utilization — Fig. 7 (sorted ascending, as plotted).
+    /// Nodes that never hosted work are excluded: a constant-zero series has
+    /// no load to characterize.
+    pub fn node_covs_sorted(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .node_util_series
+            .iter()
+            .filter(|s| s.iter().any(|&u| u > 0.0))
+            .map(|s| cov(s))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite COV"));
+        v
+    }
+
+    /// Pairwise COV of node loads — Fig. 11b. Entry `(i, j)` is the COV of
+    /// the two nodes' pooled utilization samples: near zero when the pair
+    /// is balanced and steady.
+    pub fn pairwise_cov(&self) -> Vec<Vec<f64>> {
+        let n = self.node_util_series.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut pooled = self.node_util_series[i].clone();
+                pooled.extend_from_slice(&self.node_util_series[j]);
+                let c = cov(&pooled);
+                m[i][j] = c;
+                m[j][i] = c;
+            }
+        }
+        m
+    }
+
+    /// QoS violations per thousand inference queries — the Fig. 10a metric.
+    pub fn violations_per_kilo(&self) -> f64 {
+        let denom = self.lc_completed.max(1);
+        self.lc_violations as f64 * 1000.0 / denom as f64
+    }
+
+    /// Mean SM utilization across all nodes and samples, percent.
+    pub fn mean_util(&self) -> f64 {
+        let pooled: Vec<f64> = self.node_util_series.iter().flatten().copied().collect();
+        mean(&pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jct_stats_summary() {
+        let s = JctStats::from_secs(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.avg - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.max - 4.0).abs() < 1e-12);
+        assert_eq!(JctStats::from_secs(vec![]).count, 0);
+    }
+
+    #[test]
+    fn normalization_ratios() {
+        let a = JctStats { count: 1, avg: 2.0, median: 4.0, p99: 8.0, max: 8.0 };
+        let b = JctStats { count: 1, avg: 1.0, median: 2.0, p99: 16.0, max: 16.0 };
+        let (r_avg, r_med, r_p99) = a.normalized_to(&b);
+        assert!((r_avg - 2.0).abs() < 1e-12);
+        assert!((r_med - 2.0).abs() < 1e-12);
+        assert!((r_p99 - 0.5).abs() < 1e-12);
+    }
+
+    fn report(series: Vec<Vec<f64>>) -> RunReport {
+        RunReport {
+            scheduler: "t".into(),
+            duration: SimDuration::from_secs(1),
+            node_util_series: series,
+            active_util_samples: vec![],
+            submitted: 0,
+            completed: 0,
+            lc_completed: 0,
+            lc_violations: 0,
+            batch_jct: JctStats::default(),
+            lc_latency: JctStats::default(),
+            all_jct: JctStats::default(),
+            energy_joules: 0.0,
+            crashes: 0,
+            preemptions: 0,
+            migrations: 0,
+            skipped_actions: 0,
+        }
+    }
+
+    #[test]
+    fn quartets_and_covs() {
+        let r = report(vec![vec![10.0; 100], (0..100).map(|i| i as f64).collect()]);
+        let q = r.node_quartets();
+        assert_eq!(q.len(), 2);
+        assert!((q[0].0 - 10.0).abs() < 1e-12);
+        assert!(q[1].3 >= q[1].2);
+        let covs = r.node_covs_sorted();
+        assert!(covs[0] <= covs[1]);
+        assert!((covs[0] - 0.0).abs() < 1e-12); // constant series
+        let cq = r.cluster_quartet();
+        assert!(cq.0 <= cq.3);
+    }
+
+    #[test]
+    fn pairwise_cov_symmetry() {
+        let r = report(vec![vec![10.0; 50], vec![10.0; 50], vec![100.0; 50]]);
+        let m = r.pairwise_cov();
+        assert!((m[0][1] - 0.0).abs() < 1e-9, "identical balanced pair");
+        assert!(m[0][2] > 0.5, "imbalanced pair has high COV");
+        assert!((m[0][2] - m[2][0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violations_per_kilo() {
+        let mut r = report(vec![]);
+        r.lc_completed = 2000;
+        r.lc_violations = 30;
+        assert!((r.violations_per_kilo() - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,383 @@
+//! The Kube-Knots control loop.
+//!
+//! Each simulation tick the orchestrator:
+//!
+//! 1. submits any workload arrivals that have come due;
+//! 2. if the heartbeat elapsed, snapshots the cluster through the
+//!    utilization aggregator, assembles the scheduler context (pending and
+//!    suspended pod views + telemetry handle) and applies the scheduler's
+//!    actions — skipping, never crashing on, actions that race with
+//!    same-tick state changes;
+//! 3. advances the cluster by one tick;
+//! 4. samples every node's five metrics into the TSDB (the pyNVML probe)
+//!    and records experiment metrics at the configured interval.
+
+use crate::config::OrchestratorConfig;
+use crate::metrics::{JctStats, RunReport};
+use knots_sched::{Action, PendingPodView, SchedContext, Scheduler, SuspendedPodView};
+use knots_sim::cluster::{Cluster, ClusterConfig};
+use knots_sim::events::EventKind;
+use knots_sim::pod::QosClass;
+use knots_sim::time::SimTime;
+use knots_telemetry::{probe, TimeSeriesDb, UtilizationAggregator};
+use knots_workloads::ScheduledPod;
+
+/// The orchestrator.
+pub struct KubeKnots {
+    cluster: Cluster,
+    tsdb: TimeSeriesDb,
+    aggregator: UtilizationAggregator,
+    scheduler: Box<dyn Scheduler>,
+    cfg: OrchestratorConfig,
+    skipped: usize,
+    util_series: Vec<Vec<f64>>,
+    active_util: Vec<f64>,
+    last_metric: Option<SimTime>,
+    events_seen: usize,
+}
+
+impl KubeKnots {
+    /// Build an orchestrator over a fresh cluster.
+    pub fn new(
+        mut cluster_cfg: ClusterConfig,
+        scheduler: Box<dyn Scheduler>,
+        cfg: OrchestratorConfig,
+    ) -> Self {
+        if !scheduler.wants_cluster_auto_sleep() {
+            cluster_cfg.auto_sleep_after = None;
+        }
+        let heartbeat = cfg.heartbeat.max(cfg.tick);
+        let nodes = cluster_cfg.node_models.len();
+        KubeKnots {
+            cluster: Cluster::new(cluster_cfg),
+            tsdb: TimeSeriesDb::default(),
+            aggregator: UtilizationAggregator::new(heartbeat, cfg.window),
+            scheduler,
+            cfg,
+            skipped: 0,
+            util_series: vec![Vec::new(); nodes],
+            active_util: Vec::new(),
+            last_metric: None,
+            events_seen: 0,
+        }
+    }
+
+    /// The underlying cluster (read access for tests and examples).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The telemetry store.
+    pub fn tsdb(&self) -> &TimeSeriesDb {
+        &self.tsdb
+    }
+
+    /// The scheduler's display name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Run the full workload `schedule` (sorted by arrival), then keep
+    /// going until the cluster drains or the drain grace expires. Returns
+    /// the run report.
+    pub fn run_schedule(&mut self, schedule: &[ScheduledPod]) -> RunReport {
+        debug_assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at), "schedule must be sorted");
+        let mut next = 0usize;
+        let last_arrival = schedule.last().map(|s| s.at).unwrap_or(SimTime::ZERO);
+        let deadline = last_arrival + self.cfg.drain_grace;
+
+        loop {
+            let now = self.cluster.now();
+            // 1. Arrivals due this tick.
+            while next < schedule.len() && schedule[next].at <= now {
+                self.cluster.submit(schedule[next].spec.clone(), schedule[next].at);
+                next += 1;
+            }
+            // 2. Heartbeat: scheduling round.
+            if self.aggregator.due(now) {
+                self.schedule_round();
+            }
+            // 3. Advance.
+            self.cluster.step(self.cfg.tick);
+            // 4. Telemetry + metrics.
+            probe::sample_cluster(&self.cluster, &self.tsdb);
+            self.collect_metrics();
+            self.garbage_collect();
+
+            let done = next >= schedule.len() && self.cluster.is_drained();
+            if done || self.cluster.now() >= deadline {
+                break;
+            }
+        }
+        self.report(schedule.len())
+    }
+
+    /// One scheduling round: snapshot, contextualize, decide, apply.
+    fn schedule_round(&mut self) {
+        let snapshot = self.aggregator.query(&self.cluster);
+        let pending: Vec<PendingPodView> = self
+            .cluster
+            .pending_queue()
+            .filter_map(|id| {
+                let pod = self.cluster.pod(id)?;
+                let spec = pod.spec();
+                Some(PendingPodView {
+                    id,
+                    name: spec.name.clone(),
+                    app: knots_sched::context::app_key(&spec.name),
+                    qos: spec.qos,
+                    request_mb: spec.request_mb,
+                    limit_mb: pod.limit_mb(),
+                    greedy_memory: spec.greedy_memory,
+                    allow_growth: spec.allow_growth,
+                    arrival: pod.arrival(),
+                    crashes: pod.crashes(),
+                })
+            })
+            .collect();
+        let suspended: Vec<SuspendedPodView> = self
+            .cluster
+            .suspended_pods()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|id| {
+                let pod = self.cluster.pod(id)?;
+                Some(SuspendedPodView {
+                    id,
+                    app: knots_sched::context::app_key(&pod.spec().name),
+                    qos: pod.spec().qos,
+                    limit_mb: pod.limit_mb(),
+                    attained_service_secs: pod.attained_service(),
+                    arrival: pod.arrival(),
+                })
+            })
+            .collect();
+
+        let actions = {
+            let ctx = SchedContext {
+                now: self.cluster.now(),
+                snapshot: &snapshot,
+                pending: &pending,
+                suspended: &suspended,
+                tsdb: &self.tsdb,
+                window: self.cfg.window,
+            };
+            self.scheduler.decide(&ctx)
+        };
+        for action in actions {
+            let res = match action {
+                Action::Place { pod, node } => self.cluster.place(pod, node),
+                Action::Resize { pod, limit_mb } => self.cluster.resize(pod, limit_mb),
+                Action::ConfigureGrowth { pod, allow } => self.cluster.configure_growth(pod, allow),
+                Action::Preempt { pod } => self.cluster.preempt(pod),
+                Action::Resume { pod, node } => self.cluster.resume(pod, node),
+                Action::Migrate { pod, to } => self.cluster.migrate(pod, to),
+                Action::Wake { node } => self.cluster.wake_node(node),
+                Action::Sleep { node } => self.cluster.sleep_node(node),
+            };
+            if res.is_err() {
+                self.skipped += 1;
+            }
+        }
+    }
+
+    /// Record per-node utilization at the metric interval.
+    fn collect_metrics(&mut self) {
+        let now = self.cluster.now();
+        let due = self
+            .last_metric
+            .is_none_or(|t| now.saturating_since(t) >= self.cfg.metric_interval);
+        if !due {
+            return;
+        }
+        self.last_metric = Some(now);
+        for (i, node) in self.cluster.nodes().iter().enumerate() {
+            let util = node.last_sample().sm_util * 100.0;
+            self.util_series[i].push(util);
+            if node.resident_count() > 0 {
+                self.active_util.push(util);
+            }
+        }
+    }
+
+    /// Drop TSDB series of pods that finished since the last call.
+    fn garbage_collect(&mut self) {
+        let events = self.cluster.events();
+        for e in &events[self.events_seen..] {
+            if let (Some(pod), EventKind::Completed { .. }) = (e.pod, e.kind) {
+                self.tsdb.forget_pod(pod);
+            }
+        }
+        self.events_seen = events.len();
+    }
+
+    /// Build the final report.
+    fn report(&self, submitted: usize) -> RunReport {
+        let mut batch = Vec::new();
+        let mut lc = Vec::new();
+        let mut all = Vec::new();
+        let mut lc_completed = 0usize;
+        let mut lc_violations = 0usize;
+        for (_, pod) in self.cluster.completed_pods() {
+            let t = pod.turnaround().expect("completed").as_secs_f64();
+            all.push(t);
+            match pod.spec().qos {
+                QosClass::LatencyCritical { .. } => {
+                    lc.push(t);
+                    lc_completed += 1;
+                    if pod.met_deadline() == Some(false) {
+                        lc_violations += 1;
+                    }
+                }
+                QosClass::Batch => batch.push(t),
+            }
+        }
+        // Unfinished latency-critical queries already past their deadline
+        // also count as violations (a scheduler cannot hide violations by
+        // starving the queue).
+        let now = self.cluster.now();
+        for id in self.cluster.pending_queue().collect::<Vec<_>>() {
+            if let Some(pod) = self.cluster.pod(id) {
+                if let QosClass::LatencyCritical { deadline } = pod.spec().qos {
+                    if now.saturating_since(pod.arrival()) > deadline {
+                        lc_violations += 1;
+                    }
+                }
+            }
+        }
+
+        let mut crashes = 0;
+        let mut preemptions = 0;
+        let mut migrations = 0;
+        for e in self.cluster.events() {
+            match e.kind {
+                EventKind::Crashed { .. } => crashes += 1,
+                EventKind::Preempted { .. } => preemptions += 1,
+                EventKind::Migrated { .. } => migrations += 1,
+                _ => {}
+            }
+        }
+
+        RunReport {
+            scheduler: self.scheduler.name().to_string(),
+            duration: now.saturating_since(SimTime::ZERO),
+            node_util_series: self.util_series.clone(),
+            active_util_samples: self.active_util.clone(),
+            submitted,
+            completed: self.cluster.completed_len(),
+            lc_completed,
+            lc_violations,
+            batch_jct: JctStats::from_secs(batch),
+            lc_latency: JctStats::from_secs(lc),
+            all_jct: JctStats::from_secs(all),
+            energy_joules: self.cluster.total_energy_joules(),
+            crashes,
+            preemptions,
+            migrations,
+            skipped_actions: self.skipped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knots_sched::pp::CbpPp;
+    use knots_sched::resag::ResAg;
+    use knots_sched::uniform::Uniform;
+    use knots_sim::pod::PodSpec;
+    use knots_sim::profile::ResourceProfile;
+    use knots_sim::resources::GpuModel;
+    use knots_sim::time::SimDuration;
+
+    fn tiny_schedule() -> Vec<ScheduledPod> {
+        (0..6)
+            .map(|i| ScheduledPod {
+                at: SimTime::from_millis(i * 200),
+                spec: PodSpec::batch(
+                    format!("job-{i}"),
+                    ResourceProfile::constant(0.4, 1500.0, 1.0),
+                )
+                .with_request_mb(3000.0),
+            })
+            .collect()
+    }
+
+    fn quiet(nodes: usize) -> ClusterConfig {
+        let mut c = ClusterConfig::homogeneous(nodes, GpuModel::P100);
+        c.overheads.cold_start_pull = SimDuration::from_millis(200);
+        c
+    }
+
+    #[test]
+    fn uniform_runs_everything_to_completion() {
+        let mut k = KubeKnots::new(quiet(3), Box::new(Uniform::new()), OrchestratorConfig::default());
+        let report = k.run_schedule(&tiny_schedule());
+        assert_eq!(report.submitted, 6);
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.crashes, 0);
+        assert!(report.batch_jct.count == 6);
+        assert!(report.energy_joules > 0.0);
+        assert_eq!(report.scheduler, "Uniform");
+    }
+
+    #[test]
+    fn resag_packs_more_than_uniform() {
+        // Same workload, fewer nodes than jobs: Res-Ag shares, Uniform
+        // serializes, so Res-Ag finishes sooner.
+        let run = |s: Box<dyn Scheduler>| {
+            let mut k = KubeKnots::new(quiet(1), s, OrchestratorConfig::default());
+            k.run_schedule(&tiny_schedule())
+        };
+        let uni = run(Box::new(Uniform::new()));
+        let ra = run(Box::new(ResAg::new()));
+        assert_eq!(uni.completed, 6);
+        assert_eq!(ra.completed, 6);
+        assert!(
+            ra.all_jct.avg < uni.all_jct.avg,
+            "sharing should beat serializing: {} vs {}",
+            ra.all_jct.avg,
+            uni.all_jct.avg
+        );
+    }
+
+    #[test]
+    fn pp_consolidates_and_sleeps_nodes() {
+        let mut cfg = quiet(4);
+        cfg.auto_sleep_after = Some(SimDuration::from_secs(5));
+        let mut k = KubeKnots::new(cfg, Box::new(CbpPp::new()), OrchestratorConfig::default());
+        let report = k.run_schedule(&tiny_schedule());
+        assert_eq!(report.completed, 6);
+        // Consolidation: at least one node never hosted anything.
+        let idle_nodes = report
+            .node_util_series
+            .iter()
+            .filter(|s| s.iter().all(|&u| u == 0.0))
+            .count();
+        assert!(idle_nodes >= 1, "PP should leave nodes idle");
+    }
+
+    #[test]
+    fn report_counts_unfinished_lc_as_violations() {
+        // A latency-critical pod that can never be placed (request larger
+        // than the device) must still surface as a violation.
+        let schedule = vec![ScheduledPod {
+            at: SimTime::ZERO,
+            spec: PodSpec::latency_critical("q", ResourceProfile::constant(0.5, 100.0, 0.05))
+                .with_request_mb(20_000.0),
+        }];
+        let mut orch_cfg = OrchestratorConfig::default();
+        orch_cfg.drain_grace = SimDuration::from_secs(2);
+        let mut k = KubeKnots::new(quiet(1), Box::new(ResAg::new()), orch_cfg);
+        let report = k.run_schedule(&schedule);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.lc_violations, 1);
+    }
+
+    #[test]
+    fn telemetry_is_populated_during_runs() {
+        let mut k = KubeKnots::new(quiet(2), Box::new(ResAg::new()), OrchestratorConfig::default());
+        let _ = k.run_schedule(&tiny_schedule());
+        assert!(k.tsdb().node_len(knots_sim::ids::NodeId(0)) > 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Autocorrelation — Eq. (2) of the paper.
+//!
+//! PP uses the autocorrelation of a node's utilization series to decide
+//! whether there is a *trend strong enough* to forecast: if the lag-k
+//! autocorrelation is zero or negative, either the input series is too
+//! limited or there is no periodic peak structure, and PP falls back to the
+//! next candidate node (§IV-D, Algorithm 1).
+
+/// Lag-`k` autocorrelation `r_k` per Eq. (2):
+///
+/// `r_k = Σ_{i=1}^{n−k} (Y_i − Ȳ)(Y_{i+k} − Ȳ) / Σ_{i=1}^{n} (Y_i − Ȳ)²`
+///
+/// Returns 0 for constant or too-short series (`n ≤ k`).
+pub fn autocorrelation(ys: &[f64], k: usize) -> f64 {
+    let n = ys.len();
+    if n <= k || n < 2 {
+        return 0.0;
+    }
+    let mean = ys.iter().sum::<f64>() / n as f64;
+    let denom: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+    if denom < 1e-18 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - k).map(|i| (ys[i] - mean) * (ys[i + k] - mean)).sum();
+    num / denom
+}
+
+/// The full autocorrelation function for lags `1..=max_lag`.
+pub fn acf(ys: &[f64], max_lag: usize) -> Vec<f64> {
+    (1..=max_lag).map(|k| autocorrelation(ys, k)).collect()
+}
+
+/// The dominant period of a series: the lag `k ≥ min_lag` with the highest
+/// autocorrelation, when that correlation is positive. PP interprets this as
+/// the interval between consecutive resource-consumption peaks (§IV-D: "the
+/// interval between two consecutive peak resource consumption ... could be
+/// determined by the auto-correlation factor").
+///
+/// Returns `None` when no positive-correlation lag exists.
+pub fn dominant_period(ys: &[f64], min_lag: usize, max_lag: usize) -> Option<usize> {
+    if min_lag == 0 || max_lag < min_lag {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for k in min_lag..=max_lag.min(ys.len().saturating_sub(1)) {
+        let r = autocorrelation(ys, k);
+        if r > 0.0 {
+            match best {
+                Some((_, br)) if br >= r => {}
+                _ => best = Some((k, r)),
+            }
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+/// Whether the series exhibits a positive short-horizon trend — the
+/// Algorithm 1 `AutoCorrelation(node.memory)` admission check. `true` when
+/// the lag-1 autocorrelation is strictly positive.
+pub fn has_forecastable_trend(ys: &[f64]) -> bool {
+    autocorrelation(ys, 1) > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_series_has_high_lag1() {
+        let ys: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        assert!(autocorrelation(&ys, 1) > 0.9);
+        assert!(has_forecastable_trend(&ys));
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let ys: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&ys, 1) < -0.9);
+        assert!(!has_forecastable_trend(&ys));
+        // ... but a strong positive lag-2 correlation.
+        assert!(autocorrelation(&ys, 2) > 0.9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(autocorrelation(&[], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+        assert_eq!(autocorrelation(&[3.0; 20], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+    }
+
+    #[test]
+    fn acf_length() {
+        let ys: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        assert_eq!(acf(&ys, 5).len(), 5);
+    }
+
+    #[test]
+    fn dominant_period_finds_the_cycle() {
+        // Period-10 sawtooth.
+        let ys: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let p = dominant_period(&ys, 2, 40).unwrap();
+        assert_eq!(p % 10, 0, "dominant lag {p} should be a multiple of the period");
+    }
+
+    #[test]
+    fn dominant_period_absent_for_white_noiseish_data() {
+        // A short strictly-alternating series has no positive lag in range 1..=1.
+        let ys: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert_eq!(dominant_period(&ys, 1, 1), None);
+        assert_eq!(dominant_period(&ys, 0, 5), None);
+        assert_eq!(dominant_period(&ys, 5, 2), None);
+    }
+}

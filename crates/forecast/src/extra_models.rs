@@ -1,0 +1,425 @@
+//! The remaining §IV-D comparison estimators: "linear-regression, random
+//! forest, SGD, automatic relevance determination, Theil-Sen, and
+//! multi-layer perceptron". SGD/Theil-Sen/MLP live in [`crate::regressors`];
+//! this module adds closed-form ordinary least squares, a small
+//! deterministic random-forest regressor over lag features, and a pruned
+//! automatic-relevance-determination (ARD) linear model.
+//!
+//! All are deterministic (fixed xorshift streams) and train on whatever
+//! window they are given — the paper's point stands: none of them beats the
+//! two-parameter ARIMA given ~5 s of real-time data.
+
+use crate::regressors::Regressor;
+
+// ---------------------------------------------------------------------
+// Ordinary least squares on the time index.
+// ---------------------------------------------------------------------
+
+/// Closed-form linear regression `y = a + b·t` (the "linear-regression"
+/// entry of §IV-D). Unlike [`crate::regressors::SgdLinear`] this is exact,
+/// at the cost of no incrementality.
+#[derive(Debug, Default, Clone)]
+pub struct OlsLinear {
+    a: f64,
+    b: f64,
+    n: usize,
+}
+
+impl Regressor for OlsLinear {
+    fn name(&self) -> &'static str {
+        "Linear (OLS)"
+    }
+
+    fn fit(&mut self, window: &[f64]) {
+        self.n = window.len();
+        if window.len() < 2 {
+            self.a = window.last().copied().unwrap_or(0.0);
+            self.b = 0.0;
+            return;
+        }
+        let n = window.len() as f64;
+        let mean_t = (n - 1.0) / 2.0;
+        let mean_y = window.iter().sum::<f64>() / n;
+        let mut stt = 0.0;
+        let mut sty = 0.0;
+        for (i, &y) in window.iter().enumerate() {
+            let dt = i as f64 - mean_t;
+            stt += dt * dt;
+            sty += dt * (y - mean_y);
+        }
+        self.b = if stt < 1e-18 { 0.0 } else { sty / stt };
+        self.a = mean_y - self.b * mean_t;
+    }
+
+    fn predict_h(&self, h: usize) -> f64 {
+        self.a + self.b * (self.n.saturating_sub(1) + h) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Automatic relevance determination (pruned ridge on lag features).
+// ---------------------------------------------------------------------
+
+/// A compact ARD-style linear model over the last [`Ard::LAGS`] values:
+/// iteratively re-weighted ridge regression where each lag gets its own
+/// precision; lags whose precision diverges are pruned (their weight forced
+/// to zero) — the "automatic relevance determination" entry of §IV-D.
+#[derive(Debug, Clone)]
+pub struct Ard {
+    weights: [f64; Ard::LAGS],
+    bias: f64,
+    last: [f64; Ard::LAGS],
+    /// Outer re-estimation iterations.
+    pub iters: usize,
+}
+
+impl Default for Ard {
+    fn default() -> Self {
+        Ard { weights: [0.0; Ard::LAGS], bias: 0.0, last: [0.0; Ard::LAGS], iters: 6 }
+    }
+}
+
+impl Ard {
+    /// Number of autoregressive lag features.
+    pub const LAGS: usize = 4;
+
+    /// Current per-lag weights (after pruning), for inspection/tests.
+    pub fn weights(&self) -> &[f64; Ard::LAGS] {
+        &self.weights
+    }
+}
+
+impl Regressor for Ard {
+    fn name(&self) -> &'static str {
+        "ARD"
+    }
+
+    fn fit(&mut self, window: &[f64]) {
+        self.weights = [0.0; Ard::LAGS];
+        self.bias = window.last().copied().unwrap_or(0.0);
+        if window.len() < Ard::LAGS + 2 {
+            self.last = [self.bias; Ard::LAGS];
+            return;
+        }
+        // Build the lag design matrix (centered).
+        let rows = window.len() - Ard::LAGS;
+        let mean = window.iter().sum::<f64>() / window.len() as f64;
+        let x: Vec<[f64; Ard::LAGS]> = (0..rows)
+            .map(|r| {
+                let mut f = [0.0; Ard::LAGS];
+                for (k, fk) in f.iter_mut().enumerate() {
+                    *fk = window[r + k] - mean;
+                }
+                f
+            })
+            .collect();
+        let y: Vec<f64> = (0..rows).map(|r| window[r + Ard::LAGS] - mean).collect();
+
+        // Iteratively re-weighted per-feature ridge via coordinate descent.
+        let mut alpha = [1.0f64; Ard::LAGS]; // per-weight precision
+        let mut w = [0.0f64; Ard::LAGS];
+        for _ in 0..self.iters {
+            // Coordinate descent pass.
+            for j in 0..Ard::LAGS {
+                if alpha[j] > 1e6 {
+                    w[j] = 0.0; // pruned
+                    continue;
+                }
+                let mut num = 0.0;
+                let mut den = alpha[j];
+                for (xi, &yi) in x.iter().zip(&y) {
+                    let residual_wo_j: f64 = yi
+                        - (0..Ard::LAGS).filter(|&k| k != j).map(|k| w[k] * xi[k]).sum::<f64>();
+                    num += xi[j] * residual_wo_j;
+                    den += xi[j] * xi[j];
+                }
+                w[j] = if den < 1e-18 { 0.0 } else { num / den };
+            }
+            // Re-estimate relevances: small weights become irrelevant.
+            for j in 0..Ard::LAGS {
+                let w2 = w[j] * w[j];
+                alpha[j] = if w2 < 1e-12 { 1e9 } else { (1.0 / w2).min(1e9) };
+            }
+        }
+        self.weights = w;
+        self.bias = mean * (1.0 - w.iter().sum::<f64>());
+        let mut last = [0.0; Ard::LAGS];
+        last.copy_from_slice(&window[window.len() - Ard::LAGS..]);
+        self.last = last;
+    }
+
+    fn predict_h(&self, h: usize) -> f64 {
+        let mut state = self.last;
+        let mut y = state[Ard::LAGS - 1];
+        for _ in 0..h {
+            y = self.bias + self.weights.iter().zip(state.iter()).map(|(w, s)| w * s).sum::<f64>();
+            state.rotate_left(1);
+            state[Ard::LAGS - 1] = y;
+        }
+        y
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random forest over lag features.
+// ---------------------------------------------------------------------
+
+/// A small deterministic random-forest regressor: `trees` depth-limited
+/// regression trees over the last [`RandomForest::LAGS`] values, each
+/// trained on a deterministic bootstrap of the window (the "random forest"
+/// entry of §IV-D). Expensive relative to ARIMA — which is the point.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<Tree>,
+    last: [f64; RandomForest::LAGS],
+    fallback: f64,
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest {
+            trees: Vec::new(),
+            last: [0.0; RandomForest::LAGS],
+            fallback: 0.0,
+            n_trees: 12,
+            max_depth: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(f64),
+    Split { feature: usize, threshold: f64, left: Box<Tree>, right: Box<Tree> },
+}
+
+impl Tree {
+    fn eval(&self, x: &[f64; RandomForest::LAGS]) -> f64 {
+        match self {
+            Tree::Leaf(v) => *v,
+            Tree::Split { feature, threshold, left, right } => {
+                if x[*feature] <= *threshold {
+                    left.eval(x)
+                } else {
+                    right.eval(x)
+                }
+            }
+        }
+    }
+}
+
+fn build_tree(
+    x: &[[f64; RandomForest::LAGS]],
+    y: &[f64],
+    idx: &[usize],
+    depth: usize,
+    rng: &mut u64,
+) -> Tree {
+    let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len().max(1) as f64;
+    if depth == 0 || idx.len() < 6 {
+        return Tree::Leaf(mean);
+    }
+    // Try a few random (feature, threshold) candidates; keep the best SSE.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for _ in 0..6 {
+        *rng = xorshift(*rng);
+        let feature = (*rng as usize) % RandomForest::LAGS;
+        *rng = xorshift(*rng);
+        let pick = idx[(*rng as usize) % idx.len()];
+        let threshold = x[pick][feature];
+        let (mut ls, mut lc, mut rs, mut rc) = (0.0, 0usize, 0.0, 0usize);
+        for &i in idx {
+            if x[i][feature] <= threshold {
+                ls += y[i];
+                lc += 1;
+            } else {
+                rs += y[i];
+                rc += 1;
+            }
+        }
+        if lc == 0 || rc == 0 {
+            continue;
+        }
+        let (lm, rm) = (ls / lc as f64, rs / rc as f64);
+        let sse: f64 = idx
+            .iter()
+            .map(|&i| {
+                let m = if x[i][feature] <= threshold { lm } else { rm };
+                (y[i] - m) * (y[i] - m)
+            })
+            .sum();
+        if best.as_ref().is_none_or(|(_, _, s)| sse < *s) {
+            best = Some((feature, threshold, sse));
+        }
+    }
+    let Some((feature, threshold, _)) = best else {
+        return Tree::Leaf(mean);
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return Tree::Leaf(mean);
+    }
+    Tree::Split {
+        feature,
+        threshold,
+        left: Box::new(build_tree(x, y, &left_idx, depth - 1, rng)),
+        right: Box::new(build_tree(x, y, &right_idx, depth - 1, rng)),
+    }
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.max(1)
+}
+
+impl RandomForest {
+    /// Number of autoregressive lag features.
+    pub const LAGS: usize = 4;
+}
+
+impl Regressor for RandomForest {
+    fn name(&self) -> &'static str {
+        "Random Forest"
+    }
+
+    fn fit(&mut self, window: &[f64]) {
+        self.trees.clear();
+        self.fallback = window.last().copied().unwrap_or(0.0);
+        if window.len() < Self::LAGS + 4 {
+            self.last = [self.fallback; Self::LAGS];
+            return;
+        }
+        let rows = window.len() - Self::LAGS;
+        let x: Vec<[f64; Self::LAGS]> = (0..rows)
+            .map(|r| {
+                let mut f = [0.0; Self::LAGS];
+                for (k, fk) in f.iter_mut().enumerate() {
+                    *fk = window[r + k];
+                }
+                f
+            })
+            .collect();
+        let y: Vec<f64> = (0..rows).map(|r| window[r + Self::LAGS]).collect();
+        let mut rng = 0xA5A5_5A5A_DEAD_BEEFu64;
+        for _ in 0..self.n_trees {
+            // Deterministic bootstrap.
+            let idx: Vec<usize> = (0..rows)
+                .map(|_| {
+                    rng = xorshift(rng);
+                    (rng as usize) % rows
+                })
+                .collect();
+            self.trees.push(build_tree(&x, &y, &idx, self.max_depth, &mut rng));
+        }
+        let mut last = [0.0; Self::LAGS];
+        last.copy_from_slice(&window[window.len() - Self::LAGS..]);
+        self.last = last;
+    }
+
+    fn predict_h(&self, h: usize) -> f64 {
+        if self.trees.is_empty() {
+            return self.fallback;
+        }
+        let mut state = self.last;
+        let mut y = state[Self::LAGS - 1];
+        for _ in 0..h {
+            y = self.trees.iter().map(|t| t.eval(&state)).sum::<f64>() / self.trees.len() as f64;
+            state.rotate_left(1);
+            state[Self::LAGS - 1] = y;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 3.0 + 0.5 * i as f64).collect()
+    }
+
+    #[test]
+    fn ols_is_exact_on_a_line() {
+        let mut m = OlsLinear::default();
+        m.fit(&ramp(40));
+        assert!((m.predict_next() - (3.0 + 0.5 * 40.0)).abs() < 1e-9);
+        assert!((m.predict_h(5) - (3.0 + 0.5 * 44.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ols_degenerate_windows() {
+        let mut m = OlsLinear::default();
+        m.fit(&[]);
+        assert_eq!(m.predict_next(), 0.0);
+        m.fit(&[7.0]);
+        assert!((m.predict_next() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ard_learns_an_ar1_process_and_prunes() {
+        // y_t = 0.8 y_{t-1} + 2: only lag 4 (the most recent) matters.
+        let mut ys = vec![1.0];
+        for _ in 0..200 {
+            let last = *ys.last().unwrap();
+            ys.push(2.0 + 0.8 * last);
+        }
+        let mut m = Ard::default();
+        m.fit(&ys[..60]);
+        let pred = m.predict_next();
+        let actual = 2.0 + 0.8 * ys[59];
+        assert!((pred - actual).abs() < 0.5, "pred {pred} vs {actual}");
+        // On a deterministic AR(1) the four lags are perfectly collinear:
+        // ARD's job is to *prune* to a sparse solution (any one lag can
+        // carry the signal), not to pick a specific one.
+        let w = m.weights();
+        let active = w.iter().filter(|x| x.abs() > 1e-3).count();
+        assert!(active <= 2, "ARD should prune collinear lags: {w:?}");
+        assert!(active >= 1, "ARD must keep some signal: {w:?}");
+    }
+
+    #[test]
+    fn forest_learns_short_patterns() {
+        let ys: Vec<f64> = (0..120).map(|i| if i % 2 == 0 { 10.0 } else { 30.0 }).collect();
+        let mut m = RandomForest::default();
+        m.fit(&ys);
+        // Last value 30 (odd index 119) -> next should be ~10.
+        let p = m.predict_next();
+        assert!((p - 10.0).abs() < 8.0, "pred {p}");
+    }
+
+    #[test]
+    fn forest_is_deterministic() {
+        let ys: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin() * 20.0 + 50.0).collect();
+        let mut a = RandomForest::default();
+        let mut b = RandomForest::default();
+        a.fit(&ys);
+        b.fit(&ys);
+        assert_eq!(a.predict_h(3), b.predict_h(3));
+    }
+
+    #[test]
+    fn all_models_survive_degenerate_input() {
+        let mut models: Vec<Box<dyn Regressor>> = vec![
+            Box::new(OlsLinear::default()),
+            Box::new(Ard::default()),
+            Box::new(RandomForest::default()),
+        ];
+        for m in models.iter_mut() {
+            m.fit(&[]);
+            assert!(m.predict_next().is_finite());
+            m.fit(&[5.0, 5.0, 5.0]);
+            assert!(m.predict_next().is_finite(), "{}", m.name());
+            m.fit(&[1.0; 64]);
+            let p = m.predict_next();
+            assert!((p - 1.0).abs() < 1.0, "{}: {p}", m.name());
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The alternative utilization estimators of Fig. 10b.
+//!
+//! §IV-D: "We quantitatively analyzed the mean-squared-error and profiling
+//! overheads of different regression models such as linear-regression,
+//! random forest, SGD, automatic relevance determination, Theil-Sen, and
+//! multi-layer perceptron ... a statistical model such as ARIMA works with
+//! good accuracy. Other complex models do not improve much due to limited
+//! real-time training data." This module implements the three comparators
+//! the figure plots — Theil-Sen, SGD linear regression and a small MLP —
+//! behind one [`Regressor`] trait so the accuracy harness can sweep them.
+//!
+//! All models are deterministic: weight initialization uses a fixed
+//! xorshift stream, and training order is fixed.
+
+/// A one-series forecaster trained on a sliding window.
+pub trait Regressor {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+    /// Fit on the most recent window (oldest value first).
+    fn fit(&mut self, window: &[f64]);
+    /// Predict the value `h` steps after the end of the fitted window.
+    fn predict_h(&self, h: usize) -> f64;
+    /// Convenience: one-step-ahead prediction.
+    fn predict_next(&self) -> f64 {
+        self.predict_h(1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theil-Sen
+// ---------------------------------------------------------------------
+
+/// Theil-Sen estimator: slope is the median of all pairwise slopes, the
+/// intercept the median of residual offsets. Robust to outliers; linear in
+/// its extrapolation, which is exactly why it struggles with the phase-
+/// structured GPU traces.
+#[derive(Debug, Default, Clone)]
+pub struct TheilSen {
+    slope: f64,
+    intercept: f64,
+    n: usize,
+}
+
+impl Regressor for TheilSen {
+    fn name(&self) -> &'static str {
+        "Theil-Sen"
+    }
+
+    fn fit(&mut self, window: &[f64]) {
+        self.n = window.len();
+        if window.len() < 2 {
+            self.slope = 0.0;
+            self.intercept = window.last().copied().unwrap_or(0.0);
+            return;
+        }
+        let mut slopes = Vec::with_capacity(window.len() * (window.len() - 1) / 2);
+        for i in 0..window.len() {
+            for j in (i + 1)..window.len() {
+                slopes.push((window[j] - window[i]) / (j - i) as f64);
+            }
+        }
+        slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite slopes"));
+        self.slope = median_of_sorted(&slopes);
+        let mut offsets: Vec<f64> =
+            window.iter().enumerate().map(|(i, &y)| y - self.slope * i as f64).collect();
+        offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite offsets"));
+        self.intercept = median_of_sorted(&offsets);
+    }
+
+    fn predict_h(&self, h: usize) -> f64 {
+        let t = (self.n.saturating_sub(1) + h) as f64;
+        self.intercept + self.slope * t
+    }
+}
+
+fn median_of_sorted(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// SGD linear regression
+// ---------------------------------------------------------------------
+
+/// Linear model `y = a + b·t` trained by stochastic gradient descent with a
+/// fixed pass order (deterministic). Time is normalized to `[0, 1]` for
+/// stable step sizes.
+#[derive(Debug, Clone)]
+pub struct SgdLinear {
+    a: f64,
+    b: f64,
+    n: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Training epochs per fit.
+    pub epochs: usize,
+}
+
+impl Default for SgdLinear {
+    fn default() -> Self {
+        SgdLinear { a: 0.0, b: 0.0, n: 0, lr: 0.05, epochs: 40 }
+    }
+}
+
+impl Regressor for SgdLinear {
+    fn name(&self) -> &'static str {
+        "SGD"
+    }
+
+    fn fit(&mut self, window: &[f64]) {
+        self.n = window.len();
+        if window.is_empty() {
+            self.a = 0.0;
+            self.b = 0.0;
+            return;
+        }
+        let scale = (window.len().max(2) - 1) as f64;
+        self.a = window[0];
+        self.b = 0.0;
+        for _ in 0..self.epochs {
+            for (i, &y) in window.iter().enumerate() {
+                let t = i as f64 / scale;
+                let err = self.a + self.b * t - y;
+                self.a -= self.lr * err;
+                self.b -= self.lr * err * t;
+            }
+        }
+    }
+
+    fn predict_h(&self, h: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let scale = (self.n.max(2) - 1) as f64;
+        let t = (self.n - 1 + h) as f64 / scale;
+        self.a + self.b * t
+    }
+}
+
+// ---------------------------------------------------------------------
+// Small MLP
+// ---------------------------------------------------------------------
+
+/// A tiny multi-layer perceptron: `LAGS` inputs (the most recent values),
+/// one tanh hidden layer, one linear output, trained by full-batch gradient
+/// descent for a fixed number of epochs. Deterministic initialization.
+///
+/// The paper's point — "complex models do not improve much due to limited
+/// real-time training data" — shows up as this model's tendency to overfit
+/// very short windows.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    w1: Vec<[f64; Mlp::LAGS]>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    last_inputs: [f64; Mlp::LAGS],
+    norm: (f64, f64),
+    trained: bool,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs per fit.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Default for Mlp {
+    fn default() -> Self {
+        Mlp::new(8, 60, 0.05)
+    }
+}
+
+impl Mlp {
+    /// Input lag count.
+    pub const LAGS: usize = 4;
+
+    /// Construct with explicit hyper-parameters.
+    pub fn new(hidden: usize, epochs: usize, lr: f64) -> Self {
+        let mut rng = Xorshift(0x9E37_79B9_7F4A_7C15);
+        let w1 = (0..hidden)
+            .map(|_| {
+                let mut row = [0.0; Mlp::LAGS];
+                for r in &mut row {
+                    *r = rng.unit() - 0.5;
+                }
+                row
+            })
+            .collect();
+        let b1 = vec![0.0; hidden];
+        let w2 = (0..hidden).map(|_| rng.unit() - 0.5).collect();
+        Mlp {
+            w1,
+            b1,
+            w2,
+            b2: 0.0,
+            last_inputs: [0.0; Mlp::LAGS],
+            norm: (0.0, 1.0),
+            trained: false,
+            hidden,
+            epochs,
+            lr,
+        }
+    }
+
+    fn forward(&self, x: &[f64; Mlp::LAGS]) -> (Vec<f64>, f64) {
+        let h: Vec<f64> = (0..self.hidden)
+            .map(|j| {
+                let z: f64 =
+                    self.w1[j].iter().zip(x.iter()).map(|(w, xi)| w * xi).sum::<f64>() + self.b1[j];
+                z.tanh()
+            })
+            .collect();
+        let y = self.w2.iter().zip(&h).map(|(w, hj)| w * hj).sum::<f64>() + self.b2;
+        (h, y)
+    }
+}
+
+impl Regressor for Mlp {
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn fit(&mut self, window: &[f64]) {
+        self.trained = false;
+        if window.len() < Mlp::LAGS + 1 {
+            self.last_inputs = [window.last().copied().unwrap_or(0.0); Mlp::LAGS];
+            self.norm = (0.0, 1.0);
+            return;
+        }
+        // Normalize to zero-mean unit-ish scale for stable training.
+        let mean = window.iter().sum::<f64>() / window.len() as f64;
+        let scale = window
+            .iter()
+            .map(|y| (y - mean).abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        self.norm = (mean, scale);
+        let normed: Vec<f64> = window.iter().map(|y| (y - mean) / scale).collect();
+
+        for _ in 0..self.epochs {
+            for t in Mlp::LAGS..normed.len() {
+                let mut x = [0.0; Mlp::LAGS];
+                x.copy_from_slice(&normed[t - Mlp::LAGS..t]);
+                let target = normed[t];
+                let (h, y) = self.forward(&x);
+                let err = y - target;
+                // Output layer gradients.
+                for j in 0..self.hidden {
+                    let g2 = err * h[j];
+                    // Hidden layer gradients (before updating w2).
+                    let gh = err * self.w2[j] * (1.0 - h[j] * h[j]);
+                    for (w, xi) in self.w1[j].iter_mut().zip(x.iter()) {
+                        *w -= self.lr * gh * xi;
+                    }
+                    self.b1[j] -= self.lr * gh;
+                    self.w2[j] -= self.lr * g2;
+                }
+                self.b2 -= self.lr * err;
+            }
+        }
+        let mut last = [0.0; Mlp::LAGS];
+        last.copy_from_slice(&normed[normed.len() - Mlp::LAGS..]);
+        self.last_inputs = last;
+        self.trained = true;
+    }
+
+    fn predict_h(&self, h: usize) -> f64 {
+        let (mean, scale) = self.norm;
+        if !self.trained {
+            return self.last_inputs[Mlp::LAGS - 1] * scale + mean;
+        }
+        let mut x = self.last_inputs;
+        let mut y = x[Mlp::LAGS - 1];
+        for _ in 0..h {
+            y = self.forward(&x).1;
+            x.rotate_left(1);
+            x[Mlp::LAGS - 1] = y;
+        }
+        y * scale + mean
+    }
+}
+
+/// Deterministic xorshift64* stream for weight initialization.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 2.0 + 0.5 * i as f64).collect()
+    }
+
+    #[test]
+    fn theil_sen_recovers_a_clean_line() {
+        let mut ts = TheilSen::default();
+        ts.fit(&ramp(20));
+        assert!((ts.slope - 0.5).abs() < 1e-9);
+        // Next value of the ramp: 2 + 0.5*20 = 12.
+        assert!((ts.predict_next() - 12.0).abs() < 1e-9);
+        assert!((ts.predict_h(4) - 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theil_sen_resists_outliers() {
+        let mut ys = ramp(21);
+        ys[10] = 1000.0; // one wild outlier
+        let mut ts = TheilSen::default();
+        ts.fit(&ys);
+        assert!((ts.slope - 0.5).abs() < 0.05, "slope {}", ts.slope);
+    }
+
+    #[test]
+    fn sgd_fits_a_line_approximately() {
+        let mut s = SgdLinear::default();
+        s.fit(&ramp(30));
+        let pred = s.predict_next();
+        assert!((pred - 17.0).abs() < 1.0, "pred {pred}");
+    }
+
+    #[test]
+    fn mlp_learns_short_patterns() {
+        // Period-2 oscillation is learnable from 4 lags.
+        let ys: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 10.0 } else { 20.0 }).collect();
+        let mut m = Mlp::default();
+        m.fit(&ys);
+        // Last value is ys[59] = 20 (odd), next should be ~10.
+        let p = m.predict_next();
+        assert!((p - 10.0).abs() < 4.0, "pred {p}");
+    }
+
+    #[test]
+    fn mlp_is_deterministic() {
+        let ys: Vec<f64> = (0..40).map(|i| (i as f64 * 0.4).sin() * 5.0 + 10.0).collect();
+        let mut a = Mlp::default();
+        let mut b = Mlp::default();
+        a.fit(&ys);
+        b.fit(&ys);
+        assert_eq!(a.predict_h(3), b.predict_h(3));
+    }
+
+    #[test]
+    fn degenerate_windows_do_not_panic() {
+        for r in [
+            &mut TheilSen::default() as &mut dyn Regressor,
+            &mut SgdLinear::default(),
+            &mut Mlp::default(),
+        ] {
+            r.fit(&[]);
+            let _ = r.predict_next();
+            r.fit(&[5.0]);
+            let p = r.predict_next();
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median_of_sorted(&[]), 0.0);
+        assert_eq!(median_of_sorted(&[3.0]), 3.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 9.0]), 2.0);
+    }
+}

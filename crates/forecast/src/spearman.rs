@@ -1,0 +1,176 @@
+//! Spearman's rank correlation — Eq. (1) of the paper.
+//!
+//! CBP schedules two pods to *different* GPUs when their utilization metrics
+//! are positively correlated (they would peak together), and packs
+//! uncorrelated/negatively-correlated pods onto the same device (§IV-C).
+//! Fig. 2a/2c derive the same statistic across the Alibaba trace's metric
+//! pairs.
+
+/// Average ranks (1-based), with ties sharing the mean of their rank span —
+/// the standard treatment that keeps Eq. (1) correct in expectation.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (xs[idx[j + 1]] - xs[idx[i]]).abs() < 1e-12 {
+            j += 1;
+        }
+        // Tied block i..=j shares the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman's ρ between two equal-length series.
+///
+/// Computed as the Pearson correlation of the rank vectors, which reduces to
+/// the paper's Eq. (1) (`ρ = 1 − 6Σd²/n(n²−1)`) when there are no ties and
+/// handles ties gracefully otherwise. Returns 0 when either series is
+/// constant or shorter than 2 (no usable signal — the §IV-D "input
+/// time-series data is limited" case).
+///
+/// # Panics
+/// Panics when the series lengths differ.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman needs equal-length series");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// The textbook Eq. (1) form (no tie correction): `1 − 6Σd²/n(n²−1)`.
+/// Kept for exact parity with the paper's formula; prefer [`spearman`].
+pub fn spearman_d2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let d2: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - y) * (x - y)).sum();
+    1.0 - 6.0 * d2 / (n as f64 * ((n * n - 1) as f64))
+}
+
+/// Pearson correlation coefficient; 0 when either input is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let xa = a[i] - ma;
+        let xb = b[i] - mb;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if da < 1e-18 || db < 1e-18 {
+        0.0
+    } else {
+        (num / (da * db).sqrt()).clamp(-1.0, 1.0)
+    }
+}
+
+/// Full pairwise Spearman matrix over a set of series (the Fig. 2 heat map).
+/// `series[i]` must all share one length.
+pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = series.len();
+    let mut m = vec![vec![0.0; k]; k];
+    // Rank once per series, correlate pairs.
+    let ranked: Vec<Vec<f64>> = series.iter().map(|s| ranks(s)).collect();
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let r = pearson(&ranked[i], &ranked[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn perfect_monotone_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [10.0, 100.0, 1000.0, 10000.0, 100000.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = b.iter().rev().copied().collect();
+        assert!((spearman(&a, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_matches_rank_pearson_without_ties() {
+        let a = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0, 6.0];
+        let b = [2.0, 7.0, 1.0, 8.0, 2.5, 0.5, 9.0, 4.0];
+        assert!((spearman(&a, &b) - spearman_d2(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        // Alternating series vs a ramp: rank correlation near zero.
+        let a: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let b: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        assert!(spearman(&a, &b).abs() < 0.2);
+    }
+
+    #[test]
+    fn constant_series_yields_zero() {
+        let a = [5.0; 10];
+        let b: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(spearman(&a, &b), 0.0);
+        assert_eq!(spearman(&[], &[]), 0.0);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let s = vec![
+            (0..30).map(|i| i as f64).collect::<Vec<_>>(),
+            (0..30).map(|i| (i * i) as f64).collect(),
+            (0..30).map(|i| 30.0 - i as f64).collect(),
+        ];
+        let m = correlation_matrix(&s);
+        for i in 0..3 {
+            assert!((m[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+        assert!(m[0][1] > 0.99); // both increasing
+        assert!(m[0][2] < -0.99); // opposite
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn length_mismatch_panics() {
+        let _ = spearman(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Descriptive statistics used throughout the evaluation: percentiles for
+//! the utilization plots (Figs. 6, 8, 9), the coefficient of variation for
+//! load classification (Fig. 7, §III-C), and CDFs for the trace analysis
+//! (Fig. 2b) and JCT plots (Fig. 12a).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation, `σ / μ` (§III-C). An application mix with
+/// COV ≤ 1 has a consistent load that is easy to guarantee; COV > 1 signals
+/// a heavy-tailed distribution where naive co-location causes interference.
+///
+/// Returns 0 when the mean is (near) zero, matching the "no load" reading.
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.abs() < 1e-12 {
+        0.0
+    } else {
+        stddev(xs) / m
+    }
+}
+
+/// Percentile with linear interpolation between closest ranks.
+/// `q` is in `[0, 1]`; `percentile(xs, 0.5)` is the median.
+///
+/// Returns 0 for an empty slice.
+///
+/// # Panics
+/// Panics when `q` is outside `[0, 1]` or any value is NaN.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]: {q}");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_of_sorted(&sorted, q)
+}
+
+/// Percentile of an already-sorted slice (ascending). Cheaper when many
+/// quantiles of the same data are needed.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The standard evaluation quantiles reported in Figs. 6, 8 and 9:
+/// (50th, 90th, 99th, max).
+pub fn utilization_quartet(xs: &[f64]) -> (f64, f64, f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    (
+        percentile_of_sorted(&sorted, 0.50),
+        percentile_of_sorted(&sorted, 0.90),
+        percentile_of_sorted(&sorted, 0.99),
+        *sorted.last().expect("non-empty"),
+    )
+}
+
+/// Empirical CDF evaluated at `n` equally-spaced points of the data range.
+/// Returns `(value, fraction ≤ value)` pairs — the Fig. 2b / Fig. 12a shape.
+pub fn cdf_points(xs: &[f64], n: usize) -> Vec<(f64, f64)> {
+    if xs.is_empty() || n == 0 {
+        return vec![];
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    let lo = sorted[0];
+    let hi = *sorted.last().expect("non-empty");
+    (0..n)
+        .map(|i| {
+            // The top grid point must be exactly the maximum: the linear
+            // interpolation can round a hair below `hi`, which would report
+            // a CDF that never reaches 1.0.
+            let v = if n == 1 || i == n - 1 {
+                hi
+            } else {
+                lo + (hi - lo) * i as f64 / (n - 1) as f64
+            };
+            let count = sorted.partition_point(|&x| x <= v);
+            (v, count as f64 / sorted.len() as f64)
+        })
+        .collect()
+}
+
+/// Simple centered-free trailing moving average with window `w`.
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        acc += x;
+        if i >= w {
+            acc -= xs[i - w];
+        }
+        let len = (i + 1).min(w);
+        out.push(acc / len as f64);
+    }
+    out
+}
+
+/// Mean absolute percentage error between predictions and actuals, skipping
+/// near-zero actuals. Returns `None` when nothing could be compared.
+pub fn mape(pred: &[f64], actual: &[f64]) -> Option<f64> {
+    assert_eq!(pred.len(), actual.len());
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&p, &a) in pred.iter().zip(actual) {
+        if a.abs() > 1e-9 {
+            total += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(total / n as f64)
+    }
+}
+
+/// Root-mean-square error.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sq: f64 = pred.iter().zip(actual).map(|(&p, &a)| (p - a) * (p - a)).sum();
+    (sq / pred.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cov_classifies_load_stability() {
+        let steady = [0.5, 0.52, 0.48, 0.5, 0.51];
+        let bursty = [0.01, 0.02, 0.9, 0.01, 0.02];
+        assert!(cov(&steady) < 1.0);
+        assert!(cov(&bursty) > 1.0);
+        assert_eq!(cov(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 1.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn quartet_is_monotone() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (p50, p90, p99, max) = utilization_quartet(&xs);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        assert!((p50 - 49.5).abs() < 1e-9);
+        assert!((max - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let xs = [1.0, 1.0, 2.0, 3.0, 5.0, 8.0];
+        let pts = cdf_points(&xs, 20);
+        assert_eq!(pts.len(), 20);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_warms_up() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ma = moving_average(&xs, 3);
+        assert!((ma[0] - 1.0).abs() < 1e-12);
+        assert!((ma[1] - 1.5).abs() < 1e-12);
+        assert!((ma[4] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let pred = [1.1, 2.2, 2.7];
+        let act = [1.0, 2.0, 3.0];
+        let m = mape(&pred, &act).unwrap();
+        assert!((m - (0.1 + 0.1 + 0.1) / 3.0).abs() < 1e-12);
+        assert!(rmse(&pred, &act) > 0.0);
+        assert_eq!(mape(&[1.0], &[0.0]), None);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the statistics and forecasting primitives.
+
+use knots_forecast::accuracy::{walk_forward, AccuracyConfig};
+use knots_forecast::arima::{Ar1, ArimaRegressor};
+use knots_forecast::autocorr::{autocorrelation, dominant_period};
+use knots_forecast::regressors::{Mlp, Regressor, SgdLinear, TheilSen};
+use knots_forecast::spearman::{pearson, ranks, spearman};
+use knots_forecast::stats::{
+    cdf_points, cov, mean, moving_average, percentile, stddev, utilization_quartet,
+};
+use proptest::prelude::*;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e4f64..1e4, 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spearman_is_bounded_and_symmetric(xs in finite_series(64), ys in finite_series(64)) {
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        let r = spearman(a, b);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!((r - spearman(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(xs in finite_series(64), ys in finite_series(64)) {
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        // exp is strictly increasing: ranks unchanged.
+        let ea: Vec<f64> = a.iter().map(|x| (x / 1e4).exp()).collect();
+        prop_assert!((spearman(a, b) - spearman(&ea, b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_correlation_is_one_for_nonconstant(xs in finite_series(64)) {
+        let distinct = xs.iter().any(|x| (x - xs[0]).abs() > 1e-9);
+        if distinct {
+            prop_assert!((spearman(&xs, &xs) - 1.0).abs() < 1e-9);
+            prop_assert!((pearson(&xs, &xs) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(xs in finite_series(64)) {
+        let r = ranks(&xs);
+        // Ranks always sum to n(n+1)/2 regardless of ties.
+        let n = xs.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        prop_assert!(r.iter().all(|&x| x >= 1.0 && x <= n));
+    }
+
+    #[test]
+    fn autocorrelation_is_bounded(xs in finite_series(64), k in 0usize..32) {
+        let r = autocorrelation(&xs, k);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r_k = {r}");
+    }
+
+    #[test]
+    fn dominant_period_is_within_requested_range(xs in finite_series(128)) {
+        if let Some(p) = dominant_period(&xs, 2, 20) {
+            prop_assert!((2..=20).contains(&p));
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded(xs in finite_series(128), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let plo = percentile(&xs, lo);
+        let phi = percentile(&xs, hi);
+        prop_assert!(plo <= phi + 1e-9);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(plo >= min - 1e-9 && phi <= max + 1e-9);
+    }
+
+    #[test]
+    fn quartet_is_ordered(xs in finite_series(128)) {
+        let (p50, p90, p99, max) = utilization_quartet(&xs);
+        prop_assert!(p50 <= p90 + 1e-9 && p90 <= p99 + 1e-9 && p99 <= max + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone(xs in finite_series(128), n in 2usize..40) {
+        let pts = cdf_points(&xs, n);
+        for w in pts.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+            prop_assert!(w[1].0 >= w[0].0 - 1e-9);
+        }
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_relations(xs in finite_series(128)) {
+        prop_assert!(stddev(&xs) >= 0.0);
+        prop_assert!(cov(&xs).is_finite());
+        let m = mean(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+    }
+
+    #[test]
+    fn moving_average_is_bounded_by_extremes(xs in finite_series(128), w in 1usize..16) {
+        let ma = moving_average(&xs, w);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(ma.len(), xs.len());
+        prop_assert!(ma.iter().all(|&v| v >= min - 1e-9 && v <= max + 1e-9));
+    }
+
+    #[test]
+    fn ar1_forecasts_are_finite(xs in finite_series(128), h in 1usize..64) {
+        let m = Ar1::fit(&xs);
+        prop_assert!(m.mu.is_finite() && m.phi.is_finite());
+        prop_assert!(m.phi.abs() <= 0.999 + 1e-12);
+        prop_assert!(m.forecast_h(*xs.last().unwrap(), h).is_finite());
+    }
+
+    #[test]
+    fn regressors_never_return_nan(xs in finite_series(96)) {
+        let mut models: Vec<Box<dyn Regressor>> = vec![
+            Box::new(ArimaRegressor::default()),
+            Box::new(TheilSen::default()),
+            Box::new(SgdLinear::default()),
+            Box::new(Mlp::default()),
+        ];
+        for m in models.iter_mut() {
+            m.fit(&xs);
+            let p = m.predict_next();
+            prop_assert!(p.is_finite(), "{} returned {p}", m.name());
+        }
+    }
+
+    #[test]
+    fn walk_forward_accuracy_is_a_fraction(xs in finite_series(200), w in 4usize..32) {
+        let cfg = AccuracyConfig { window: w, horizon: 1, tolerance_abs: 50.0, stride: 1 };
+        let rep = walk_forward(&xs, &mut ArimaRegressor::default(), &cfg);
+        prop_assert!((0.0..=1.0).contains(&rep.accuracy));
+        prop_assert!(rep.rmse >= 0.0);
+    }
+}

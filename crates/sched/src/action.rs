@@ -1,0 +1,74 @@
+//! The actions a scheduler can request from the orchestrator.
+
+use knots_sim::ids::{NodeId, PodId};
+use serde::{Deserialize, Serialize};
+
+/// One scheduling decision. The orchestrator applies actions in order;
+/// an action that fails validation (e.g. a race with a crash in the same
+/// tick) is skipped and counted, never fatal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Bind a pending pod to a node.
+    Place {
+        /// The pod.
+        pod: PodId,
+        /// Target node.
+        node: NodeId,
+    },
+    /// Change a pod's memory provision (harvest or grow-back).
+    Resize {
+        /// The pod.
+        pod: PodId,
+        /// New provision, MB.
+        limit_mb: f64,
+    },
+    /// Flip the framework `allow_growth` knob on a pending pod
+    /// (Observation 5: the TF API exposed to the scheduler).
+    ConfigureGrowth {
+        /// The pod.
+        pod: PodId,
+        /// New setting.
+        allow: bool,
+    },
+    /// Suspend a running pod (suspend-and-resume schedulers).
+    Preempt {
+        /// The pod.
+        pod: PodId,
+    },
+    /// Resume a suspended pod on a node.
+    Resume {
+        /// The pod.
+        pod: PodId,
+        /// Target node.
+        node: NodeId,
+    },
+    /// Move a running pod to another node (checkpoint + restore).
+    Migrate {
+        /// The pod.
+        pod: PodId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// Wake a deep-sleeping node.
+    Wake {
+        /// The node.
+        node: NodeId,
+    },
+    /// Put an idle node into deep sleep.
+    Sleep {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_comparable() {
+        let a = Action::Place { pod: PodId(1), node: NodeId(2) };
+        assert_eq!(a, Action::Place { pod: PodId(1), node: NodeId(2) });
+        assert_ne!(a, Action::Wake { node: NodeId(2) });
+    }
+}

@@ -1,0 +1,93 @@
+//! Bin-packing strategies for pod placement.
+//!
+//! Res-Ag and CBP both use first-fit-*decreasing* packing (§IV-B: "We used
+//! first fit decreasing order bin-packing algorithm to pack the pods on the
+//! GPU"); best-fit and worst-fit are provided as ablation alternatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Packing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackStrategy {
+    /// First bin (in the given order) with enough room — the paper's choice
+    /// when items are pre-sorted descending.
+    FirstFit,
+    /// Bin that leaves the least slack.
+    BestFit,
+    /// Bin that leaves the most slack.
+    WorstFit,
+}
+
+/// Pick a bin for an item of the given size.
+///
+/// `bins` is a slice of `(key, free_capacity)` pairs in the preference
+/// order the caller built (e.g. sorted by free memory). Returns the index
+/// of the chosen bin, or `None` when nothing fits.
+pub fn pick_bin<K>(bins: &[(K, f64)], size: f64, strategy: PackStrategy) -> Option<usize> {
+    let fits = |free: f64| size <= free + 1e-9;
+    match strategy {
+        PackStrategy::FirstFit => bins.iter().position(|(_, free)| fits(*free)),
+        PackStrategy::BestFit => bins
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, free))| fits(*free))
+            .min_by(|a, b| {
+                (a.1 .1 - size).partial_cmp(&(b.1 .1 - size)).expect("finite capacities")
+            })
+            .map(|(i, _)| i),
+        PackStrategy::WorstFit => bins
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, free))| fits(*free))
+            .max_by(|a, b| {
+                (a.1 .1 - size).partial_cmp(&(b.1 .1 - size)).expect("finite capacities")
+            })
+            .map(|(i, _)| i),
+    }
+}
+
+/// Sort item indices by size descending (the "decreasing" part of FFD).
+pub fn decreasing_order(sizes: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..sizes.len()).collect();
+    idx.sort_by(|&a, &b| {
+        sizes[b].partial_cmp(&sizes[a]).expect("finite sizes").then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_takes_first_feasible() {
+        let bins = [("a", 2.0), ("b", 10.0), ("c", 6.0)];
+        assert_eq!(pick_bin(&bins, 5.0, PackStrategy::FirstFit), Some(1));
+        assert_eq!(pick_bin(&bins, 1.0, PackStrategy::FirstFit), Some(0));
+        assert_eq!(pick_bin(&bins, 11.0, PackStrategy::FirstFit), None);
+    }
+
+    #[test]
+    fn best_fit_minimizes_slack() {
+        let bins = [("a", 9.0), ("b", 10.0), ("c", 6.0)];
+        assert_eq!(pick_bin(&bins, 5.0, PackStrategy::BestFit), Some(2));
+    }
+
+    #[test]
+    fn worst_fit_maximizes_slack() {
+        let bins = [("a", 9.0), ("b", 10.0), ("c", 6.0)];
+        assert_eq!(pick_bin(&bins, 5.0, PackStrategy::WorstFit), Some(1));
+    }
+
+    #[test]
+    fn exact_fit_is_accepted() {
+        let bins = [("a", 5.0)];
+        assert_eq!(pick_bin(&bins, 5.0, PackStrategy::BestFit), Some(0));
+    }
+
+    #[test]
+    fn decreasing_order_is_stable_for_ties() {
+        assert_eq!(decreasing_order(&[3.0, 9.0, 3.0, 12.0]), vec![3, 1, 0, 2]);
+        assert!(decreasing_order(&[]).is_empty());
+    }
+}

@@ -1,0 +1,501 @@
+//! Correlation-Based Provisioning (CBP) — §IV-C.
+//!
+//! CBP adds three things on top of Res-Ag's sharing:
+//!
+//! 1. **Framework configuration** — pending greedy (TF-default) pods get
+//!    `allow_growth` set through the exposed framework API, eliminating the
+//!    99%-earmark fragmentation of Fig. 4 (Observation 5).
+//! 2. **Harvesting by resizing** — containers of *known* applications are
+//!    provisioned for the common case: the 80th percentile of the app's
+//!    observed memory, not the worst case ("CBP scheduler bin packs the
+//!    uncorrelated applications together by resizing their respective pods
+//!    for a common case (80th percentile consumption)"). Running pods whose
+//!    usage outgrows their provision are resized *up* while capacity exists
+//!    (crash-free growth).
+//! 3. **Correlation-aware placement** — before co-locating, CBP computes the
+//!    Spearman correlation (Eq. 1) between the candidate app's recent memory
+//!    series and each resident pod's series over the sliding window;
+//!    positively-correlated pods (ρ > 0.5) go to *different* GPUs because
+//!    they would peak together.
+//!
+//! Everything is learned online from telemetry ([`AppUsageHistory`]); no
+//! a-priori profiles.
+
+use crate::action::Action;
+use crate::binpack::decreasing_order;
+use crate::context::{app_key, SchedContext};
+use crate::history::AppUsageHistory;
+use crate::traits::Scheduler;
+use knots_forecast::spearman::spearman;
+use knots_sim::ids::{NodeId, PodId};
+use knots_sim::pod::QosClass;
+use knots_telemetry::NodeView;
+use std::collections::HashMap;
+
+/// Tunables (ablated in `knots-bench`).
+#[derive(Debug, Clone, Copy)]
+pub struct CbpConfig {
+    /// The provisioning percentile (paper: 0.80; 0.5/0.6 cause "constant
+    /// resizing which affects the docker performance at scale").
+    pub resize_percentile: f64,
+    /// Multiplicative headroom over the percentile.
+    pub resize_headroom: f64,
+    /// Spearman threshold above which two pods must not share a GPU
+    /// (Algorithm 1 uses 0.5).
+    pub correlation_threshold: f64,
+    /// Minimum overlapping samples required before a correlation is
+    /// trusted.
+    pub min_corr_samples: usize,
+}
+
+impl Default for CbpConfig {
+    fn default() -> Self {
+        CbpConfig {
+            resize_percentile: 0.80,
+            resize_headroom: 1.10,
+            correlation_threshold: 0.5,
+            min_corr_samples: 16,
+        }
+    }
+}
+
+/// The CBP scheduler.
+#[derive(Debug)]
+pub struct Cbp {
+    /// Configuration.
+    pub cfg: CbpConfig,
+    history: AppUsageHistory,
+}
+
+impl Default for Cbp {
+    fn default() -> Self {
+        Cbp { cfg: CbpConfig::default(), history: AppUsageHistory::default() }
+    }
+}
+
+impl Cbp {
+    /// Create with the paper's configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create with explicit tunables.
+    pub fn with_config(cfg: CbpConfig) -> Self {
+        Cbp { cfg, history: AppUsageHistory::default() }
+    }
+
+    /// Read access to the learned history (used by PP and tests).
+    pub fn history(&self) -> &AppUsageHistory {
+        &self.history
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared machinery (also driven by the PP scheduler).
+// ---------------------------------------------------------------------
+
+/// Update per-app statistics from the current snapshot + telemetry.
+pub(crate) fn learn(history: &mut AppUsageHistory, ctx: &SchedContext<'_>) {
+    for node in &ctx.snapshot.nodes {
+        for pod in &node.pods {
+            if pod.pulling {
+                continue;
+            }
+            let app = app_key(&pod.name);
+            history.observe_mem(&app, pod.usage.mem_mb);
+            history.observe_sm(&app, pod.usage.sm_frac.clamp(0.0, 1.0));
+        }
+    }
+    // Refresh one reference series per app from the longest-running pod we
+    // can see (cheap: one TSDB query per resident pod at most).
+    let mut best: HashMap<String, (usize, PodId)> = HashMap::new();
+    for node in &ctx.snapshot.nodes {
+        for pod in &node.pods {
+            let app = app_key(&pod.name);
+            let len = ctx.tsdb.pod_len(pod.id);
+            let e = best.entry(app).or_insert((0, pod.id));
+            if len > e.0 {
+                *e = (len, pod.id);
+            }
+        }
+    }
+    for (app, (len, pod)) in best {
+        if len >= 8 {
+            let series = ctx.tsdb.pod_mem_series(pod, ctx.now, ctx.window);
+            history.set_reference(&app, series);
+        }
+    }
+}
+
+/// `ConfigureGrowth` for every pending TF-greedy pod.
+pub(crate) fn growth_actions(ctx: &SchedContext<'_>) -> Vec<Action> {
+    ctx.pending
+        .iter()
+        .filter(|p| p.greedy_memory && !p.allow_growth)
+        .map(|p| Action::ConfigureGrowth { pod: p.id, allow: true })
+        .collect()
+}
+
+/// Resize pending pods of known apps to the common-case provision, and
+/// grow running pods that have outgrown their provision.
+pub(crate) fn resize_actions(
+    history: &AppUsageHistory,
+    cfg: &CbpConfig,
+    ctx: &SchedContext<'_>,
+) -> Vec<Action> {
+    let mut actions = Vec::new();
+    // Pending: provision for the observed common case.
+    for p in ctx.pending {
+        if !history.is_known(&p.app) {
+            continue;
+        }
+        if let Some(q) = history.mem_quantile(&p.app, cfg.resize_percentile) {
+            // Harvesting shrinks an over-stated request toward the app's
+            // common-case footprint; it never inflates a small job to the
+            // app-wide quantile (per-job growth is handled at runtime by
+            // the crash-free grow-back below).
+            let target = (q * cfg.resize_headroom).min(p.request_mb).clamp(64.0, 16_384.0);
+            if target < p.limit_mb * 0.95 {
+                actions.push(Action::Resize { pod: p.id, limit_mb: target });
+            }
+        }
+    }
+    // Running: crash-free grow-back during peaks (the provision chases real
+    // usage so that co-location accounting stays honest).
+    for node in &ctx.snapshot.nodes {
+        for pod in &node.pods {
+            if pod.usage.mem_mb > pod.limit_mb * 1.02 {
+                let target = (pod.usage.mem_mb * 1.05).min(16_384.0);
+                actions.push(Action::Resize { pod: pod.id, limit_mb: target });
+            }
+        }
+    }
+    actions
+}
+
+/// Expected steady SM demand of an app (its observed 80th percentile), or
+/// a conservative default when unknown.
+pub(crate) fn expected_sm(history: &AppUsageHistory, app: &str) -> f64 {
+    history.sm_quantile(app, 0.8).unwrap_or(0.5)
+}
+
+/// Compute-headroom guard for *batch* co-location: Knots harvests memory,
+/// it does not oversubscribe SMs — stacking two compute-bound jobs would
+/// halve both (the interference §II's Observation 2 warns about). The
+/// node's load is the sum of its residents' *steady* (80th-percentile)
+/// demands, not the instantaneous sample — otherwise a compute-bound job
+/// sampled during its input phase looks co-locatable. A small overshoot is
+/// tolerated because phases rarely align.
+pub(crate) fn sm_headroom_ok(history: &AppUsageHistory, app: &str, node: &NodeView) -> bool {
+    let resident_load: f64 = node
+        .pods
+        .iter()
+        .map(|p| {
+            history
+                .sm_quantile(&app_key(&p.name), 0.8)
+                .unwrap_or(p.usage.sm_frac)
+        })
+        .sum();
+    resident_load + expected_sm(history, app) <= 1.05
+}
+
+/// Can `app` co-locate with everything resident on `node`?
+///
+/// Rejects when the app's reference memory series is positively correlated
+/// (Spearman ρ > threshold) with any resident pod's recent series.
+pub(crate) fn correlation_ok(
+    history: &AppUsageHistory,
+    cfg: &CbpConfig,
+    ctx: &SchedContext<'_>,
+    app: &str,
+    node: &NodeView,
+    resident_series: &mut HashMap<PodId, Vec<f64>>,
+) -> bool {
+    let Some(reference) = history.reference(app) else {
+        return true; // nothing known yet: co-locate optimistically
+    };
+    for pod in &node.pods {
+        let series = resident_series
+            .entry(pod.id)
+            .or_insert_with(|| ctx.tsdb.pod_mem_series(pod.id, ctx.now, ctx.window));
+        let n = reference.len().min(series.len());
+        if n < cfg.min_corr_samples {
+            continue;
+        }
+        let rho = spearman(&reference[reference.len() - n..], &series[series.len() - n..]);
+        if rho > cfg.correlation_threshold {
+            return false;
+        }
+    }
+    true
+}
+
+/// The provision a pending pod will occupy, accounting for a resize emitted
+/// earlier in the same action batch.
+pub(crate) fn effective_limit(actions: &[Action], pod: PodId, fallback: f64) -> f64 {
+    actions
+        .iter()
+        .rev()
+        .find_map(|a| match a {
+            Action::Resize { pod: p, limit_mb } if *p == pod => Some(*limit_mb),
+            _ => None,
+        })
+        .unwrap_or(fallback)
+}
+
+/// Pending order: latency-critical pods first (FCFS among them), then batch
+/// pods largest-first (the FFD order of §IV-D's `Sort_Apps_by_Memory_Size`).
+pub(crate) fn service_order(ctx: &SchedContext<'_>) -> Vec<usize> {
+    let mut lc: Vec<usize> = Vec::new();
+    let mut batch: Vec<usize> = Vec::new();
+    for (i, p) in ctx.pending.iter().enumerate() {
+        if matches!(p.qos, QosClass::LatencyCritical { .. }) {
+            lc.push(i);
+        } else {
+            batch.push(i);
+        }
+    }
+    let sizes: Vec<f64> = batch.iter().map(|&i| ctx.pending[i].limit_mb).collect();
+    let batch_sorted: Vec<usize> = decreasing_order(&sizes).into_iter().map(|k| batch[k]).collect();
+    lc.into_iter().chain(batch_sorted).collect()
+}
+
+impl Scheduler for Cbp {
+    fn name(&self) -> &'static str {
+        "CBP"
+    }
+
+    fn wants_cluster_auto_sleep(&self) -> bool {
+        // CBP spreads correlated pods across GPUs and keeps the fleet warm
+        // for latency; the paper measures its power 15-25% above PP/Res-Ag
+        // (Fig. 11a) for exactly this reason.
+        false
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<Action> {
+        learn(&mut self.history, ctx);
+        let mut actions = growth_actions(ctx);
+        actions.extend(resize_actions(&self.history, &self.cfg, ctx));
+
+        // Candidate nodes ordered by *measured* free memory, most free
+        // first (the real-time signal Knots adds over Res-Ag).
+        let order = ctx.snapshot.nodes_by_free_memory();
+        let mut free: HashMap<NodeId, (f64, f64)> = ctx
+            .snapshot
+            .active_nodes()
+            .map(|n| (n.id, (n.free_provision_mb, n.free_measured_mb)))
+            .collect();
+        let mut resident_series: HashMap<PodId, Vec<f64>> = HashMap::new();
+        let mut unplaced = false;
+
+        for i in service_order(ctx) {
+            let pod = &ctx.pending[i];
+            let limit = effective_limit(&actions, pod.id, pod.limit_mb);
+            let mut placed = false;
+            for node_id in &order {
+                let node = ctx.snapshot.node(*node_id).expect("node in snapshot");
+                let (prov, meas) = free[node_id];
+                if limit > prov + 1e-9 || limit > meas + 1e-9 {
+                    continue;
+                }
+                if !node.pods.is_empty() && !sm_headroom_ok(&self.history, &pod.app, node) {
+                    continue;
+                }
+                if !correlation_ok(&self.history, &self.cfg, ctx, &pod.app, node, &mut resident_series)
+                {
+                    continue;
+                }
+                actions.push(Action::Place { pod: pod.id, node: *node_id });
+                free.insert(*node_id, (prov - limit, meas - limit));
+                placed = true;
+                break;
+            }
+            if !placed {
+                unplaced = true;
+            }
+        }
+        if unplaced {
+            if let Some(node) = ctx.snapshot.sleeping_nodes().next() {
+                actions.push(Action::Wake { node });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ctx, node_view, pending, pending_lc, snap};
+    use knots_sim::resources::Usage;
+    use knots_sim::time::{SimDuration, SimTime};
+    use knots_telemetry::TimeSeriesDb;
+
+    /// Feed the scheduler enough same-app telemetry that the app is known.
+    fn teach(s: &mut Cbp, app: &str, samples: &[f64]) {
+        for &m in samples {
+            s.history.observe_mem(app, m);
+        }
+        s.history.set_reference(app, samples.to_vec());
+    }
+
+    #[test]
+    fn configures_growth_for_greedy_pods() {
+        let s0 = snap(vec![node_view(0, 0, false)]);
+        let pend = vec![pending_lc(1, "face", 1500.0, true)];
+        let db = TimeSeriesDb::default();
+        let mut s = Cbp::new();
+        let acts = s.decide(&ctx(&s0, &pend, &[], &db));
+        assert!(acts.contains(&Action::ConfigureGrowth { pod: knots_sim::ids::PodId(1), allow: true }));
+    }
+
+    #[test]
+    fn resizes_known_apps_to_p80() {
+        let s0 = snap(vec![node_view(0, 0, false)]);
+        // App "lud" observed at 100..=199 MB; request was 8000 MB.
+        let pend = vec![pending(1, "lud-7", 8000.0)];
+        let db = TimeSeriesDb::default();
+        let mut s = Cbp::new();
+        let samples: Vec<f64> = (0..100).map(|i| 100.0 + i as f64).collect();
+        teach(&mut s, "lud", &samples);
+        let acts = s.decide(&ctx(&s0, &pend, &[], &db));
+        let resize = acts.iter().find_map(|a| match a {
+            Action::Resize { limit_mb, .. } => Some(*limit_mb),
+            _ => None,
+        });
+        let target = resize.expect("resize emitted");
+        // p80 of 100..199 ≈ 179.2, ×1.1 headroom ≈ 197.
+        assert!((target - 197.0).abs() < 5.0, "target {target}");
+        // And the pod is placed using the *resized* provision.
+        assert!(acts.iter().any(|a| matches!(a, Action::Place { .. })));
+    }
+
+    #[test]
+    fn unknown_apps_keep_their_request() {
+        let s0 = snap(vec![node_view(0, 0, false)]);
+        let pend = vec![pending(1, "mystery-1", 8000.0)];
+        let db = TimeSeriesDb::default();
+        let mut s = Cbp::new();
+        let acts = s.decide(&ctx(&s0, &pend, &[], &db));
+        assert!(!acts.iter().any(|a| matches!(a, Action::Resize { .. })));
+    }
+
+    #[test]
+    fn positively_correlated_apps_split_across_nodes() {
+        // Node 0 hosts a resident pod whose memory series ramps up; the
+        // candidate app's reference ramps identically (ρ = 1). CBP must
+        // place the candidate on node 1 instead.
+        let mut nv0 = node_view(0, 1, false);
+        let resident_id = nv0.pods[0].id;
+        nv0.pods[0].name = "rampA-1".into();
+        let nv1 = node_view(1, 0, false);
+        let s0 = snap(vec![nv0, nv1]);
+        let db = TimeSeriesDb::default();
+        let ramp: Vec<f64> = (0..40).map(|i| 100.0 + 10.0 * i as f64).collect();
+        for (i, &m) in ramp.iter().enumerate() {
+            db.push_pod(resident_id, SimTime::from_millis(i as u64 * 10), Usage::new(0.2, m, 0.0, 0.0));
+        }
+        let mut s = Cbp::new();
+        teach(&mut s, "rampB", &ramp);
+        // Make sure timestamps fall inside the query window.
+        let mut snapshot = s0;
+        snapshot.at = SimTime::from_millis(400);
+        let pend = vec![pending(1, "rampB-1", 500.0)];
+        let c = SchedContext {
+            now: snapshot.at,
+            snapshot: &snapshot,
+            pending: &pend,
+            suspended: &[],
+            tsdb: &db,
+            window: SimDuration::from_secs(5),
+        };
+        let acts = s.decide(&c);
+        let place = acts.iter().find_map(|a| match a {
+            Action::Place { node, .. } => Some(*node),
+            _ => None,
+        });
+        assert_eq!(place, Some(knots_sim::ids::NodeId(1)), "acts: {acts:?}");
+    }
+
+    #[test]
+    fn uncorrelated_apps_co_locate() {
+        let mut nv0 = node_view(0, 1, false);
+        let resident_id = nv0.pods[0].id;
+        // Make node 0 the most-free node so co-location is preferred.
+        nv0.free_measured_mb = 15_000.0;
+        nv0.free_provision_mb = 15_000.0;
+        let s0 = snap(vec![nv0]);
+        let db = TimeSeriesDb::default();
+        let ramp_up: Vec<f64> = (0..40).map(|i| 100.0 + 10.0 * i as f64).collect();
+        let ramp_down: Vec<f64> = ramp_up.iter().rev().copied().collect();
+        for (i, &m) in ramp_up.iter().enumerate() {
+            db.push_pod(resident_id, SimTime::from_millis(i as u64 * 10), Usage::new(0.2, m, 0.0, 0.0));
+        }
+        let mut s = Cbp::new();
+        teach(&mut s, "anti", &ramp_down);
+        let mut snapshot = s0;
+        snapshot.at = SimTime::from_millis(400);
+        let pend = vec![pending(1, "anti-1", 500.0)];
+        let c = SchedContext {
+            now: snapshot.at,
+            snapshot: &snapshot,
+            pending: &pend,
+            suspended: &[],
+            tsdb: &db,
+            window: SimDuration::from_secs(5),
+        };
+        let acts = s.decide(&c);
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::Place { .. })),
+            "negatively-correlated pods should co-locate: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_check_uses_measured_memory_too() {
+        // Free by provision but hogged by measurement: CBP must refuse
+        // (unlike Res-Ag).
+        let mut nv = node_view(0, 1, false);
+        nv.free_provision_mb = 12_000.0;
+        nv.free_measured_mb = 200.0;
+        let s0 = snap(vec![nv]);
+        let pend = vec![pending(1, "x", 1_500.0)];
+        let db = TimeSeriesDb::default();
+        let mut s = Cbp::new();
+        let acts = s.decide(&ctx(&s0, &pend, &[], &db));
+        assert!(!acts.iter().any(|a| matches!(a, Action::Place { .. })));
+    }
+
+    #[test]
+    fn lc_pods_are_served_before_batch() {
+        let s0 = snap(vec![node_view(0, 0, false)]);
+        let pend = vec![pending(1, "big-batch", 9_000.0), pending_lc(2, "face", 1_000.0, false)];
+        let db = TimeSeriesDb::default();
+        let mut s = Cbp::new();
+        let acts = s.decide(&ctx(&s0, &pend, &[], &db));
+        let places: Vec<PodId> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Place { pod, .. } => Some(*pod),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(places.first(), Some(&PodId(2)), "LC first: {places:?}");
+    }
+
+    #[test]
+    fn grows_running_pod_past_its_provision() {
+        let mut nv = node_view(0, 1, false);
+        nv.pods[0].limit_mb = 500.0;
+        nv.pods[0].usage = Usage::new(0.3, 900.0, 0.0, 0.0);
+        let s0 = snap(vec![nv]);
+        let db = TimeSeriesDb::default();
+        let mut s = Cbp::new();
+        let acts = s.decide(&ctx(&s0, &[], &[], &db));
+        let resize = acts.iter().find_map(|a| match a {
+            Action::Resize { limit_mb, .. } => Some(*limit_mb),
+            _ => None,
+        });
+        assert!((resize.unwrap() - 945.0).abs() < 1.0);
+    }
+}

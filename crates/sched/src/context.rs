@@ -1,0 +1,97 @@
+//! The read-only context handed to a scheduler on every heartbeat.
+
+use knots_sim::ids::PodId;
+use knots_sim::pod::QosClass;
+use knots_sim::time::{SimDuration, SimTime};
+use knots_telemetry::{ClusterSnapshot, TimeSeriesDb};
+
+/// What the scheduler knows about one pending pod.
+///
+/// Deliberately *excludes* the ground-truth resource profile: a scheduler
+/// only sees the user's request, the QoS class, and whatever telemetry
+/// history exists for the same application (no a-priori profiling, §I).
+#[derive(Debug, Clone)]
+pub struct PendingPodView {
+    /// Pod id.
+    pub id: PodId,
+    /// Full pod name (e.g. `"lud-42"`).
+    pub name: String,
+    /// Application key — the name with any trailing instance counter
+    /// stripped (`"lud"`), used for per-app telemetry history.
+    pub app: String,
+    /// QoS class.
+    pub qos: QosClass,
+    /// User-stated memory request, MB.
+    pub request_mb: f64,
+    /// Current provision, MB (equals the request unless already resized).
+    pub limit_mb: f64,
+    /// Whether the pod's framework defaults to greedy memory earmarking.
+    pub greedy_memory: bool,
+    /// Whether `allow_growth` has been set.
+    pub allow_growth: bool,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Crashes suffered so far (relaunched pods carry their history).
+    pub crashes: u32,
+}
+
+/// What the scheduler knows about one suspended pod.
+#[derive(Debug, Clone)]
+pub struct SuspendedPodView {
+    /// Pod id.
+    pub id: PodId,
+    /// Application key.
+    pub app: String,
+    /// QoS class.
+    pub qos: QosClass,
+    /// Current provision, MB.
+    pub limit_mb: f64,
+    /// Attained service (for LAS ordering).
+    pub attained_service_secs: f64,
+    /// Submission time.
+    pub arrival: SimTime,
+}
+
+/// Everything a scheduler sees each heartbeat.
+pub struct SchedContext<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// The aggregator's cluster snapshot.
+    pub snapshot: &'a ClusterSnapshot,
+    /// Pending pods in queue order (FCFS order; policies may reorder).
+    pub pending: &'a [PendingPodView],
+    /// Suspended pods (for suspend-and-resume policies).
+    pub suspended: &'a [SuspendedPodView],
+    /// The telemetry store, for per-node and per-pod history queries.
+    pub tsdb: &'a TimeSeriesDb,
+    /// The sliding-window length `d` (§IV-C; default 5 s).
+    pub window: SimDuration,
+}
+
+/// Derive the application key from a pod name: strips one trailing
+/// `-<digits>` instance suffix (`"lud-42"` → `"lud"`, `"face"` → `"face"`,
+/// `"dli-3-face"` → `"dli-3-face"` is *not* stripped to keep dli ids — use
+/// explicit naming for those).
+pub fn app_key(name: &str) -> String {
+    match name.rsplit_once('-') {
+        Some((head, tail)) if !head.is_empty() && tail.chars().all(|c| c.is_ascii_digit()) => {
+            head.to_string()
+        }
+        _ => name.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_key_strips_instance_suffix() {
+        assert_eq!(app_key("lud-42"), "lud");
+        assert_eq!(app_key("face"), "face");
+        assert_eq!(app_key("streamcluster-0"), "streamcluster");
+        assert_eq!(app_key("dlt-17"), "dlt");
+        assert_eq!(app_key("a-b"), "a-b");
+        assert_eq!(app_key("-3"), "-3");
+    }
+}

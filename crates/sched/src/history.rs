@@ -1,0 +1,192 @@
+//! Online per-application usage history.
+//!
+//! Kube-Knots performs "QoS-aware container co-locations ... without a
+//! priori knowledge of incoming applications" (§I): nothing is profiled
+//! offline. Instead, the GPU-aware schedulers learn each application's
+//! memory behaviour from the telemetry of pods that already ran — the
+//! "Container Resource Usage Profiles" box of Fig. 5. This module is that
+//! memory: bounded per-app sample reservoirs supporting the two queries CBP
+//! needs (the 80th-percentile footprint to resize to, and a recent usage
+//! series to correlate against).
+
+use knots_forecast::stats::percentile;
+use std::collections::{HashMap, VecDeque};
+
+/// Bounded history for one application.
+#[derive(Debug, Default, Clone)]
+struct AppStats {
+    /// Recent memory observations across all pods of this app, MB.
+    mem_samples: VecDeque<f64>,
+    /// Recent SM-share observations across all pods of this app.
+    sm_samples: VecDeque<f64>,
+    /// The most recent contiguous memory series of a single pod (for
+    /// correlation checks).
+    reference: Vec<f64>,
+    /// Largest memory observation ever seen, MB.
+    peak_mb: f64,
+    /// Total observations.
+    count: u64,
+}
+
+/// Per-application usage history learned online from telemetry.
+#[derive(Debug)]
+pub struct AppUsageHistory {
+    cap: usize,
+    apps: HashMap<String, AppStats>,
+}
+
+impl Default for AppUsageHistory {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl AppUsageHistory {
+    /// Create with a per-app sample cap.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 8);
+        AppUsageHistory { cap, apps: HashMap::new() }
+    }
+
+    /// Record one memory observation for an app.
+    pub fn observe_mem(&mut self, app: &str, mem_mb: f64) {
+        if !mem_mb.is_finite() || mem_mb < 0.0 {
+            return;
+        }
+        let s = self.apps.entry(app.to_string()).or_default();
+        if s.mem_samples.len() == self.cap {
+            s.mem_samples.pop_front();
+        }
+        s.mem_samples.push_back(mem_mb);
+        s.peak_mb = s.peak_mb.max(mem_mb);
+        s.count += 1;
+    }
+
+    /// Record one SM-share observation for an app.
+    pub fn observe_sm(&mut self, app: &str, sm_frac: f64) {
+        if !sm_frac.is_finite() || !(0.0..=1.0).contains(&sm_frac) {
+            return;
+        }
+        let s = self.apps.entry(app.to_string()).or_default();
+        if s.sm_samples.len() == self.cap {
+            s.sm_samples.pop_front();
+        }
+        s.sm_samples.push_back(sm_frac);
+    }
+
+    /// The q-quantile of the app's observed SM share.
+    pub fn sm_quantile(&self, app: &str, q: f64) -> Option<f64> {
+        let s = self.apps.get(app)?;
+        if s.sm_samples.is_empty() {
+            return None;
+        }
+        let v: Vec<f64> = s.sm_samples.iter().copied().collect();
+        Some(percentile(&v, q))
+    }
+
+    /// Replace the app's reference series (one pod's recent memory series).
+    pub fn set_reference(&mut self, app: &str, series: Vec<f64>) {
+        if series.is_empty() {
+            return;
+        }
+        self.apps.entry(app.to_string()).or_default().reference = series;
+    }
+
+    /// Whether enough history exists to trust a resize decision. The
+    /// threshold guards against resizing on a handful of startup samples.
+    pub fn is_known(&self, app: &str) -> bool {
+        self.apps.get(app).is_some_and(|s| s.count >= 32)
+    }
+
+    /// The q-quantile of the app's observed memory, MB.
+    pub fn mem_quantile(&self, app: &str, q: f64) -> Option<f64> {
+        let s = self.apps.get(app)?;
+        if s.mem_samples.is_empty() {
+            return None;
+        }
+        let v: Vec<f64> = s.mem_samples.iter().copied().collect();
+        Some(percentile(&v, q))
+    }
+
+    /// Largest memory observation, MB.
+    pub fn mem_peak(&self, app: &str) -> Option<f64> {
+        self.apps.get(app).map(|s| s.peak_mb)
+    }
+
+    /// The app's reference memory series for correlation checks.
+    pub fn reference(&self, app: &str) -> Option<&[f64]> {
+        let s = self.apps.get(app)?;
+        if s.reference.is_empty() {
+            None
+        } else {
+            Some(&s.reference)
+        }
+    }
+
+    /// Number of tracked applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True when no app has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_from_observations() {
+        let mut h = AppUsageHistory::new(64);
+        for i in 0..100 {
+            h.observe_mem("lud", 100.0 + i as f64);
+        }
+        // Cap keeps the most recent 64: values 136..=199.
+        let p50 = h.mem_quantile("lud", 0.5).unwrap();
+        assert!((p50 - 167.5).abs() < 1.0, "p50 {p50}");
+        assert_eq!(h.mem_peak("lud"), Some(199.0));
+        assert!(h.is_known("lud"));
+        assert!(!h.is_known("unknown"));
+    }
+
+    #[test]
+    fn few_samples_are_not_trusted() {
+        let mut h = AppUsageHistory::default();
+        for _ in 0..10 {
+            h.observe_mem("x", 50.0);
+        }
+        assert!(!h.is_known("x"));
+        assert!(h.mem_quantile("x", 0.8).is_some());
+    }
+
+    #[test]
+    fn reference_series_round_trip() {
+        let mut h = AppUsageHistory::default();
+        assert!(h.reference("a").is_none());
+        h.set_reference("a", vec![1.0, 2.0, 3.0]);
+        assert_eq!(h.reference("a").unwrap(), &[1.0, 2.0, 3.0]);
+        h.set_reference("a", vec![]);
+        assert_eq!(h.reference("a").unwrap().len(), 3, "empty update ignored");
+    }
+
+    #[test]
+    fn invalid_observations_ignored() {
+        let mut h = AppUsageHistory::default();
+        h.observe_mem("a", f64::NAN);
+        h.observe_mem("a", -5.0);
+        assert!(h.mem_quantile("a", 0.5).is_none() || h.is_empty() || h.len() <= 1);
+        assert!(!h.is_known("a"));
+    }
+
+    #[test]
+    fn len_counts_apps() {
+        let mut h = AppUsageHistory::default();
+        assert!(h.is_empty());
+        h.observe_mem("a", 1.0);
+        h.observe_mem("b", 2.0);
+        assert_eq!(h.len(), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Shared helpers for scheduler unit tests (compiled only under `cfg(test)`).
+
+use crate::context::{app_key, PendingPodView, SchedContext, SuspendedPodView};
+use knots_sim::ids::{NodeId, PodId};
+use knots_sim::metrics::GpuSample;
+use knots_sim::pod::QosClass;
+use knots_sim::resources::{GpuModel, Usage};
+use knots_sim::time::{SimDuration, SimTime};
+use knots_telemetry::{ClusterSnapshot, NodeView, PodView, TimeSeriesDb};
+
+/// A node view with `pods` generic resident batch pods.
+pub fn node_view(id: usize, pods: usize, asleep: bool) -> NodeView {
+    let pod_views: Vec<PodView> = (0..pods)
+        .map(|i| PodView {
+            id: PodId(1000 + id as u64 * 100 + i as u64),
+            name: format!("r-{i}"),
+            qos: QosClass::Batch,
+            limit_mb: 1000.0,
+            request_mb: 1000.0,
+            usage: Usage::new(0.3, 1000.0, 0.0, 0.0),
+            pulling: false,
+            attained_service_secs: 0.0,
+        })
+        .collect();
+    let used: f64 = pod_views.iter().map(|p| p.usage.mem_mb).sum();
+    let provisioned: f64 = pod_views.iter().map(|p| p.limit_mb).sum();
+    NodeView {
+        id: NodeId(id),
+        model: GpuModel::P100,
+        capacity_mb: 16_384.0,
+        free_measured_mb: 16_384.0 - used,
+        free_provision_mb: 16_384.0 - provisioned,
+        sample: GpuSample { mem_used_mb: used, ..Default::default() },
+        pods: pod_views,
+        asleep,
+        waking: false,
+    }
+}
+
+/// A pending batch pod view.
+pub fn pending(id: u64, name: &str, request: f64) -> PendingPodView {
+    PendingPodView {
+        id: PodId(id),
+        name: name.to_string(),
+        app: app_key(name),
+        qos: QosClass::Batch,
+        request_mb: request,
+        limit_mb: request,
+        greedy_memory: false,
+        allow_growth: false,
+        arrival: SimTime::ZERO,
+        crashes: 0,
+    }
+}
+
+/// A pending latency-critical pod view.
+pub fn pending_lc(id: u64, name: &str, request: f64, greedy: bool) -> PendingPodView {
+    PendingPodView { qos: QosClass::latency_critical(), greedy_memory: greedy, ..pending(id, name, request) }
+}
+
+/// Assemble a context.
+pub fn ctx<'a>(
+    snapshot: &'a ClusterSnapshot,
+    pending: &'a [PendingPodView],
+    suspended: &'a [SuspendedPodView],
+    tsdb: &'a TimeSeriesDb,
+) -> SchedContext<'a> {
+    SchedContext {
+        now: snapshot.at,
+        snapshot,
+        pending,
+        suspended,
+        tsdb,
+        window: SimDuration::from_secs(5),
+    }
+}
+
+/// A snapshot from node views.
+pub fn snap(nodes: Vec<NodeView>) -> ClusterSnapshot {
+    ClusterSnapshot { at: SimTime::ZERO, nodes }
+}

@@ -1,0 +1,265 @@
+//! A Tiresias-style baseline (§VI-E, Fig. 12, Table V).
+//!
+//! Tiresias (NSDI '19) schedules DL training with **discretized
+//! Least-Attained-Service (LAS)**: jobs that have consumed little GPU time
+//! get priority, implemented as a two-level queue with preemption. Short
+//! jobs (and fresh arrivals, including inference) therefore jump ahead of
+//! long-running training — good median JCTs and a strong 99th percentile —
+//! at the price of preemption churn that still delays latency-critical
+//! queries during load surges ("performs job-preemptions to prioritize
+//! other short jobs ... Tiresias incurs ... SLO violations when compared to
+//! CBP+PP").
+
+use crate::action::Action;
+use crate::context::SchedContext;
+use crate::traits::Scheduler;
+use knots_sim::ids::{NodeId, PodId};
+use knots_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Tiresias tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct TiresiasConfig {
+    /// Attained-service boundary between the high- and low-priority queues
+    /// (the discretized LAS threshold).
+    pub queue_threshold_secs: f64,
+    /// Maximum concurrently running pods per node.
+    pub slots_per_node: usize,
+    /// Minimum spacing between preemptions issued for the same node.
+    pub preempt_cooldown: SimDuration,
+}
+
+impl Default for TiresiasConfig {
+    fn default() -> Self {
+        TiresiasConfig {
+            queue_threshold_secs: 60.0,
+            // One DL job per GPU (Tiresias preempts rather than co-runs).
+            slots_per_node: 1,
+            preempt_cooldown: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// The Tiresias-style LAS scheduler.
+#[derive(Debug)]
+pub struct Tiresias {
+    /// Configuration.
+    pub cfg: TiresiasConfig,
+    last_preempt: HashMap<NodeId, SimTime>,
+}
+
+impl Default for Tiresias {
+    fn default() -> Self {
+        Tiresias { cfg: TiresiasConfig::default(), last_preempt: HashMap::new() }
+    }
+}
+
+impl Tiresias {
+    /// Create with default tunables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create with explicit tunables.
+    pub fn with_config(cfg: TiresiasConfig) -> Self {
+        Tiresias { cfg, last_preempt: HashMap::new() }
+    }
+}
+
+/// A unified waiting-work item: pending or suspended.
+#[derive(Debug, Clone, Copy)]
+struct Waiting {
+    pod: PodId,
+    attained: f64,
+    arrival: SimTime,
+    limit_mb: f64,
+    suspended: bool,
+}
+
+impl Scheduler for Tiresias {
+    fn name(&self) -> &'static str {
+        "Tiresias"
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+
+        // LAS order over all waiting work: least attained service first,
+        // FIFO tie-break.
+        let mut waiting: Vec<Waiting> = ctx
+            .pending
+            .iter()
+            .map(|p| Waiting {
+                pod: p.id,
+                attained: 0.0,
+                arrival: p.arrival,
+                limit_mb: p.limit_mb,
+                suspended: false,
+            })
+            .chain(ctx.suspended.iter().map(|s| Waiting {
+                pod: s.id,
+                attained: s.attained_service_secs,
+                arrival: s.arrival,
+                limit_mb: s.limit_mb,
+                suspended: true,
+            }))
+            .collect();
+        waiting.sort_by(|a, b| {
+            a.attained.partial_cmp(&b.attained).expect("finite").then(a.arrival.cmp(&b.arrival))
+        });
+
+        let mut load: HashMap<NodeId, (usize, f64)> = ctx
+            .snapshot
+            .active_nodes()
+            .map(|n| (n.id, (n.pods.len(), n.free_provision_mb)))
+            .collect();
+
+        let mut need_capacity = false;
+        for w in &waiting {
+            let pick = load
+                .iter_mut()
+                .filter(|(_, (cnt, free))| *cnt < self.cfg.slots_per_node && *free >= w.limit_mb)
+                .min_by_key(|(_, (cnt, _))| *cnt)
+                .map(|(n, e)| (*n, e));
+            match pick {
+                Some((node, entry)) => {
+                    actions.push(if w.suspended {
+                        Action::Resume { pod: w.pod, node }
+                    } else {
+                        Action::Place { pod: w.pod, node }
+                    });
+                    entry.0 += 1;
+                    entry.1 -= w.limit_mb;
+                }
+                None if w.attained < self.cfg.queue_threshold_secs => {
+                    need_capacity = true;
+                    // High-priority work is starving: preempt the running
+                    // pod with the MOST attained service that already sits
+                    // in the low-priority band, cooldown permitting.
+                    let victim = ctx
+                        .snapshot
+                        .active_nodes()
+                        .filter(|n| {
+                            self.last_preempt
+                                .get(&n.id)
+                                .is_none_or(|t| ctx.now.saturating_since(*t) >= self.cfg.preempt_cooldown)
+                        })
+                        .flat_map(|n| n.pods.iter().map(move |p| (n.id, p)))
+                        .filter(|(_, p)| {
+                            !p.pulling && p.attained_service_secs > self.cfg.queue_threshold_secs
+                        })
+                        .max_by(|(_, a), (_, b)| {
+                            a.attained_service_secs
+                                .partial_cmp(&b.attained_service_secs)
+                                .expect("finite")
+                        });
+                    if let Some((node, p)) = victim {
+                        actions.push(Action::Preempt { pod: p.id });
+                        self.last_preempt.insert(node, ctx.now);
+                    }
+                }
+                None => need_capacity = true,
+            }
+        }
+
+        if need_capacity {
+            if let Some(node) = ctx.snapshot.sleeping_nodes().next() {
+                actions.push(Action::Wake { node });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SuspendedPodView;
+    use crate::testutil::{ctx, node_view, pending, snap};
+    use knots_sim::pod::QosClass;
+    use knots_telemetry::TimeSeriesDb;
+
+    fn susp(id: u64, attained: f64) -> SuspendedPodView {
+        SuspendedPodView {
+            id: PodId(id),
+            app: "dlt".into(),
+            qos: QosClass::Batch,
+            limit_mb: 1_000.0,
+            attained_service_secs: attained,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn least_attained_service_goes_first() {
+        // One free slot; a fresh pending pod (attained 0) must beat a
+        // suspended pod with attained service.
+        let s0 = snap(vec![node_view(0, 1, false)]);
+        let pend = vec![pending(1, "dli-5", 500.0)];
+        let suspended = vec![susp(2, 500.0)];
+        let db = TimeSeriesDb::default();
+        let mut t =
+            Tiresias::with_config(TiresiasConfig { slots_per_node: 2, ..Default::default() });
+        let acts = t.decide(&ctx(&s0, &pend, &suspended, &db));
+        assert_eq!(acts.first(), Some(&Action::Place { pod: PodId(1), node: NodeId(0) }));
+    }
+
+    #[test]
+    fn preempts_long_running_job_for_fresh_arrival() {
+        let mut nv = node_view(0, 2, false);
+        nv.pods[0].attained_service_secs = 500.0;
+        nv.pods[1].attained_service_secs = 2_000.0;
+        let s0 = snap(vec![nv.clone()]);
+        let pend = vec![pending(1, "dli-9", 500.0)];
+        let db = TimeSeriesDb::default();
+        let mut t = Tiresias::new();
+        let acts = t.decide(&ctx(&s0, &pend, &[], &db));
+        // The 2000 s job (most attained) is the victim.
+        assert!(
+            acts.contains(&Action::Preempt { pod: nv.pods[1].id }),
+            "acts: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn preemption_respects_cooldown() {
+        let mut nv = node_view(0, 2, false);
+        nv.pods[0].attained_service_secs = 500.0;
+        nv.pods[1].attained_service_secs = 2_000.0;
+        let s0 = snap(vec![nv]);
+        let pend = vec![pending(1, "dli-9", 500.0)];
+        let db = TimeSeriesDb::default();
+        let mut t = Tiresias::new();
+        let first = t.decide(&ctx(&s0, &pend, &[], &db));
+        assert!(first.iter().any(|a| matches!(a, Action::Preempt { .. })));
+        let second = t.decide(&ctx(&s0, &pend, &[], &db));
+        assert!(
+            !second.iter().any(|a| matches!(a, Action::Preempt { .. })),
+            "cooldown must suppress immediate re-preemption"
+        );
+    }
+
+    #[test]
+    fn short_jobs_never_preempted() {
+        // All running pods are still in the high-priority band: no victim.
+        let mut nv = node_view(0, 2, false);
+        nv.pods[0].attained_service_secs = 5.0;
+        nv.pods[1].attained_service_secs = 10.0;
+        let s0 = snap(vec![nv]);
+        let pend = vec![pending(1, "dli-9", 500.0)];
+        let db = TimeSeriesDb::default();
+        let mut t = Tiresias::new();
+        let acts = t.decide(&ctx(&s0, &pend, &[], &db));
+        assert!(!acts.iter().any(|a| matches!(a, Action::Preempt { .. })));
+    }
+
+    #[test]
+    fn wakes_sleepers_under_pressure() {
+        let s0 = snap(vec![node_view(0, 2, false), node_view(1, 0, true)]);
+        let pend = vec![pending(1, "dlt-1", 500.0)];
+        let db = TimeSeriesDb::default();
+        let mut t = Tiresias::new();
+        let acts = t.decide(&ctx(&s0, &pend, &[], &db));
+        assert!(acts.contains(&Action::Wake { node: NodeId(1) }));
+    }
+}

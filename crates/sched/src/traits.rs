@@ -1,0 +1,54 @@
+//! The scheduler trait.
+
+use crate::action::Action;
+use crate::context::SchedContext;
+
+/// A cluster scheduling policy.
+///
+/// Called once per heartbeat with a fresh [`SchedContext`]; returns the
+/// actions to apply this round. Policies keep their own state (learned
+/// per-app statistics, time-slicing rotations, ...) across calls.
+pub trait Scheduler {
+    /// Display name used in experiment tables (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Decide this heartbeat's actions.
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<Action>;
+
+    /// Whether this policy wants idle nodes put to deep sleep when it has
+    /// consolidated load away from them. The orchestrator only auto-sleeps
+    /// for policies that opt in (PP does; the baselines rely on the
+    /// cluster-level idle timer).
+    fn consolidates(&self) -> bool {
+        false
+    }
+
+    /// Whether the cluster-level idle auto-sleep timer should run under
+    /// this policy. GPU-aware policies that manage p-states themselves
+    /// (PP) or deliberately keep the fleet warm for latency (CBP) return
+    /// `false`; GPU-agnostic baselines leave the infrastructure default.
+    fn wants_cluster_auto_sleep(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Scheduler for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn decide(&mut self, _ctx: &SchedContext<'_>) -> Vec<Action> {
+            vec![]
+        }
+    }
+
+    #[test]
+    fn default_consolidation_is_off() {
+        assert!(!Nop.consolidates());
+        assert_eq!(Nop.name(), "nop");
+    }
+}

@@ -1,0 +1,770 @@
+//! The simulated cluster: nodes, pending queue, event loop, and the action
+//! surface schedulers drive (place / resize / preempt / resume / migrate /
+//! sleep / wake).
+//!
+//! Placement deliberately performs only *sanity* validation (node exists and
+//! is awake, provision fits the bare device). Whether a placement is *wise*
+//! is the scheduler's job — utilization-agnostic schedulers are allowed to
+//! create the memory-capacity violations the paper describes, and the
+//! resulting crash/relaunch cycles are part of the modeled behaviour.
+
+use crate::config::Overheads;
+use crate::error::{SimError, SimResult};
+use crate::events::{Event, EventKind};
+use crate::gpu::PState;
+use crate::ids::{ImageId, NodeId, PodId};
+use crate::metrics::GpuSample;
+use crate::node::{Node, StepOutcome};
+use crate::pod::{Pod, PodSpec};
+use crate::resources::GpuModel;
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// GPU model per node; the vector length is the node count.
+    pub node_models: Vec<GpuModel>,
+    /// Timing overheads.
+    pub overheads: Overheads,
+    /// Automatically put a node to deep sleep after this much idle time.
+    /// `None` disables auto-sleep (nodes stay at idle power).
+    pub auto_sleep_after: Option<SimDuration>,
+    /// Node count at or above which `step` uses a parallel fan-out.
+    pub parallel_threshold: usize,
+    /// Container images pre-pulled on every node at cluster creation
+    /// (production registries mirror hot images; pre-warmed services skip
+    /// the cold start).
+    pub prewarm_images: Vec<ImageId>,
+}
+
+impl ClusterConfig {
+    /// A homogeneous cluster of `n` nodes with the given GPU.
+    pub fn homogeneous(n: usize, model: GpuModel) -> Self {
+        ClusterConfig {
+            node_models: vec![model; n],
+            overheads: Overheads::default(),
+            auto_sleep_after: None,
+            parallel_threshold: 64,
+            prewarm_images: Vec::new(),
+        }
+    }
+
+    /// The paper's physical testbed: ten P100 worker nodes (§V-A). Empty
+    /// GPUs drop to the deep-sleep p-state automatically, so consolidation
+    /// translates directly into energy savings.
+    pub fn paper_testbed() -> Self {
+        Self::homogeneous(crate::config::TESTBED_WORKER_NODES, GpuModel::P100)
+    }
+
+    /// The trace-driven DNN simulation setup (§V-C): 256 GPUs.
+    pub fn dnn_sim() -> Self {
+        Self::homogeneous(crate::config::DNN_SIM_GPUS, GpuModel::P100)
+    }
+
+    /// A heterogeneous pool in the spirit of the Knots design figure
+    /// (Fig. 5 shows P100, M40, V100 and K80 workers behind one head node):
+    /// cycles through the four device models.
+    pub fn heterogeneous(n: usize) -> Self {
+        let models = [GpuModel::P100, GpuModel::M40, GpuModel::V100, GpuModel::K80];
+        ClusterConfig {
+            node_models: (0..n).map(|i| models[i % models.len()]).collect(),
+            overheads: Overheads::default(),
+            auto_sleep_after: None,
+            parallel_threshold: 64,
+            prewarm_images: Vec::new(),
+        }
+    }
+
+    /// Builder-style override of the auto-sleep policy.
+    pub fn with_auto_sleep(mut self, after: Option<SimDuration>) -> Self {
+        self.auto_sleep_after = after;
+        self
+    }
+
+    /// Builder-style override of the overheads.
+    pub fn with_overheads(mut self, o: Overheads) -> Self {
+        self.overheads = o;
+        self
+    }
+}
+
+/// Where a pod currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Pending,
+    OnNode(NodeId),
+    Suspended,
+    Relaunching,
+    Completed,
+}
+
+/// The simulated GPU cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<Node>,
+    now: SimTime,
+    next_pod: u64,
+    /// FIFO of pending pod ids (schedulers may serve it out of order; the
+    /// queue order is what FCFS policies follow).
+    queue: VecDeque<PodId>,
+    pending: HashMap<PodId, Pod>,
+    suspended: HashMap<PodId, Pod>,
+    relaunching: Vec<(SimTime, PodId, Pod)>,
+    completed: HashMap<PodId, Pod>,
+    location: HashMap<PodId, Loc>,
+    events: Vec<Event>,
+}
+
+impl Cluster {
+    /// Build a cluster with every node awake and idle.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let nodes: Vec<Node> = cfg
+            .node_models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut n = Node::new(NodeId(i), *m);
+                n.prewarm(&cfg.prewarm_images);
+                n
+            })
+            .collect();
+        Cluster {
+            cfg,
+            nodes,
+            now: SimTime::ZERO,
+            next_pod: 0,
+            queue: VecDeque::new(),
+            pending: HashMap::new(),
+            suspended: HashMap::new(),
+            relaunching: Vec::new(),
+            completed: HashMap::new(),
+            location: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// One node.
+    pub fn node(&self, id: NodeId) -> SimResult<&Node> {
+        self.nodes.get(id.0).ok_or(SimError::UnknownNode(id))
+    }
+
+    /// Pending pod ids in queue order.
+    pub fn pending_queue(&self) -> impl Iterator<Item = PodId> + '_ {
+        self.queue.iter().copied()
+    }
+
+    /// Number of pending pods.
+    pub fn pending_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Look up any pod, wherever it lives.
+    pub fn pod(&self, id: PodId) -> Option<&Pod> {
+        match self.location.get(&id)? {
+            Loc::Pending => self.pending.get(&id),
+            Loc::OnNode(n) => self.nodes[n.0].resident(id),
+            Loc::Suspended => self.suspended.get(&id),
+            Loc::Relaunching => {
+                self.relaunching.iter().find(|(_, pid, _)| *pid == id).map(|(_, _, p)| p)
+            }
+            Loc::Completed => self.completed.get(&id),
+        }
+    }
+
+    /// Ids of suspended pods.
+    pub fn suspended_pods(&self) -> impl Iterator<Item = PodId> + '_ {
+        self.suspended.keys().copied()
+    }
+
+    /// All completed pods.
+    pub fn completed_pods(&self) -> impl Iterator<Item = (PodId, &Pod)> {
+        self.completed.iter().map(|(id, p)| (*id, p))
+    }
+
+    /// Number of completed pods.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// The full event log.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Latest metric sample of every node, in node order.
+    pub fn samples(&self) -> Vec<GpuSample> {
+        self.nodes.iter().map(|n| n.last_sample()).collect()
+    }
+
+    /// Total GPU energy drawn so far, joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.nodes.iter().map(|n| n.energy().joules()).sum()
+    }
+
+    /// True when no pod remains anywhere but `completed`.
+    pub fn is_drained(&self) -> bool {
+        self.queue.is_empty()
+            && self.suspended.is_empty()
+            && self.relaunching.is_empty()
+            && self.nodes.iter().all(|n| n.resident_count() == 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler-facing actions.
+    // ------------------------------------------------------------------
+
+    /// Submit a pod to the pending queue. `arrival` is recorded for latency
+    /// accounting and is normally the current simulation time.
+    pub fn submit(&mut self, spec: PodSpec, arrival: SimTime) -> PodId {
+        let id = PodId(self.next_pod);
+        self.next_pod += 1;
+        let pod = Pod::new(spec, arrival);
+        self.pending.insert(id, pod);
+        self.queue.push_back(id);
+        self.location.insert(id, Loc::Pending);
+        self.events.push(Event::pod(self.now.max(arrival), id, EventKind::Submitted));
+        id
+    }
+
+    /// Bind a pending pod to a node.
+    pub fn place(&mut self, id: PodId, node: NodeId) -> SimResult<()> {
+        let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
+        if loc != Loc::Pending {
+            return Err(SimError::InvalidState { pod: id, op: "place", state: format!("{loc:?}") });
+        }
+        let n = self.nodes.get(node.0).ok_or(SimError::UnknownNode(node))?;
+        if !n.is_available() {
+            return Err(SimError::NodeAsleep(node));
+        }
+        let pod = self.pending.get(&id).expect("location says pending");
+        let cap = n.gpu().spec().mem_mb;
+        if pod.limit_mb() > cap {
+            return Err(SimError::ExceedsDevice {
+                pod: id,
+                node,
+                limit_mb: pod.limit_mb(),
+                capacity_mb: cap,
+            });
+        }
+        let pod = self.pending.remove(&id).expect("checked above");
+        self.queue.retain(|q| *q != id);
+        let cold =
+            self.nodes[node.0].admit(id, pod, self.now, self.cfg.overheads.cold_start_pull);
+        self.location.insert(id, Loc::OnNode(node));
+        self.events.push(Event::pod(self.now, id, EventKind::Placed { node, cold_start: cold }));
+        if !cold {
+            self.events.push(Event::pod(self.now, id, EventKind::Started { node }));
+        }
+        Ok(())
+    }
+
+    /// Change a pod's memory provision (harvest or grow-back). Valid for
+    /// pending and resident pods.
+    pub fn resize(&mut self, id: PodId, new_limit_mb: f64) -> SimResult<()> {
+        if !new_limit_mb.is_finite() || new_limit_mb < 0.0 {
+            return Err(SimError::InvalidResize { pod: id, limit_mb: new_limit_mb });
+        }
+        let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
+        let pod: &mut Pod = match loc {
+            Loc::Pending => self.pending.get_mut(&id).expect("pending"),
+            Loc::OnNode(n) => self.nodes[n.0].resident_mut(id).expect("resident"),
+            _ => {
+                return Err(SimError::InvalidState {
+                    pod: id,
+                    op: "resize",
+                    state: format!("{loc:?}"),
+                })
+            }
+        };
+        let from = pod.limit_mb();
+        pod.set_limit_mb(new_limit_mb);
+        self.events.push(Event::pod(
+            self.now,
+            id,
+            EventKind::Resized { from_mb: from, to_mb: new_limit_mb },
+        ));
+        Ok(())
+    }
+
+    /// Toggle a pending pod's framework `allow_growth` knob — the API the
+    /// paper argues must be exposed to the cluster scheduler (Observation 5)
+    /// so TF stops earmarking the whole device. Only valid before placement:
+    /// a running framework has already committed to its memory strategy.
+    pub fn configure_growth(&mut self, id: PodId, allow: bool) -> SimResult<()> {
+        let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
+        if loc != Loc::Pending {
+            return Err(SimError::InvalidState {
+                pod: id,
+                op: "configure growth",
+                state: format!("{loc:?}"),
+            });
+        }
+        self.pending.get_mut(&id).expect("pending").set_allow_growth(allow);
+        Ok(())
+    }
+
+    /// Suspend a running pod, releasing its GPU memory but keeping progress.
+    pub fn preempt(&mut self, id: PodId) -> SimResult<()> {
+        let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
+        let Loc::OnNode(node) = loc else {
+            return Err(SimError::InvalidState { pod: id, op: "preempt", state: format!("{loc:?}") });
+        };
+        let mut pod = self.nodes[node.0].evict(id).expect("location says resident");
+        pod.suspend();
+        pod.set_node(None);
+        self.suspended.insert(id, pod);
+        self.location.insert(id, Loc::Suspended);
+        self.events.push(Event::pod(self.now, id, EventKind::Preempted { node }));
+        Ok(())
+    }
+
+    /// Resume a suspended pod on a node, paying the resume overhead.
+    pub fn resume(&mut self, id: PodId, node: NodeId) -> SimResult<()> {
+        let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
+        if loc != Loc::Suspended {
+            return Err(SimError::InvalidState { pod: id, op: "resume", state: format!("{loc:?}") });
+        }
+        let n = self.nodes.get(node.0).ok_or(SimError::UnknownNode(node))?;
+        if !n.is_available() {
+            return Err(SimError::NodeAsleep(node));
+        }
+        let pod = self.suspended.remove(&id).expect("suspended");
+        self.nodes[node.0].reattach(id, pod, self.now, self.cfg.overheads.resume_overhead);
+        self.location.insert(id, Loc::OnNode(node));
+        self.events.push(Event::pod(self.now, id, EventKind::Resumed { node }));
+        Ok(())
+    }
+
+    /// Migrate a running pod to another node (suspend + move + resume with
+    /// the migration penalty). Progress is retained (checkpointed).
+    pub fn migrate(&mut self, id: PodId, to: NodeId) -> SimResult<()> {
+        let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
+        let Loc::OnNode(from) = loc else {
+            return Err(SimError::InvalidState { pod: id, op: "migrate", state: format!("{loc:?}") });
+        };
+        if from == to {
+            return Ok(());
+        }
+        let n = self.nodes.get(to.0).ok_or(SimError::UnknownNode(to))?;
+        if !n.is_available() {
+            return Err(SimError::NodeAsleep(to));
+        }
+        let mut pod = self.nodes[from.0].evict(id).expect("resident");
+        pod.suspend();
+        pod.record_migration();
+        self.nodes[to.0].reattach(id, pod, self.now, self.cfg.overheads.migration_delay);
+        self.location.insert(id, Loc::OnNode(to));
+        self.events.push(Event::pod(self.now, id, EventKind::Migrated { from, to }));
+        Ok(())
+    }
+
+    /// Put an idle node into deep sleep. Fails when pods are resident.
+    pub fn sleep_node(&mut self, id: NodeId) -> SimResult<()> {
+        let n = self.nodes.get_mut(id.0).ok_or(SimError::UnknownNode(id))?;
+        if n.resident_count() > 0 {
+            return Err(SimError::InvalidState {
+                pod: PodId(u64::MAX),
+                op: "sleep node",
+                state: format!("{} resident pods", n.resident_count()),
+            });
+        }
+        if !n.gpu().is_asleep() {
+            n.set_pstate(PState::DeepSleep);
+            self.events.push(Event::node(self.now, EventKind::NodeSlept { node: id }));
+        }
+        Ok(())
+    }
+
+    /// Wake a sleeping node; it becomes placeable immediately but pays the
+    /// wake latency before pods actually execute.
+    pub fn wake_node(&mut self, id: NodeId) -> SimResult<()> {
+        let wake = self.cfg.overheads.wake_delay;
+        let now = self.now;
+        let n = self.nodes.get_mut(id.0).ok_or(SimError::UnknownNode(id))?;
+        if n.gpu().is_asleep() {
+            n.begin_wake(now + wake);
+            self.events.push(Event::node(now, EventKind::NodeWoken { node: id }));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Time.
+    // ------------------------------------------------------------------
+
+    /// Advance the cluster by `dt`.
+    pub fn step(&mut self, dt: SimDuration) {
+        assert!(!dt.is_zero(), "step needs a positive dt");
+        let now = self.now;
+
+        // 1. Step every node. Above the parallel threshold, fan out with
+        //    scoped threads; outcomes are consumed in node order either way,
+        //    so results are deterministic.
+        let outcomes: Vec<StepOutcome> = if self.nodes.len() >= self.cfg.parallel_threshold {
+            let chunk = self.nodes.len().div_ceil(num_threads());
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .nodes
+                    .chunks_mut(chunk)
+                    .map(|nodes| {
+                        s.spawn(move |_| {
+                            nodes.iter_mut().map(|n| n.step(now, dt)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("node step panicked")).collect()
+            })
+            .expect("crossbeam scope")
+        } else {
+            self.nodes.iter_mut().map(|n| n.step(now, dt)).collect()
+        };
+
+        self.now = now + dt;
+
+        // 2. Fold outcomes into cluster state.
+        for (i, out) in outcomes.into_iter().enumerate() {
+            let node = NodeId(i);
+            for id in out.started {
+                self.events.push(Event::pod(self.now, id, EventKind::Started { node }));
+            }
+            for (id, pod) in out.completed {
+                self.events.push(Event::pod(self.now, id, EventKind::Completed { node }));
+                self.completed.insert(id, pod);
+                self.location.insert(id, Loc::Completed);
+            }
+            for (id, mut pod, reason) in out.crashed {
+                let relaunch_at = self.now + self.cfg.overheads.relaunch_delay;
+                pod.crash(relaunch_at);
+                pod.set_node(None);
+                self.events.push(Event::pod(self.now, id, EventKind::Crashed { node, reason }));
+                self.relaunching.push((relaunch_at, id, pod));
+                self.location.insert(id, Loc::Relaunching);
+            }
+        }
+
+        // 3. Relaunches whose delay expired re-enter the queue tail (§IV-C:
+        //    relaunched tasks "cannot be prioritized over tasks ... already
+        //    ahead on the queue").
+        let mut requeued = Vec::new();
+        let mut i = 0;
+        while i < self.relaunching.len() {
+            if self.relaunching[i].0 <= self.now {
+                let (_, id, mut pod) = self.relaunching.remove(i);
+                pod.reenqueue();
+                requeued.push((id, pod));
+            } else {
+                i += 1;
+            }
+        }
+        for (id, pod) in requeued {
+            self.events.push(Event::pod(self.now, id, EventKind::Requeued));
+            self.pending.insert(id, pod);
+            self.queue.push_back(id);
+            self.location.insert(id, Loc::Pending);
+        }
+
+        // 4. Auto-sleep long-idle nodes.
+        if let Some(idle) = self.cfg.auto_sleep_after {
+            for i in 0..self.nodes.len() {
+                let n = &self.nodes[i];
+                let idle_for = self.now.saturating_since(n.last_busy());
+                if !n.gpu().is_asleep() && n.resident_count() == 0 && idle_for >= idle {
+                    let id = n.id();
+                    self.nodes[i].set_pstate(PState::DeepSleep);
+                    self.events.push(Event::node(self.now, EventKind::NodeSlept { node: id }));
+                }
+            }
+        }
+    }
+
+    /// Run until `deadline`, stepping by `dt`, invoking `hook` before every
+    /// step (for arrivals/scheduling). Convenience for tests and examples.
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        dt: SimDuration,
+        mut hook: impl FnMut(&mut Cluster),
+    ) {
+        while self.now < deadline {
+            hook(self);
+            self.step(dt);
+        }
+    }
+}
+
+/// Worker thread count for parallel node stepping.
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CrashReason;
+    use crate::profile::ResourceProfile;
+
+    fn spec(sm: f64, mem: f64, work: f64) -> PodSpec {
+        PodSpec::batch("t", ResourceProfile::constant(sm, mem, work))
+    }
+
+    fn quiet_cfg(n: usize) -> ClusterConfig {
+        let mut c = ClusterConfig::homogeneous(n, GpuModel::P100);
+        c.overheads.cold_start_pull = SimDuration::ZERO;
+        c
+    }
+
+    #[test]
+    fn submit_place_run_complete() {
+        let mut c = Cluster::new(quiet_cfg(2));
+        let id = c.submit(spec(0.5, 1000.0, 0.5), SimTime::ZERO);
+        assert_eq!(c.pending_len(), 1);
+        c.place(id, NodeId(1)).unwrap();
+        assert_eq!(c.pending_len(), 0);
+        for _ in 0..60 {
+            c.step(SimDuration::from_millis(10));
+        }
+        assert!(c.pod(id).unwrap().state().is_completed());
+        assert!(c.is_drained());
+        assert_eq!(c.completed_len(), 1);
+        let kinds: Vec<_> = c.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, EventKind::Submitted)));
+        assert!(kinds.iter().any(|k| matches!(k, EventKind::Placed { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, EventKind::Completed { .. })));
+    }
+
+    #[test]
+    fn cold_start_emits_started_later() {
+        let mut cfg = quiet_cfg(1);
+        cfg.overheads.cold_start_pull = SimDuration::from_secs(1);
+        let mut c = Cluster::new(cfg);
+        let id = c.submit(spec(0.5, 100.0, 0.1), SimTime::ZERO);
+        c.place(id, NodeId(0)).unwrap();
+        // No Started event yet.
+        assert!(!c.events().iter().any(|e| matches!(e.kind, EventKind::Started { .. })));
+        for _ in 0..12 {
+            c.step(SimDuration::from_millis(100));
+        }
+        assert!(c.events().iter().any(|e| matches!(e.kind, EventKind::Started { .. })));
+    }
+
+    #[test]
+    fn place_rejects_bad_targets() {
+        let mut c = Cluster::new(quiet_cfg(1));
+        let id = c.submit(spec(0.5, 100.0, 1.0), SimTime::ZERO);
+        assert!(matches!(c.place(id, NodeId(9)), Err(SimError::UnknownNode(_))));
+        let big = c.submit(spec(0.5, 100.0, 1.0).with_request_mb(20_000.0), SimTime::ZERO);
+        assert!(matches!(c.place(big, NodeId(0)), Err(SimError::ExceedsDevice { .. })));
+        c.place(id, NodeId(0)).unwrap();
+        assert!(matches!(c.place(id, NodeId(0)), Err(SimError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn crash_relaunch_requeues_at_tail() {
+        let mut cfg = quiet_cfg(1);
+        cfg.overheads.relaunch_delay = SimDuration::from_millis(50);
+        let mut c = Cluster::new(cfg);
+        let a = c.submit(spec(0.2, 10_000.0, 5.0), SimTime::ZERO);
+        let b = c.submit(spec(0.2, 10_000.0, 5.0), SimTime::ZERO);
+        c.place(a, NodeId(0)).unwrap();
+        c.place(b, NodeId(0)).unwrap();
+        c.step(SimDuration::from_millis(10));
+        let crashed: Vec<_> = c
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::Crashed { reason: CrashReason::MemoryCapacityViolation, .. })
+            })
+            .collect();
+        assert_eq!(crashed.len(), 1);
+        // After the relaunch delay the pod is pending again.
+        for _ in 0..6 {
+            c.step(SimDuration::from_millis(10));
+        }
+        assert_eq!(c.pending_len(), 1);
+        let requeued = c.pending_queue().next().unwrap();
+        assert_eq!(c.pod(requeued).unwrap().crashes(), 1);
+    }
+
+    #[test]
+    fn resize_pending_and_resident() {
+        let mut c = Cluster::new(quiet_cfg(1));
+        let id = c.submit(spec(0.2, 1000.0, 5.0).with_request_mb(8000.0), SimTime::ZERO);
+        c.resize(id, 2000.0).unwrap();
+        assert_eq!(c.pod(id).unwrap().limit_mb(), 2000.0);
+        c.place(id, NodeId(0)).unwrap();
+        c.resize(id, 1500.0).unwrap();
+        assert_eq!(c.pod(id).unwrap().limit_mb(), 1500.0);
+        assert!(matches!(
+            c.resize(id, f64::NAN),
+            Err(SimError::InvalidResize { .. })
+        ));
+        assert_eq!(
+            c.events().iter().filter(|e| matches!(e.kind, EventKind::Resized { .. })).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn preempt_and_resume() {
+        let mut cfg = quiet_cfg(2);
+        cfg.overheads.resume_overhead = SimDuration::from_millis(100);
+        let mut c = Cluster::new(cfg);
+        let id = c.submit(spec(0.5, 1000.0, 1.0), SimTime::ZERO);
+        c.place(id, NodeId(0)).unwrap();
+        for _ in 0..20 {
+            c.step(SimDuration::from_millis(10));
+        }
+        let progress_before = c.pod(id).unwrap().progress();
+        assert!(progress_before > 0.0);
+        c.preempt(id).unwrap();
+        assert_eq!(c.node(NodeId(0)).unwrap().resident_count(), 0);
+        assert!(c.suspended_pods().any(|p| p == id));
+        c.resume(id, NodeId(1)).unwrap();
+        // During the resume overhead no progress happens.
+        c.step(SimDuration::from_millis(50));
+        assert!((c.pod(id).unwrap().progress() - progress_before).abs() < 1e-9);
+        for _ in 0..120 {
+            c.step(SimDuration::from_millis(10));
+        }
+        assert!(c.pod(id).unwrap().state().is_completed());
+        assert_eq!(c.pod(id).unwrap().preemptions(), 1);
+    }
+
+    #[test]
+    fn migrate_retains_progress_and_counts() {
+        let mut c = Cluster::new(quiet_cfg(2));
+        let id = c.submit(spec(0.5, 1000.0, 2.0), SimTime::ZERO);
+        c.place(id, NodeId(0)).unwrap();
+        for _ in 0..50 {
+            c.step(SimDuration::from_millis(10));
+        }
+        let before = c.pod(id).unwrap().progress();
+        c.migrate(id, NodeId(1)).unwrap();
+        assert_eq!(c.pod(id).unwrap().node(), Some(NodeId(1)));
+        assert!((c.pod(id).unwrap().progress() - before).abs() < 1e-9);
+        assert_eq!(c.pod(id).unwrap().migrations(), 1);
+        // Self-migration is a no-op.
+        c.migrate(id, NodeId(1)).unwrap();
+        assert_eq!(c.pod(id).unwrap().migrations(), 1);
+    }
+
+    #[test]
+    fn sleep_wake_cycle() {
+        let mut c = Cluster::new(quiet_cfg(2));
+        c.sleep_node(NodeId(1)).unwrap();
+        assert!(c.node(NodeId(1)).unwrap().gpu().is_asleep());
+        let id = c.submit(spec(0.5, 100.0, 1.0), SimTime::ZERO);
+        assert!(matches!(c.place(id, NodeId(1)), Err(SimError::NodeAsleep(_))));
+        c.wake_node(NodeId(1)).unwrap();
+        c.place(id, NodeId(1)).unwrap();
+        // Can't sleep a node with residents.
+        assert!(c.sleep_node(NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn auto_sleep_after_idle() {
+        let mut cfg = quiet_cfg(2);
+        cfg.auto_sleep_after = Some(SimDuration::from_millis(100));
+        let mut c = Cluster::new(cfg);
+        for _ in 0..3 {
+            c.step(SimDuration::from_millis(50));
+        }
+        assert!(c.node(NodeId(0)).unwrap().gpu().is_asleep());
+        assert!(c.node(NodeId(1)).unwrap().gpu().is_asleep());
+        assert!(c
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::NodeSlept { .. }))
+            .count()
+            >= 2);
+    }
+
+    #[test]
+    fn empty_nodes_draw_deep_sleep_power() {
+        // Hardware-automatic p-states: a node with no resident context
+        // draws sleep power without any explicit action, so consolidating
+        // pods onto fewer nodes saves energy by itself.
+        let mut busy = Cluster::new(quiet_cfg(1));
+        let id = busy.submit(spec(0.0, 100.0, 3600.0), SimTime::ZERO);
+        busy.place(id, NodeId(0)).unwrap();
+        let mut empty = Cluster::new(quiet_cfg(1));
+        for _ in 0..100 {
+            busy.step(SimDuration::from_millis(100));
+            empty.step(SimDuration::from_millis(100));
+        }
+        // Busy node draws >= idle power (25 W); empty node ~9 W.
+        assert!(empty.total_energy_joules() < busy.total_energy_joules() * 0.5);
+        let sleep_w = GpuModel::P100.spec().sleep_watts;
+        let expected = sleep_w * 10.0; // 10 s
+        assert!((empty.total_energy_joules() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_and_serial_stepping_agree() {
+        let build = |threshold: usize| {
+            let mut cfg = quiet_cfg(80);
+            cfg.parallel_threshold = threshold;
+            let mut c = Cluster::new(cfg);
+            for i in 0..80 {
+                let id = c.submit(spec(0.3 + (i % 5) as f64 / 10.0, 500.0, 0.8), SimTime::ZERO);
+                c.place(id, NodeId(i % 80)).unwrap();
+            }
+            for _ in 0..100 {
+                c.step(SimDuration::from_millis(10));
+            }
+            (c.completed_len(), c.total_energy_joules(), c.samples())
+        };
+        let serial = build(usize::MAX);
+        let parallel = build(1);
+        assert_eq!(serial.0, parallel.0);
+        assert!((serial.1 - parallel.1).abs() < 1e-6);
+        for (a, b) in serial.2.iter().zip(parallel.2.iter()) {
+            assert!((a.sm_util - b.sm_util).abs() < 1e-12);
+            assert!((a.mem_used_mb - b.mem_used_mb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn configure_growth_only_while_pending() {
+        let mut c = Cluster::new(quiet_cfg(1));
+        let id = c.submit(spec(0.3, 500.0, 1.0).with_greedy_memory(true), SimTime::ZERO);
+        c.configure_growth(id, true).unwrap();
+        assert!(c.pod(id).unwrap().spec().allow_growth);
+        c.place(id, NodeId(0)).unwrap();
+        assert!(c.configure_growth(id, false).is_err());
+        // The earmark was suppressed: measured usage tracks the profile.
+        c.step(SimDuration::from_millis(10));
+        assert!((c.node(NodeId(0)).unwrap().last_sample().mem_used_mb - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_until_invokes_hook() {
+        let mut c = Cluster::new(quiet_cfg(1));
+        let mut calls = 0;
+        c.run_until(SimTime::from_millis(100), SimDuration::from_millis(10), |_| calls += 1);
+        assert_eq!(calls, 10);
+        assert_eq!(c.now(), SimTime::from_millis(100));
+    }
+}

@@ -1,0 +1,93 @@
+//! Simulator error types.
+
+use crate::ids::{NodeId, PodId};
+use std::fmt;
+
+/// Result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors surfaced by cluster operations.
+///
+/// Note the deliberate asymmetry with real failure modes: a *placement* that
+/// will later blow the memory capacity is **not** an error — utilization-
+/// agnostic schedulers are allowed to make it, and the resulting OOM crash is
+/// part of the modeled behaviour (§IV-B). Errors are reserved for requests
+/// that are nonsensical even to an agnostic scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The referenced pod does not exist.
+    UnknownPod(PodId),
+    /// The referenced node does not exist.
+    UnknownNode(NodeId),
+    /// The pod is not in a state that allows the requested transition
+    /// (e.g. placing a pod that is already running).
+    InvalidState {
+        /// Offending pod.
+        pod: PodId,
+        /// What was attempted.
+        op: &'static str,
+        /// Human-readable description of the actual state.
+        state: String,
+    },
+    /// The pod's memory provision alone exceeds the device's total capacity;
+    /// no scheduler could ever run it on this node.
+    ExceedsDevice {
+        /// Offending pod.
+        pod: PodId,
+        /// Target node.
+        node: NodeId,
+        /// Requested provision in MB.
+        limit_mb: f64,
+        /// Device capacity in MB.
+        capacity_mb: f64,
+    },
+    /// The target node is in deep sleep; it must be woken before placement.
+    NodeAsleep(NodeId),
+    /// A resize request was invalid (negative or non-finite).
+    InvalidResize {
+        /// Offending pod.
+        pod: PodId,
+        /// Requested provision in MB.
+        limit_mb: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownPod(p) => write!(f, "unknown pod {p}"),
+            SimError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SimError::InvalidState { pod, op, state } => {
+                write!(f, "cannot {op} {pod}: pod is {state}")
+            }
+            SimError::ExceedsDevice { pod, node, limit_mb, capacity_mb } => write!(
+                f,
+                "{pod} provision {limit_mb:.0} MB exceeds {node} capacity {capacity_mb:.0} MB"
+            ),
+            SimError::NodeAsleep(n) => write!(f, "{n} is in deep sleep"),
+            SimError::InvalidResize { pod, limit_mb } => {
+                write!(f, "invalid resize of {pod} to {limit_mb} MB")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = SimError::ExceedsDevice {
+            pod: PodId(1),
+            node: NodeId(2),
+            limit_mb: 20000.0,
+            capacity_mb: 16384.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pod-1") && s.contains("node-2") && s.contains("16384"));
+        assert!(SimError::NodeAsleep(NodeId(0)).to_string().contains("deep sleep"));
+    }
+}

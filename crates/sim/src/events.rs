@@ -1,0 +1,122 @@
+//! The cluster event log.
+//!
+//! Every externally observable lifecycle transition is recorded as an
+//! [`Event`]; experiment harnesses derive QoS-violation counts, crash rates,
+//! JCT distributions and queueing statistics from this log.
+
+use crate::ids::{NodeId, PodId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Why a pod crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashReason {
+    /// The node's pods collectively exceeded GPU memory capacity and this pod
+    /// was chosen as the victim (§IV-C: "capacity violations ... lead to
+    /// container crashing and relaunching").
+    MemoryCapacityViolation,
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Pod submitted to the pending queue.
+    Submitted,
+    /// Pod bound to a node.
+    Placed {
+        /// Target node.
+        node: NodeId,
+        /// Whether a cold-start image pull was required.
+        cold_start: bool,
+    },
+    /// Pod began executing.
+    Started {
+        /// Node the pod runs on.
+        node: NodeId,
+    },
+    /// Pod finished all work.
+    Completed {
+        /// Node the pod ran on.
+        node: NodeId,
+    },
+    /// Pod crashed and will relaunch.
+    Crashed {
+        /// Node the pod crashed on.
+        node: NodeId,
+        /// Cause of the crash.
+        reason: CrashReason,
+    },
+    /// Crashed pod re-entered the pending queue.
+    Requeued,
+    /// Pod was preempted (suspend-and-resume schedulers).
+    Preempted {
+        /// Node the pod was suspended on.
+        node: NodeId,
+    },
+    /// Suspended pod resumed execution.
+    Resumed {
+        /// Node the pod resumed on.
+        node: NodeId,
+    },
+    /// Pod was migrated between nodes.
+    Migrated {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// Pod's memory provision changed (harvest or grow-back).
+    Resized {
+        /// Provision before, MB.
+        from_mb: f64,
+        /// Provision after, MB.
+        to_mb: f64,
+    },
+    /// Node entered deep sleep.
+    NodeSlept {
+        /// The node.
+        node: NodeId,
+    },
+    /// Node woke from deep sleep.
+    NodeWoken {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+/// A timestamped event concerning one pod (or node, with `pod = None`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// When it happened.
+    pub at: SimTime,
+    /// The pod concerned, if any.
+    pub pod: Option<PodId>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Event about a pod.
+    pub fn pod(at: SimTime, pod: PodId, kind: EventKind) -> Self {
+        Event { at, pod: Some(pod), kind }
+    }
+
+    /// Event about a node only.
+    pub fn node(at: SimTime, kind: EventKind) -> Self {
+        Event { at, pod: None, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = Event::pod(SimTime::from_secs(1), PodId(3), EventKind::Submitted);
+        assert_eq!(e.pod, Some(PodId(3)));
+        let n = Event::node(SimTime::ZERO, EventKind::NodeSlept { node: NodeId(1) });
+        assert_eq!(n.pod, None);
+        assert!(matches!(n.kind, EventKind::NodeSlept { node: NodeId(1) }));
+    }
+}

@@ -1,0 +1,72 @@
+//! The GPU device attached to a worker node.
+
+use crate::resources::{GpuModel, GpuSpec};
+use serde::{Deserialize, Serialize};
+
+/// Device power state.
+///
+/// Real Nvidia devices expose p-states P0..P12; the scheduler-visible
+/// distinction in the paper is only "active" vs "deep sleep (`p_state 12`)"
+/// (§VI-C), plus the transient wake-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PState {
+    /// Active: draws `idle_watts` when unused, up to `tdp_watts` when busy.
+    Active,
+    /// Deep sleep: draws `sleep_watts`; cannot host pods until woken.
+    DeepSleep,
+}
+
+/// One GPU device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuDevice {
+    spec: GpuSpec,
+    pstate: PState,
+}
+
+impl GpuDevice {
+    /// A new, awake device of the given model.
+    pub fn new(model: GpuModel) -> Self {
+        GpuDevice { spec: model.spec(), pstate: PState::Active }
+    }
+
+    /// Hardware specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Current power state.
+    pub fn pstate(&self) -> PState {
+        self.pstate
+    }
+
+    /// Whether the device is in deep sleep.
+    pub fn is_asleep(&self) -> bool {
+        self.pstate == PState::DeepSleep
+    }
+
+    pub(crate) fn set_pstate(&mut self, p: PState) {
+        self.pstate = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_starts_awake() {
+        let g = GpuDevice::new(GpuModel::P100);
+        assert_eq!(g.pstate(), PState::Active);
+        assert!(!g.is_asleep());
+        assert_eq!(g.spec().mem_mb, 16_384.0);
+    }
+
+    #[test]
+    fn pstate_transitions() {
+        let mut g = GpuDevice::new(GpuModel::V100);
+        g.set_pstate(PState::DeepSleep);
+        assert!(g.is_asleep());
+        g.set_pstate(PState::Active);
+        assert!(!g.is_asleep());
+    }
+}

@@ -1,0 +1,52 @@
+//! Strongly-typed identifiers for simulator entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a pod (container) for its whole lifetime, across relaunches,
+/// preemptions and migrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PodId(pub u64);
+
+/// Identifies a worker node. In the ten-node cluster experiments these are
+/// `NodeId(0)..NodeId(9)`; the head node is not part of the simulated set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Identifies a container image. Pulling an image a node has never seen
+/// incurs a cold-start delay; subsequent pods reusing the image start
+/// immediately (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ImageId(pub u32);
+
+impl fmt::Display for PodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pod-{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "image-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(PodId(1) < PodId(2));
+        assert!(NodeId(0) < NodeId(9));
+        assert_eq!(format!("{}", PodId(7)), "pod-7");
+        assert_eq!(format!("{}", NodeId(3)), "node-3");
+        assert_eq!(format!("{}", ImageId(2)), "image-2");
+    }
+}

@@ -1,0 +1,111 @@
+//! The five GPU metrics Knots samples (§IV-A).
+//!
+//! Real Knots reads these via pyNVML; the simulator's nodes synthesize the
+//! exact same vector every tick, and `knots-telemetry` stores them.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One sample of a node's GPU state — the quantities listed in §IV-A:
+/// (i) SM utilization, (ii) memory utilization, (iii) power consumption,
+/// (iv) transfer (tx) bandwidth and (v) receive (rx) bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GpuSample {
+    /// Sample timestamp.
+    pub at: SimTime,
+    /// SM utilization in `[0, 1]` (granted, post-contention).
+    pub sm_util: f64,
+    /// Device memory in use, MB.
+    pub mem_used_mb: f64,
+    /// Board power draw, watts.
+    pub power_watts: f64,
+    /// Device-to-host bandwidth in use, MB/s.
+    pub tx_mbps: f64,
+    /// Host-to-device bandwidth in use, MB/s.
+    pub rx_mbps: f64,
+}
+
+impl GpuSample {
+    /// Memory utilization as a fraction of `capacity_mb`.
+    pub fn mem_util(&self, capacity_mb: f64) -> f64 {
+        if capacity_mb <= 0.0 {
+            0.0
+        } else {
+            self.mem_used_mb / capacity_mb
+        }
+    }
+
+    /// The metric value selected by `metric`.
+    pub fn get(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::SmUtil => self.sm_util,
+            Metric::MemUsedMb => self.mem_used_mb,
+            Metric::PowerWatts => self.power_watts,
+            Metric::TxMbps => self.tx_mbps,
+            Metric::RxMbps => self.rx_mbps,
+        }
+    }
+}
+
+/// Names of the five sampled metrics, for generic queries over samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// SM (compute) utilization.
+    SmUtil,
+    /// Memory used in MB.
+    MemUsedMb,
+    /// Power in watts.
+    PowerWatts,
+    /// Transmit bandwidth MB/s.
+    TxMbps,
+    /// Receive bandwidth MB/s.
+    RxMbps,
+}
+
+impl Metric {
+    /// All five metrics in presentation order.
+    pub const ALL: [Metric; 5] =
+        [Metric::SmUtil, Metric::MemUsedMb, Metric::PowerWatts, Metric::TxMbps, Metric::RxMbps];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::SmUtil => "sm_util",
+            Metric::MemUsedMb => "mem_used_mb",
+            Metric::PowerWatts => "power_w",
+            Metric::TxMbps => "tx_mbps",
+            Metric::RxMbps => "rx_mbps",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_access() {
+        let s = GpuSample {
+            at: SimTime::ZERO,
+            sm_util: 0.5,
+            mem_used_mb: 8192.0,
+            power_watts: 130.0,
+            tx_mbps: 10.0,
+            rx_mbps: 20.0,
+        };
+        assert_eq!(s.get(Metric::SmUtil), 0.5);
+        assert_eq!(s.get(Metric::MemUsedMb), 8192.0);
+        assert_eq!(s.get(Metric::PowerWatts), 130.0);
+        assert_eq!(s.get(Metric::TxMbps), 10.0);
+        assert_eq!(s.get(Metric::RxMbps), 20.0);
+        assert!((s.mem_util(16384.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.mem_util(0.0), 0.0);
+    }
+
+    #[test]
+    fn five_metrics_exactly() {
+        assert_eq!(Metric::ALL.len(), 5);
+        let labels: Vec<_> = Metric::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["sm_util", "mem_used_mb", "power_w", "tx_mbps", "rx_mbps"]);
+    }
+}

@@ -1,0 +1,231 @@
+//! GPU hardware models and instantaneous resource-usage vectors.
+//!
+//! The paper's testbed is homogeneous (ten P100 worker nodes, Table II), but
+//! the Knots design figure shows a heterogeneous pool (P100/V100/K80/M40), so
+//! the simulator supports all four device models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// GPU device generations supported by the simulator.
+///
+/// Memory capacities and TDPs follow the vendor datasheets; the exact values
+/// matter only in that schedulers see realistic capacity/bandwidth ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// Nvidia Tesla P100 (Pascal) — the paper's worker GPU (16 GB, Table II).
+    P100,
+    /// Nvidia Tesla V100 (Volta).
+    V100,
+    /// Nvidia Tesla K80 (Kepler, one logical GK210 die).
+    K80,
+    /// Nvidia Tesla M40 (Maxwell).
+    M40,
+}
+
+impl GpuModel {
+    /// The static specification for this device model.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuModel::P100 => GpuSpec {
+                model: self,
+                mem_mb: 16_384.0,
+                sm_count: 56,
+                pcie_mbps: 12_000.0,
+                tdp_watts: 250.0,
+                idle_watts: 40.0,
+                sleep_watts: 9.0,
+                compute_scale: 1.0,
+            },
+            GpuModel::V100 => GpuSpec {
+                model: self,
+                mem_mb: 16_384.0,
+                sm_count: 80,
+                pcie_mbps: 12_000.0,
+                tdp_watts: 300.0,
+                idle_watts: 28.0,
+                sleep_watts: 10.0,
+                compute_scale: 1.45,
+            },
+            GpuModel::K80 => GpuSpec {
+                model: self,
+                mem_mb: 12_288.0,
+                sm_count: 13,
+                pcie_mbps: 8_000.0,
+                tdp_watts: 150.0,
+                idle_watts: 20.0,
+                sleep_watts: 8.0,
+                compute_scale: 0.35,
+            },
+            GpuModel::M40 => GpuSpec {
+                model: self,
+                mem_mb: 12_288.0,
+                sm_count: 24,
+                pcie_mbps: 8_000.0,
+                tdp_watts: 250.0,
+                idle_watts: 22.0,
+                sleep_watts: 9.0,
+                compute_scale: 0.55,
+            },
+        }
+    }
+}
+
+impl fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GpuModel::P100 => "P100",
+            GpuModel::V100 => "V100",
+            GpuModel::K80 => "K80",
+            GpuModel::M40 => "M40",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static hardware specification of one GPU device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Device generation.
+    pub model: GpuModel,
+    /// Device memory capacity in MB (space-shared between co-located pods).
+    pub mem_mb: f64,
+    /// Number of streaming multiprocessors (informational; compute is modeled
+    /// as a single time-shared fraction in `[0, 1]`).
+    pub sm_count: u32,
+    /// PCIe link bandwidth in MB/s, shared by transmit and receive traffic.
+    pub pcie_mbps: f64,
+    /// Board power at 100% SM utilization.
+    pub tdp_watts: f64,
+    /// Board power when idle but in an active p-state.
+    pub idle_watts: f64,
+    /// Board power in the deep-sleep p-state (paper: `p_state 12`).
+    pub sleep_watts: f64,
+    /// Relative compute throughput (P100 = 1.0). A pod's work progresses at
+    /// `compute_scale ×` the rate it would on a P100, before contention.
+    pub compute_scale: f64,
+}
+
+/// An instantaneous resource-demand/usage vector for one pod or one device.
+///
+/// These are the quantities Knots samples every heartbeat (§IV-A): SM
+/// utilization, memory, and PCIe transmit/receive bandwidth. Power is derived
+/// from SM utilization by the energy model rather than stored here.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Usage {
+    /// Fraction of the device's SMs demanded/used, in `[0, 1]`.
+    pub sm_frac: f64,
+    /// Device memory in MB.
+    pub mem_mb: f64,
+    /// Host-to-device (receive) bandwidth in MB/s.
+    pub rx_mbps: f64,
+    /// Device-to-host (transmit) bandwidth in MB/s.
+    pub tx_mbps: f64,
+}
+
+impl Usage {
+    /// A zero usage vector.
+    pub const ZERO: Usage = Usage { sm_frac: 0.0, mem_mb: 0.0, rx_mbps: 0.0, tx_mbps: 0.0 };
+
+    /// Create a usage vector.
+    pub fn new(sm_frac: f64, mem_mb: f64, rx_mbps: f64, tx_mbps: f64) -> Self {
+        Usage { sm_frac, mem_mb, rx_mbps, tx_mbps }
+    }
+
+    /// Component-wise sum.
+    pub fn saturating_add(self, other: Usage) -> Usage {
+        Usage {
+            sm_frac: self.sm_frac + other.sm_frac,
+            mem_mb: self.mem_mb + other.mem_mb,
+            rx_mbps: self.rx_mbps + other.rx_mbps,
+            tx_mbps: self.tx_mbps + other.tx_mbps,
+        }
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Usage) -> Usage {
+        Usage {
+            sm_frac: self.sm_frac.max(other.sm_frac),
+            mem_mb: self.mem_mb.max(other.mem_mb),
+            rx_mbps: self.rx_mbps.max(other.rx_mbps),
+            tx_mbps: self.tx_mbps.max(other.tx_mbps),
+        }
+    }
+
+    /// Scale every component by `k`.
+    pub fn scale(self, k: f64) -> Usage {
+        Usage {
+            sm_frac: self.sm_frac * k,
+            mem_mb: self.mem_mb * k,
+            rx_mbps: self.rx_mbps * k,
+            tx_mbps: self.tx_mbps * k,
+        }
+    }
+
+    /// Combined PCIe bandwidth (rx + tx).
+    pub fn total_bw_mbps(self) -> f64 {
+        self.rx_mbps + self.tx_mbps
+    }
+
+    /// True when all components are finite and non-negative and `sm_frac <= 1`.
+    pub fn is_valid_demand(self) -> bool {
+        let nonneg = |x: f64| x.is_finite() && x >= 0.0;
+        nonneg(self.sm_frac)
+            && self.sm_frac <= 1.0 + 1e-9
+            && nonneg(self.mem_mb)
+            && nonneg(self.rx_mbps)
+            && nonneg(self.tx_mbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p100_matches_table_ii() {
+        let spec = GpuModel::P100.spec();
+        assert_eq!(spec.mem_mb, 16_384.0); // 16 GB per Table II
+        assert_eq!(spec.sm_count, 56);
+        assert!(spec.tdp_watts > spec.idle_watts);
+        assert!(spec.idle_watts > spec.sleep_watts);
+    }
+
+    #[test]
+    fn all_models_have_consistent_power_ladder() {
+        for m in [GpuModel::P100, GpuModel::V100, GpuModel::K80, GpuModel::M40] {
+            let s = m.spec();
+            assert!(s.tdp_watts > s.idle_watts && s.idle_watts > s.sleep_watts, "{m}");
+            assert!(s.mem_mb > 0.0 && s.pcie_mbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn usage_arithmetic() {
+        let a = Usage::new(0.3, 100.0, 10.0, 5.0);
+        let b = Usage::new(0.5, 200.0, 0.0, 5.0);
+        let sum = a.saturating_add(b);
+        assert!((sum.sm_frac - 0.8).abs() < 1e-12);
+        assert!((sum.mem_mb - 300.0).abs() < 1e-12);
+        assert!((sum.total_bw_mbps() - 20.0).abs() < 1e-12);
+        let m = a.max(b);
+        assert!((m.sm_frac - 0.5).abs() < 1e-12);
+        assert!((m.rx_mbps - 10.0).abs() < 1e-12);
+        let s = a.scale(2.0);
+        assert!((s.mem_mb - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_validity() {
+        assert!(Usage::new(1.0, 0.0, 0.0, 0.0).is_valid_demand());
+        assert!(!Usage::new(1.5, 0.0, 0.0, 0.0).is_valid_demand());
+        assert!(!Usage::new(0.5, -1.0, 0.0, 0.0).is_valid_demand());
+        assert!(!Usage::new(f64::NAN, 0.0, 0.0, 0.0).is_valid_demand());
+    }
+
+    #[test]
+    fn model_display() {
+        assert_eq!(GpuModel::P100.to_string(), "P100");
+        assert_eq!(GpuModel::V100.to_string(), "V100");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the simulator's data structures and node
+//! execution model.
+
+use knots_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let t = SimTime::from_micros(a);
+        let d = SimDuration::from_micros(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_seconds_round_trip(secs in 0.0f64..100_000.0) {
+        let d = SimDuration::from_secs_f64(secs);
+        prop_assert!((d.as_secs_f64() - secs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn usage_ops_preserve_validity(
+        a in (0.0f64..1.0, 0.0f64..16_000.0, 0.0f64..5_000.0, 0.0f64..5_000.0),
+        b in (0.0f64..1.0, 0.0f64..16_000.0, 0.0f64..5_000.0, 0.0f64..5_000.0),
+    ) {
+        let ua = Usage::new(a.0, a.1, a.2, a.3);
+        let ub = Usage::new(b.0, b.1, b.2, b.3);
+        prop_assert!(ua.is_valid_demand());
+        let m = ua.max(ub);
+        prop_assert!(m.sm_frac >= ua.sm_frac && m.sm_frac >= ub.sm_frac);
+        prop_assert!(m.mem_mb >= ua.mem_mb && m.mem_mb >= ub.mem_mb);
+        let s = ua.saturating_add(ub);
+        prop_assert!((s.total_bw_mbps() - (ua.total_bw_mbps() + ub.total_bw_mbps())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_meter_is_additive(powers in proptest::collection::vec(0.0f64..500.0, 1..50)) {
+        let dt = SimDuration::from_millis(100);
+        let mut whole = EnergyMeter::new();
+        let mut split = EnergyMeter::new();
+        for &p in &powers {
+            whole.add(p, dt);
+        }
+        for &p in &powers {
+            split.add(p, dt / 2);
+            split.add(p, dt / 2);
+        }
+        prop_assert!((whole.joules() - split.joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_power_is_monotone_in_utilization(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let spec = GpuModel::P100.spec();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(gpu_power_watts(&spec, lo) <= gpu_power_watts(&spec, hi) + 1e-12);
+    }
+
+    /// Any number of co-located constant pods: the node's reported memory
+    /// never exceeds capacity, SM utilization never exceeds 1, and after
+    /// OOM resolution the surviving usage fits.
+    #[test]
+    fn node_never_reports_over_capacity(
+        pods in proptest::collection::vec(
+            (0.05f64..1.0, 200.0f64..9_000.0, 0.5f64..5.0), 1..8),
+    ) {
+        let mut cfg = ClusterConfig::homogeneous(1, GpuModel::P100);
+        cfg.overheads.cold_start_pull = SimDuration::ZERO;
+        let mut cluster = Cluster::new(cfg);
+        for (i, (sm, mem, work)) in pods.iter().enumerate() {
+            let id = cluster.submit(
+                PodSpec::batch(format!("p{i}"), ResourceProfile::constant(*sm, *mem, *work)),
+                SimTime::ZERO,
+            );
+            cluster.place(id, NodeId(0)).unwrap();
+        }
+        for _ in 0..50 {
+            cluster.step(SimDuration::from_millis(10));
+            let s = cluster.node(NodeId(0)).unwrap().last_sample();
+            prop_assert!(s.mem_used_mb <= 16_384.0 + 1e-6, "mem {}", s.mem_used_mb);
+            prop_assert!(s.sm_util <= 1.0 + 1e-9);
+            prop_assert!(s.power_watts <= 250.0 + 1e-9);
+        }
+        // Conservation: crashed + resident + completed = submitted.
+        let resident = cluster.node(NodeId(0)).unwrap().resident_count();
+        let completed = cluster.completed_len();
+        let waiting = cluster.pending_len();
+        let relaunching = pods.len() - resident - completed - waiting;
+        prop_assert!(relaunching as i64 >= 0);
+    }
+
+    /// Work conservation under contention: total progress of co-located
+    /// pods never exceeds wall-clock time (SMs are time-shared, not
+    /// multiplied).
+    #[test]
+    fn sm_time_sharing_conserves_work(
+        sms in proptest::collection::vec(0.2f64..1.0, 2..6),
+    ) {
+        let mut cfg = ClusterConfig::homogeneous(1, GpuModel::P100);
+        cfg.overheads.cold_start_pull = SimDuration::ZERO;
+        let mut cluster = Cluster::new(cfg);
+        let ids: Vec<PodId> = sms
+            .iter()
+            .enumerate()
+            .map(|(i, &sm)| {
+                let id = cluster.submit(
+                    PodSpec::batch(format!("w{i}"), ResourceProfile::constant(sm, 100.0, 100.0)),
+                    SimTime::ZERO,
+                );
+                cluster.place(id, NodeId(0)).unwrap();
+                id
+            })
+            .collect();
+        let steps = 100u64;
+        for _ in 0..steps {
+            cluster.step(SimDuration::from_millis(10));
+        }
+        let wall = steps as f64 * 0.010;
+        let total_sm = sms.iter().sum::<f64>();
+        for (id, &sm) in ids.iter().zip(&sms) {
+            let progress = cluster.pod(*id).unwrap().progress();
+            let expected = wall * (1.0 / total_sm.max(1.0)).min(1.0);
+            prop_assert!(progress <= wall + 1e-9, "faster than wall clock");
+            prop_assert!((progress - expected).abs() < 0.011, "sm {sm}: {progress} vs {expected}");
+        }
+    }
+}

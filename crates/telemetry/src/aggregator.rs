@@ -1,0 +1,160 @@
+//! The head-node utilization aggregator (Fig. 5).
+//!
+//! Queries every worker's time-series store once per *heartbeat interval*
+//! and assembles the [`ClusterSnapshot`] handed to the scheduler. The
+//! heartbeat is the central fidelity knob of the whole system: §VI-D shows
+//! prediction accuracy rising from 36% to 84% as the interval shrinks from
+//! 1000 ms to 1 ms (and degrading past that).
+
+use crate::snapshot::{ClusterSnapshot, NodeView, PodView};
+use knots_sim::cluster::Cluster;
+use knots_sim::pod::PodState;
+use knots_sim::time::{SimDuration, SimTime};
+
+/// Head-node aggregator with a fixed heartbeat.
+#[derive(Debug, Clone)]
+pub struct UtilizationAggregator {
+    heartbeat: SimDuration,
+    window: SimDuration,
+    last_query: Option<SimTime>,
+}
+
+impl UtilizationAggregator {
+    /// The paper's operating point: 1 ms heartbeat, 5 s sliding window.
+    pub fn paper_default() -> Self {
+        Self::new(SimDuration::from_millis(1), SimDuration::from_secs(5))
+    }
+
+    /// Custom heartbeat and window.
+    pub fn new(heartbeat: SimDuration, window: SimDuration) -> Self {
+        assert!(!heartbeat.is_zero(), "heartbeat must be positive");
+        UtilizationAggregator { heartbeat, window, last_query: None }
+    }
+
+    /// The configured heartbeat interval.
+    pub fn heartbeat(&self) -> SimDuration {
+        self.heartbeat
+    }
+
+    /// The configured sliding-window length (the `d` of §IV-C).
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Whether a new heartbeat query is due at `now`.
+    pub fn due(&self, now: SimTime) -> bool {
+        match self.last_query {
+            None => true,
+            Some(last) => now.saturating_since(last) >= self.heartbeat,
+        }
+    }
+
+    /// Build a snapshot (unconditionally) and remember the query time.
+    pub fn query(&mut self, cluster: &Cluster) -> ClusterSnapshot {
+        self.last_query = Some(cluster.now());
+        snapshot_of(cluster)
+    }
+
+    /// Build a snapshot only if the heartbeat has elapsed.
+    pub fn query_if_due(&mut self, cluster: &Cluster) -> Option<ClusterSnapshot> {
+        if self.due(cluster.now()) {
+            Some(self.query(cluster))
+        } else {
+            None
+        }
+    }
+}
+
+/// Assemble a [`ClusterSnapshot`] from the cluster's current state.
+pub fn snapshot_of(cluster: &Cluster) -> ClusterSnapshot {
+    let now = cluster.now();
+    let nodes = cluster
+        .nodes()
+        .iter()
+        .map(|n| {
+            let pods = n
+                .residents()
+                .map(|(id, p)| PodView {
+                    id,
+                    name: p.spec().name.clone(),
+                    qos: p.spec().qos,
+                    limit_mb: p.limit_mb(),
+                    request_mb: p.spec().request_mb,
+                    usage: p.last_usage(),
+                    pulling: matches!(p.state(), PodState::Pulling { .. }),
+                    attained_service_secs: p.attained_service(),
+                })
+                .collect();
+            NodeView {
+                id: n.id(),
+                model: n.gpu().spec().model,
+                capacity_mb: n.gpu().spec().mem_mb,
+                free_measured_mb: n.free_measured_mb(),
+                free_provision_mb: n.free_provision_mb(),
+                sample: n.last_sample(),
+                pods,
+                asleep: n.gpu().is_asleep(),
+                waking: n.is_waking(now),
+            }
+        })
+        .collect();
+    ClusterSnapshot { at: now, nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knots_sim::cluster::ClusterConfig;
+    use knots_sim::ids::NodeId;
+    use knots_sim::pod::PodSpec;
+    use knots_sim::profile::ResourceProfile;
+    use knots_sim::resources::GpuModel;
+
+    fn cluster() -> Cluster {
+        let mut cfg = ClusterConfig::homogeneous(3, GpuModel::P100);
+        cfg.overheads.cold_start_pull = SimDuration::ZERO;
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn heartbeat_gating() {
+        let mut c = cluster();
+        let mut agg = UtilizationAggregator::new(SimDuration::from_millis(100), SimDuration::from_secs(5));
+        assert!(agg.due(c.now()));
+        assert!(agg.query_if_due(&c).is_some());
+        assert!(!agg.due(c.now()));
+        c.step(SimDuration::from_millis(50));
+        assert!(agg.query_if_due(&c).is_none());
+        c.step(SimDuration::from_millis(50));
+        assert!(agg.query_if_due(&c).is_some());
+    }
+
+    #[test]
+    fn snapshot_reflects_cluster_state() {
+        let mut c = cluster();
+        let id = c.submit(
+            PodSpec::batch("r", ResourceProfile::constant(0.7, 3000.0, 10.0)).with_request_mb(8000.0),
+            SimTime::ZERO,
+        );
+        c.place(id, NodeId(1)).unwrap();
+        c.step(SimDuration::from_millis(10));
+        c.sleep_node(NodeId(2)).unwrap();
+        let snap = snapshot_of(&c);
+        assert_eq!(snap.nodes.len(), 3);
+        let n1 = snap.node(NodeId(1)).unwrap();
+        assert_eq!(n1.pods.len(), 1);
+        assert_eq!(n1.pods[0].id, id);
+        assert!((n1.pods[0].usage.mem_mb - 3000.0).abs() < 1e-9);
+        assert!((n1.free_provision_mb - (16384.0 - 8000.0)).abs() < 1e-9);
+        assert!((n1.free_measured_mb - (16384.0 - 3000.0)).abs() < 1e-9);
+        assert!(snap.node(NodeId(2)).unwrap().asleep);
+        assert_eq!(snap.active_nodes().count(), 2);
+    }
+
+    #[test]
+    fn paper_default_operating_point() {
+        let agg = UtilizationAggregator::paper_default();
+        assert_eq!(agg.heartbeat(), SimDuration::from_millis(1));
+        assert_eq!(agg.window(), SimDuration::from_secs(5));
+    }
+}

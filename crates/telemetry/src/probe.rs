@@ -1,0 +1,60 @@
+//! The node-level sampler (pyNVML stand-in).
+//!
+//! In the paper every worker runs a python agent that queries the GPU via
+//! pyNVML each heartbeat and writes into the node's InfluxDB. Here the probe
+//! reads each simulated node's latest sample and each resident pod's usage
+//! vector, and appends them to the shared [`TimeSeriesDb`].
+
+use crate::tsdb::TimeSeriesDb;
+use knots_sim::cluster::Cluster;
+use knots_sim::pod::PodState;
+
+/// Sample every node (and resident pod) of the cluster into the store.
+///
+/// Call once per heartbeat, after `Cluster::step`.
+pub fn sample_cluster(cluster: &Cluster, db: &TimeSeriesDb) {
+    for node in cluster.nodes() {
+        db.push_node(node.id(), node.last_sample());
+        for (pod_id, pod) in node.residents() {
+            if matches!(pod.state(), PodState::Running) {
+                db.push_pod(pod_id, node.last_sample().at, pod.last_usage());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knots_sim::cluster::ClusterConfig;
+    use knots_sim::ids::NodeId;
+    use knots_sim::pod::PodSpec;
+    use knots_sim::profile::ResourceProfile;
+    use knots_sim::resources::GpuModel;
+    use knots_sim::time::{SimDuration, SimTime};
+
+    #[test]
+    fn probe_records_node_and_pod_series() {
+        let mut cfg = ClusterConfig::homogeneous(2, GpuModel::P100);
+        cfg.overheads.cold_start_pull = SimDuration::ZERO;
+        let mut cluster = Cluster::new(cfg);
+        let db = TimeSeriesDb::default();
+        let id = cluster
+            .submit(PodSpec::batch("x", ResourceProfile::constant(0.5, 2000.0, 10.0)), SimTime::ZERO);
+        cluster.place(id, NodeId(0)).unwrap();
+        for _ in 0..20 {
+            cluster.step(SimDuration::from_millis(10));
+            sample_cluster(&cluster, &db);
+        }
+        assert_eq!(db.node_len(NodeId(0)), 20);
+        assert_eq!(db.node_len(NodeId(1)), 20);
+        assert_eq!(db.pod_len(id), 20);
+        let mem =
+            db.pod_mem_series(id, cluster.now(), SimDuration::from_secs(5));
+        assert!(mem.iter().all(|&m| (m - 2000.0).abs() < 1e-9));
+        // Node 0 shows utilization; node 1 is idle.
+        let latest = db.latest_node(NodeId(0)).unwrap();
+        assert!((latest.sm_util - 0.5).abs() < 1e-9);
+        assert_eq!(db.latest_node(NodeId(1)).unwrap().sm_util, 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The in-memory time-series store (InfluxDB stand-in).
+//!
+//! One bounded ring buffer of [`GpuSample`]s per node, plus one bounded ring
+//! buffer of per-pod [`Usage`] samples per pod. Retention is capacity-based:
+//! with the paper's 1 ms heartbeat and 5 s sliding window (§IV-D), the
+//! default capacity of 8192 samples comfortably covers the window the
+//! schedulers query.
+
+use knots_sim::ids::{NodeId, PodId};
+use knots_sim::metrics::{GpuSample, Metric};
+use knots_sim::resources::Usage;
+use knots_sim::time::{SimDuration, SimTime};
+use parking_lot::RwLock;
+use std::collections::{HashMap, VecDeque};
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TsdbConfig {
+    /// Maximum retained samples per node series.
+    pub node_capacity: usize,
+    /// Maximum retained samples per pod series.
+    pub pod_capacity: usize,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> Self {
+        TsdbConfig { node_capacity: 8192, pod_capacity: 8192 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    nodes: HashMap<NodeId, VecDeque<GpuSample>>,
+    pods: HashMap<PodId, VecDeque<(SimTime, Usage)>>,
+}
+
+/// The time-series database.
+///
+/// Thread-safe: writers (node samplers) and readers (the head-node
+/// aggregator) take the internal lock independently.
+#[derive(Debug)]
+pub struct TimeSeriesDb {
+    cfg: TsdbConfig,
+    inner: RwLock<Inner>,
+}
+
+impl Default for TimeSeriesDb {
+    fn default() -> Self {
+        Self::new(TsdbConfig::default())
+    }
+}
+
+impl TimeSeriesDb {
+    /// Create an empty store.
+    pub fn new(cfg: TsdbConfig) -> Self {
+        TimeSeriesDb { cfg, inner: RwLock::new(Inner::default()) }
+    }
+
+    /// Append a node sample.
+    pub fn push_node(&self, node: NodeId, sample: GpuSample) {
+        let mut g = self.inner.write();
+        let q = g.nodes.entry(node).or_default();
+        if q.len() == self.cfg.node_capacity {
+            q.pop_front();
+        }
+        q.push_back(sample);
+    }
+
+    /// Append a pod usage sample.
+    pub fn push_pod(&self, pod: PodId, at: SimTime, usage: Usage) {
+        let mut g = self.inner.write();
+        let q = g.pods.entry(pod).or_default();
+        if q.len() == self.cfg.pod_capacity {
+            q.pop_front();
+        }
+        q.push_back((at, usage));
+    }
+
+    /// Drop a pod's series (pod finished; keeps the store bounded over long
+    /// experiments).
+    pub fn forget_pod(&self, pod: PodId) {
+        self.inner.write().pods.remove(&pod);
+    }
+
+    /// Number of samples currently retained for a node.
+    pub fn node_len(&self, node: NodeId) -> usize {
+        self.inner.read().nodes.get(&node).map_or(0, |q| q.len())
+    }
+
+    /// Number of samples currently retained for a pod.
+    pub fn pod_len(&self, pod: PodId) -> usize {
+        self.inner.read().pods.get(&pod).map_or(0, |q| q.len())
+    }
+
+    /// The most recent node sample, if any.
+    pub fn latest_node(&self, node: NodeId) -> Option<GpuSample> {
+        self.inner.read().nodes.get(&node).and_then(|q| q.back().copied())
+    }
+
+    /// Node samples within the trailing `window` ending at `now`, oldest
+    /// first. This is the §IV-D sliding window (default 5 s) query.
+    pub fn node_window(&self, node: NodeId, now: SimTime, window: SimDuration) -> Vec<GpuSample> {
+        let start = SimTime(now.0.saturating_sub(window.0));
+        self.inner
+            .read()
+            .nodes
+            .get(&node)
+            .map(|q| q.iter().filter(|s| s.at >= start && s.at <= now).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// One metric of a node over the trailing window, as a plain series.
+    pub fn node_series(
+        &self,
+        node: NodeId,
+        metric: Metric,
+        now: SimTime,
+        window: SimDuration,
+    ) -> Vec<f64> {
+        self.node_window(node, now, window).iter().map(|s| s.get(metric)).collect()
+    }
+
+    /// Pod usage samples within the trailing window, oldest first.
+    pub fn pod_window(&self, pod: PodId, now: SimTime, window: SimDuration) -> Vec<(SimTime, Usage)> {
+        let start = SimTime(now.0.saturating_sub(window.0));
+        self.inner
+            .read()
+            .pods
+            .get(&pod)
+            .map(|q| q.iter().filter(|(t, _)| *t >= start && *t <= now).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// A pod's memory series over the trailing window.
+    pub fn pod_mem_series(&self, pod: PodId, now: SimTime, window: SimDuration) -> Vec<f64> {
+        self.pod_window(pod, now, window).iter().map(|(_, u)| u.mem_mb).collect()
+    }
+
+    /// A pod's SM-share series over the trailing window.
+    pub fn pod_sm_series(&self, pod: PodId, now: SimTime, window: SimDuration) -> Vec<f64> {
+        self.pod_window(pod, now, window).iter().map(|(_, u)| u.sm_frac).collect()
+    }
+
+    /// A pod's total-bandwidth series over the trailing window.
+    pub fn pod_bw_series(&self, pod: PodId, now: SimTime, window: SimDuration) -> Vec<f64> {
+        self.pod_window(pod, now, window).iter().map(|(_, u)| u.total_bw_mbps()).collect()
+    }
+
+    /// Clear everything (between experiment repetitions).
+    pub fn clear(&self) {
+        let mut g = self.inner.write();
+        g.nodes.clear();
+        g.pods.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ms: u64, sm: f64) -> GpuSample {
+        GpuSample { at: SimTime::from_millis(ms), sm_util: sm, ..Default::default() }
+    }
+
+    #[test]
+    fn push_and_window_query() {
+        let db = TimeSeriesDb::default();
+        for i in 0..100 {
+            db.push_node(NodeId(0), sample(i * 10, i as f64 / 100.0));
+        }
+        assert_eq!(db.node_len(NodeId(0)), 100);
+        let w = db.node_window(NodeId(0), SimTime::from_millis(990), SimDuration::from_millis(200));
+        assert_eq!(w.len(), 21); // samples at 790..=990 inclusive
+        assert!(w.first().unwrap().at >= SimTime::from_millis(790));
+        assert_eq!(db.latest_node(NodeId(0)).unwrap().at, SimTime::from_millis(990));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let db = TimeSeriesDb::new(TsdbConfig { node_capacity: 10, pod_capacity: 4 });
+        for i in 0..25 {
+            db.push_node(NodeId(1), sample(i, 0.0));
+        }
+        assert_eq!(db.node_len(NodeId(1)), 10);
+        let w = db.node_window(NodeId(1), SimTime::from_millis(30), SimDuration::from_secs(10));
+        assert_eq!(w.first().unwrap().at, SimTime::from_micros(15_000));
+    }
+
+    #[test]
+    fn metric_series_extraction() {
+        let db = TimeSeriesDb::default();
+        for i in 0..5 {
+            db.push_node(NodeId(0), sample(i, (i as f64) / 10.0));
+        }
+        let s = db.node_series(NodeId(0), Metric::SmUtil, SimTime::from_millis(10), SimDuration::from_secs(1));
+        assert_eq!(s, vec![0.0, 0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn pod_series_round_trip() {
+        let db = TimeSeriesDb::default();
+        for i in 0..10u64 {
+            db.push_pod(
+                PodId(7),
+                SimTime::from_millis(i),
+                Usage::new(0.5, 100.0 + i as f64, 1.0, 2.0),
+            );
+        }
+        assert_eq!(db.pod_len(PodId(7)), 10);
+        let mem = db.pod_mem_series(PodId(7), SimTime::from_millis(9), SimDuration::from_secs(1));
+        assert_eq!(mem.len(), 10);
+        assert_eq!(mem[9], 109.0);
+        let bw = db.pod_bw_series(PodId(7), SimTime::from_millis(9), SimDuration::from_secs(1));
+        assert!(bw.iter().all(|&b| (b - 3.0).abs() < 1e-12));
+        db.forget_pod(PodId(7));
+        assert_eq!(db.pod_len(PodId(7)), 0);
+    }
+
+    #[test]
+    fn empty_queries_are_empty() {
+        let db = TimeSeriesDb::default();
+        assert!(db.node_window(NodeId(3), SimTime::from_secs(1), SimDuration::from_secs(1)).is_empty());
+        assert!(db.latest_node(NodeId(3)).is_none());
+        assert_eq!(db.pod_sm_series(PodId(1), SimTime::ZERO, SimDuration::from_secs(1)).len(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let db = TimeSeriesDb::default();
+        db.push_node(NodeId(0), sample(0, 0.1));
+        db.push_pod(PodId(0), SimTime::ZERO, Usage::ZERO);
+        db.clear();
+        assert_eq!(db.node_len(NodeId(0)), 0);
+        assert_eq!(db.pod_len(PodId(0)), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_and_reader() {
+        let db = std::sync::Arc::new(TimeSeriesDb::default());
+        let mut handles = vec![];
+        for n in 0..4usize {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    db.push_node(NodeId(n), sample(i, 0.5));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for n in 0..4usize {
+            assert_eq!(db.node_len(NodeId(n)), 1000);
+        }
+    }
+}

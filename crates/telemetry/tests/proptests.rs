@@ -1,0 +1,82 @@
+//! Property-based tests for the time-series store and snapshots.
+
+use knots_sim::ids::{NodeId, PodId};
+use knots_sim::metrics::GpuSample;
+use knots_sim::resources::Usage;
+use knots_sim::time::{SimDuration, SimTime};
+use knots_telemetry::{TimeSeriesDb, TsdbConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Ring buffers respect their capacity and keep the most recent data.
+    #[test]
+    fn ring_buffer_respects_capacity(
+        cap in 8usize..128,
+        n in 1usize..512,
+    ) {
+        let db = TimeSeriesDb::new(TsdbConfig { node_capacity: cap, pod_capacity: cap });
+        for t in 0..n as u64 {
+            db.push_node(
+                NodeId(0),
+                GpuSample { at: SimTime::from_millis(t), ..Default::default() },
+            );
+        }
+        prop_assert_eq!(db.node_len(NodeId(0)), n.min(cap));
+        if n > 0 {
+            let latest = db.latest_node(NodeId(0)).unwrap();
+            prop_assert_eq!(latest.at, SimTime::from_millis(n as u64 - 1));
+        }
+    }
+
+    /// Window queries return samples sorted by time, all inside the window.
+    #[test]
+    fn window_queries_are_sorted_and_in_range(
+        stamps in proptest::collection::vec(0u64..10_000, 1..128),
+        now_ms in 0u64..12_000,
+        win_ms in 1u64..8_000,
+    ) {
+        let db = TimeSeriesDb::default();
+        let mut sorted_stamps = stamps.clone();
+        sorted_stamps.sort_unstable();
+        for t in &sorted_stamps {
+            db.push_node(
+                NodeId(1),
+                GpuSample { at: SimTime::from_millis(*t), ..Default::default() },
+            );
+        }
+        let now = SimTime::from_millis(now_ms);
+        let win = SimDuration::from_millis(win_ms);
+        let got = db.node_window(NodeId(1), now, win);
+        let start = SimTime(now.0.saturating_sub(win.0));
+        prop_assert!(got.windows(2).all(|w| w[0].at <= w[1].at));
+        prop_assert!(got.iter().all(|s| s.at >= start && s.at <= now));
+        let expected = sorted_stamps
+            .iter()
+            .filter(|&&t| {
+                let at = SimTime::from_millis(t);
+                at >= start && at <= now
+            })
+            .count();
+        prop_assert_eq!(got.len(), expected);
+    }
+
+    /// Pod metric series extraction matches what was pushed.
+    #[test]
+    fn pod_series_values_round_trip(mems in proptest::collection::vec(0.0f64..16_384.0, 1..64)) {
+        let db = TimeSeriesDb::default();
+        for (t, &m) in mems.iter().enumerate() {
+            db.push_pod(PodId(3), SimTime::from_millis(t as u64), Usage::new(0.1, m, 1.0, 2.0));
+        }
+        let got = db.pod_mem_series(
+            PodId(3),
+            SimTime::from_millis(mems.len() as u64),
+            SimDuration::from_secs(60),
+        );
+        prop_assert_eq!(got.len(), mems.len());
+        for (a, b) in got.iter().zip(&mems) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

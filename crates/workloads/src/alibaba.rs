@@ -1,0 +1,303 @@
+//! Statistical re-synthesis of the Alibaba production CPU trace (§II-B).
+//!
+//! The original trace (1300 machines, 12 h, 12 951 batch jobs + 11 089
+//! latency-critical containers) is not redistributable here, so this module
+//! regenerates its *scheduler-relevant statistics*, which is all the paper
+//! itself uses:
+//!
+//! * **arrivals** — a bursty, diurnally-modulated process whose
+//!   burstiness is tunable (the app-mix COV classes of Table I);
+//! * **overcommitment** (Fig. 2b) — containers request far more than they
+//!   use: mean CPU utilization ≈ 47% and memory ≈ 76% of request, with
+//!   "half of the scheduled pods consume less than 45% of the provisioned
+//!   memory on an average" visible in the CDF;
+//! * **correlation structure** (Fig. 2a/2c) — batch tasks' utilization
+//!   metrics are strongly mutually correlated (core ↔ memory ↔ load
+//!   averages), while latency-critical tasks' metrics show no usable
+//!   structure because the tasks are too short-lived.
+
+use crate::distributions::{exponential, normal};
+use knots_sim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Scale of the original trace, for reference and for full-size synthesis.
+pub mod trace_scale {
+    /// Machines in the Alibaba 2017 trace.
+    pub const MACHINES: usize = 1300;
+    /// Batch jobs over the 12 h window.
+    pub const BATCH_JOBS: usize = 12_951;
+    /// Latency-critical containers.
+    pub const LC_CONTAINERS: usize = 11_089;
+    /// Trace duration in hours.
+    pub const HOURS: u64 = 12;
+}
+
+// ---------------------------------------------------------------------
+// Arrival process
+// ---------------------------------------------------------------------
+
+/// A Markov-modulated Poisson arrival process: a calm state and a burst
+/// state with different rates. Raising `burst_rate_multiplier` (and the
+/// dwell asymmetry) raises the coefficient of variation of inter-arrivals,
+/// which is how the Table I COV classes are realized.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArrivalProcess {
+    /// Long-run mean arrival rate, tasks/second.
+    pub mean_rate: f64,
+    /// Burst-state rate relative to the calm-state rate (≥ 1).
+    pub burst_rate_multiplier: f64,
+    /// Fraction of time spent in the burst state, `(0, 1)`.
+    pub burst_fraction: f64,
+    /// Mean dwell time in the burst state, seconds.
+    pub burst_dwell_secs: f64,
+    /// Apply a slow diurnal modulation (±30% over a 6 h period), as in the
+    /// production trace's day/night swing.
+    pub diurnal: bool,
+}
+
+impl ArrivalProcess {
+    /// A smooth (nearly Poisson) process — the LOW-COV class.
+    pub fn steady(mean_rate: f64) -> Self {
+        ArrivalProcess {
+            mean_rate,
+            burst_rate_multiplier: 1.0,
+            burst_fraction: 0.5,
+            burst_dwell_secs: 10.0,
+            diurnal: false,
+        }
+    }
+
+    /// A moderately bursty process — the MED-COV class.
+    pub fn bursty(mean_rate: f64) -> Self {
+        ArrivalProcess {
+            mean_rate,
+            burst_rate_multiplier: 4.0,
+            burst_fraction: 0.25,
+            burst_dwell_secs: 8.0,
+            diurnal: false,
+        }
+    }
+
+    /// A heavy-tailed, sporadic process — the HIGH-COV class.
+    pub fn sporadic(mean_rate: f64) -> Self {
+        ArrivalProcess {
+            mean_rate,
+            burst_rate_multiplier: 12.0,
+            burst_fraction: 0.10,
+            burst_dwell_secs: 5.0,
+            diurnal: false,
+        }
+    }
+
+    /// Generate arrival instants over `[0, duration)`.
+    pub fn generate(&self, duration: SimDuration, rng: &mut StdRng) -> Vec<SimTime> {
+        assert!(self.mean_rate > 0.0);
+        assert!((0.0..1.0).contains(&self.burst_fraction) || self.burst_rate_multiplier == 1.0);
+        // Solve calm rate so the long-run mean matches:
+        // mean = f·burst_mult·calm + (1−f)·calm
+        let calm_rate = self.mean_rate
+            / (self.burst_fraction * self.burst_rate_multiplier + (1.0 - self.burst_fraction));
+        let burst_rate = calm_rate * self.burst_rate_multiplier;
+        let calm_dwell =
+            self.burst_dwell_secs * (1.0 - self.burst_fraction) / self.burst_fraction.max(1e-9);
+
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let end = duration.as_secs_f64();
+        let mut in_burst = rng.gen_bool(self.burst_fraction.clamp(0.0, 1.0));
+        let mut state_end = t + exponential(rng, 1.0 / if in_burst { self.burst_dwell_secs } else { calm_dwell });
+        while t < end {
+            let mut rate = if in_burst { burst_rate } else { calm_rate };
+            if self.diurnal {
+                // ±30% swing over a 6 h period.
+                let phase = t / (6.0 * 3600.0) * std::f64::consts::TAU;
+                rate *= 1.0 + 0.3 * phase.sin();
+            }
+            t += exponential(rng, rate.max(1e-9));
+            while t > state_end {
+                in_burst = !in_burst;
+                state_end += exponential(rng, 1.0 / if in_burst { self.burst_dwell_secs } else { calm_dwell });
+            }
+            if t < end {
+                out.push(SimTime::from_micros((t * 1e6) as u64));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overcommitment records (Fig. 2b)
+// ---------------------------------------------------------------------
+
+/// Per-container utilization-vs-request statistics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ContainerRecord {
+    /// Mean CPU utilization as a fraction of request.
+    pub avg_cpu: f64,
+    /// Peak CPU utilization as a fraction of request.
+    pub max_cpu: f64,
+    /// Mean memory utilization as a fraction of request.
+    pub avg_mem: f64,
+    /// Peak memory utilization as a fraction of request.
+    pub max_mem: f64,
+}
+
+/// Synthesize `n` latency-critical container records with the Fig. 2b
+/// moments: mean(avg_cpu) ≈ 0.47, mean(avg_mem) ≈ 0.76, and peaks that
+/// almost never exceed the request.
+pub fn container_records(n: usize, seed: u64) -> Vec<ContainerRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let avg_cpu = normal(&mut rng, 0.47, 0.18).clamp(0.02, 0.98);
+            let avg_mem = normal(&mut rng, 0.76, 0.14).clamp(0.05, 1.0);
+            let max_cpu = (avg_cpu + normal(&mut rng, 0.25, 0.10).abs()).clamp(avg_cpu, 1.0);
+            let max_mem = (avg_mem + normal(&mut rng, 0.12, 0.06).abs()).clamp(avg_mem, 1.05);
+            ContainerRecord { avg_cpu, max_cpu, avg_mem, max_mem }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Metric correlation series (Fig. 2a / 2c)
+// ---------------------------------------------------------------------
+
+/// The eight utilization metrics of a latency-critical container (Fig. 2a).
+pub const LC_METRICS: [&str; 8] =
+    ["cpu_util", "mem_util", "load_1", "load_5", "load_15", "net_in", "net_out", "disk_io"];
+
+/// The six utilization metrics of a batch task (Fig. 2c).
+pub const BATCH_METRICS: [&str; 6] =
+    ["core_util", "mem_util", "load_1", "load_5", "load_15", "net_util"];
+
+/// Batch-task metric series: a shared latent load drives every metric, so
+/// pairwise Spearman correlations are strong (positive between core, memory
+/// and the load averages — Observation 3).
+pub fn batch_metric_series(len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Latent slowly-varying load in [0, 1].
+    let mut latent = Vec::with_capacity(len);
+    let mut l = 0.5f64;
+    for _ in 0..len {
+        l = (l + normal(&mut rng, 0.0, 0.05)).clamp(0.05, 1.0);
+        latent.push(l);
+    }
+    // Load averages are progressively smoothed copies of the latent load.
+    let smooth = |xs: &[f64], w: usize| knots_forecast::stats::moving_average(xs, w);
+    let core: Vec<f64> =
+        latent.iter().map(|&l| (l + normal(&mut rng, 0.0, 0.03)).clamp(0.0, 1.0)).collect();
+    let mem: Vec<f64> =
+        latent.iter().map(|&l| (0.2 + 0.75 * l + normal(&mut rng, 0.0, 0.03)).clamp(0.0, 1.0)).collect();
+    let load1 = smooth(&core, 3);
+    let load5 = smooth(&core, 15);
+    let load15 = smooth(&core, 45);
+    let net: Vec<f64> =
+        latent.iter().map(|&l| (0.5 * l + normal(&mut rng, 0.0, 0.08)).clamp(0.0, 1.0)).collect();
+    vec![core, mem, load1, load5, load15, net]
+}
+
+/// Latency-critical metric series: the tasks are seconds-long, so each
+/// metric is dominated by independent noise — "no clear correlation
+/// indicators to predict utilization since these tasks are short-lived".
+pub fn lc_metric_series(len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..LC_METRICS.len())
+        .map(|_| (0..len).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knots_forecast::spearman::correlation_matrix;
+    use knots_forecast::stats::{cov, mean};
+
+    #[test]
+    fn arrival_rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ArrivalProcess::bursty(5.0);
+        let arr = p.generate(SimDuration::from_secs(2000), &mut rng);
+        let rate = arr.len() as f64 / 2000.0;
+        assert!((rate - 5.0).abs() < 0.5, "rate {rate}");
+        // Sorted, in-range.
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|t| *t < SimTime::from_secs(2000)));
+    }
+
+    #[test]
+    fn burstiness_raises_interarrival_cov() {
+        let mut r1 = StdRng::seed_from_u64(2);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let steady = ArrivalProcess::steady(5.0).generate(SimDuration::from_secs(3000), &mut r1);
+        let sporadic = ArrivalProcess::sporadic(5.0).generate(SimDuration::from_secs(3000), &mut r2);
+        let gaps = |v: &[SimTime]| -> Vec<f64> {
+            v.windows(2).map(|w| (w[1].0 - w[0].0) as f64).collect()
+        };
+        let cov_steady = cov(&gaps(&steady));
+        let cov_sporadic = cov(&gaps(&sporadic));
+        assert!(cov_steady < 1.2, "steady COV {cov_steady}");
+        assert!(cov_sporadic > cov_steady + 0.3, "sporadic {cov_sporadic} vs steady {cov_steady}");
+    }
+
+    #[test]
+    fn overcommitment_moments_match_fig2b() {
+        let recs = container_records(8000, 3);
+        let avg_cpu = mean(&recs.iter().map(|r| r.avg_cpu).collect::<Vec<_>>());
+        let avg_mem = mean(&recs.iter().map(|r| r.avg_mem).collect::<Vec<_>>());
+        assert!((avg_cpu - 0.47).abs() < 0.03, "avg cpu {avg_cpu}");
+        assert!((avg_mem - 0.76).abs() < 0.03, "avg mem {avg_mem}");
+        // Peaks are bounded by the provision (tiny tolerance for mem).
+        assert!(recs.iter().all(|r| r.max_cpu <= 1.0 && r.max_mem <= 1.05));
+        // "Maximum memory utilization for almost all containers does not
+        // exceed 80% of the provisioned memory" — i.e. most stay under.
+        let under80 = recs.iter().filter(|r| r.avg_mem <= 0.9).count() as f64 / recs.len() as f64;
+        assert!(under80 > 0.7);
+    }
+
+    #[test]
+    fn batch_metrics_are_strongly_correlated() {
+        let series = batch_metric_series(2000, 4);
+        let m = correlation_matrix(&series);
+        // core vs mem, core vs load_1: strongly positive.
+        assert!(m[0][1] > 0.6, "core-mem {}", m[0][1]);
+        assert!(m[0][2] > 0.6, "core-load1 {}", m[0][2]);
+        assert!(m[2][3] > 0.6, "load1-load5 {}", m[2][3]);
+    }
+
+    #[test]
+    fn lc_metrics_are_uncorrelated() {
+        let series = lc_metric_series(2000, 5);
+        let m = correlation_matrix(&series);
+        for i in 0..series.len() {
+            for j in 0..series.len() {
+                if i != j {
+                    assert!(m[i][j].abs() < 0.15, "lc {i},{j}: {}", m[i][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metric_name_tables() {
+        assert_eq!(LC_METRICS.len(), 8);
+        assert_eq!(BATCH_METRICS.len(), 6);
+        assert_eq!(batch_metric_series(100, 0).len(), BATCH_METRICS.len());
+        assert_eq!(lc_metric_series(100, 0).len(), LC_METRICS.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = {
+            let mut r = StdRng::seed_from_u64(9);
+            ArrivalProcess::bursty(3.0).generate(SimDuration::from_secs(100), &mut r)
+        };
+        let b = {
+            let mut r = StdRng::seed_from_u64(9);
+            ArrivalProcess::bursty(3.0).generate(SimDuration::from_secs(100), &mut r)
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,176 @@
+//! The three application mixes of Table I.
+//!
+//! | Mix | Batch (Rodinia) | LC (Djinn & Tonic) | Load | COV |
+//! |-----|-----------------|--------------------|------|-----|
+//! | 1 | leukocyte, heartwall, particlefilter, mummergpu | face, key | HIGH | LOW |
+//! | 2 | pathfinder, lud, kmeans, streamcluster | chk, ner, pos | MED | MED |
+//! | 3 | particlefilter, streamcluster, lud, myocyte | imc, face | LOW | HIGH |
+
+use crate::alibaba::ArrivalProcess;
+use crate::djinn::InferenceService;
+use crate::rodinia::RodiniaApp;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate load class of a mix (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadLevel {
+    /// Sustained heavy load.
+    High,
+    /// Moderate, steady load.
+    Med,
+    /// Light, sporadic load.
+    Low,
+}
+
+/// Coefficient-of-variation class of a mix (Table I, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CovClass {
+    /// COV well below 1: consistent load, easy to guarantee.
+    Low,
+    /// Intermediate.
+    Med,
+    /// COV above 1: heavy-tailed, interference-prone.
+    High,
+}
+
+/// One of the paper's three application mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppMix {
+    /// App-Mix-1: HIGH load, LOW COV.
+    Mix1,
+    /// App-Mix-2: MED load, MED COV.
+    Mix2,
+    /// App-Mix-3: LOW load, HIGH COV.
+    Mix3,
+}
+
+impl AppMix {
+    /// All three mixes in paper order.
+    pub const ALL: [AppMix; 3] = [AppMix::Mix1, AppMix::Mix2, AppMix::Mix3];
+
+    /// 1-based id, as the paper numbers them.
+    pub fn id(self) -> usize {
+        match self {
+            AppMix::Mix1 => 1,
+            AppMix::Mix2 => 2,
+            AppMix::Mix3 => 3,
+        }
+    }
+
+    /// The Rodinia batch applications in this mix (Table I).
+    pub fn batch_apps(self) -> &'static [RodiniaApp] {
+        match self {
+            AppMix::Mix1 => &[
+                RodiniaApp::Leukocyte,
+                RodiniaApp::Heartwall,
+                RodiniaApp::ParticleFilter,
+                RodiniaApp::MummerGpu,
+            ],
+            AppMix::Mix2 => &[
+                RodiniaApp::Pathfinder,
+                RodiniaApp::Lud,
+                RodiniaApp::Kmeans,
+                RodiniaApp::StreamCluster,
+            ],
+            AppMix::Mix3 => &[
+                RodiniaApp::ParticleFilter,
+                RodiniaApp::StreamCluster,
+                RodiniaApp::Lud,
+                RodiniaApp::Myocyte,
+            ],
+        }
+    }
+
+    /// The latency-critical inference services in this mix (Table I).
+    pub fn lc_services(self) -> &'static [InferenceService] {
+        match self {
+            AppMix::Mix1 => &[InferenceService::Face, InferenceService::Key],
+            AppMix::Mix2 => {
+                &[InferenceService::Chk, InferenceService::Ner, InferenceService::Pos]
+            }
+            AppMix::Mix3 => &[InferenceService::Imc, InferenceService::Face],
+        }
+    }
+
+    /// Load class (Table I).
+    pub fn load(self) -> LoadLevel {
+        match self {
+            AppMix::Mix1 => LoadLevel::High,
+            AppMix::Mix2 => LoadLevel::Med,
+            AppMix::Mix3 => LoadLevel::Low,
+        }
+    }
+
+    /// COV class (Table I).
+    pub fn cov(self) -> CovClass {
+        match self {
+            AppMix::Mix1 => CovClass::Low,
+            AppMix::Mix2 => CovClass::Med,
+            AppMix::Mix3 => CovClass::High,
+        }
+    }
+
+    /// Latency-critical query arrival process for a ten-node cluster.
+    /// Rates scale the Alibaba inter-arrival pattern to the testbed size;
+    /// burstiness realizes the COV class.
+    pub fn lc_arrivals(self) -> ArrivalProcess {
+        match self {
+            AppMix::Mix1 => ArrivalProcess::steady(10.0),
+            AppMix::Mix2 => ArrivalProcess::bursty(5.0),
+            AppMix::Mix3 => ArrivalProcess::sporadic(1.6),
+        }
+    }
+
+    /// Batch job arrival process (long-running jobs are the Pareto 20%).
+    pub fn batch_arrivals(self) -> ArrivalProcess {
+        match self {
+            AppMix::Mix1 => ArrivalProcess::steady(0.22),
+            AppMix::Mix2 => ArrivalProcess::bursty(0.11),
+            AppMix::Mix3 => ArrivalProcess::sporadic(0.04),
+        }
+    }
+}
+
+impl std::fmt::Display for AppMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "App-Mix-{}", self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_composition() {
+        assert_eq!(AppMix::Mix1.batch_apps().len(), 4);
+        assert_eq!(AppMix::Mix1.lc_services().len(), 2);
+        assert_eq!(AppMix::Mix2.lc_services().len(), 3);
+        assert!(AppMix::Mix3.batch_apps().contains(&RodiniaApp::Myocyte));
+        assert!(AppMix::Mix1.batch_apps().contains(&RodiniaApp::Leukocyte));
+        assert!(AppMix::Mix2.batch_apps().contains(&RodiniaApp::Kmeans));
+    }
+
+    #[test]
+    fn load_and_cov_classes() {
+        assert_eq!(AppMix::Mix1.load(), LoadLevel::High);
+        assert_eq!(AppMix::Mix1.cov(), CovClass::Low);
+        assert_eq!(AppMix::Mix2.load(), LoadLevel::Med);
+        assert_eq!(AppMix::Mix2.cov(), CovClass::Med);
+        assert_eq!(AppMix::Mix3.load(), LoadLevel::Low);
+        assert_eq!(AppMix::Mix3.cov(), CovClass::High);
+    }
+
+    #[test]
+    fn arrival_rates_rank_by_load() {
+        assert!(AppMix::Mix1.lc_arrivals().mean_rate > AppMix::Mix2.lc_arrivals().mean_rate);
+        assert!(AppMix::Mix2.lc_arrivals().mean_rate > AppMix::Mix3.lc_arrivals().mean_rate);
+        assert!(AppMix::Mix1.batch_arrivals().mean_rate > AppMix::Mix3.batch_arrivals().mean_rate);
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(AppMix::Mix2.to_string(), "App-Mix-2");
+        assert_eq!(AppMix::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! # knots-workloads — datacenter-representative GPU workloads
+//!
+//! The paper builds its evaluation from four ingredients, all reproduced
+//! here as seeded, deterministic generators:
+//!
+//! * [`alibaba`] — a statistical re-synthesis of the Alibaba 2017 production
+//!   trace: bursty task arrivals, the Pareto 80/20 short/long split, chronic
+//!   resource overstatement (mean CPU utilization 47%, memory 76% of
+//!   request) and the correlation structure of Fig. 2.
+//! * [`rodinia`] — nine phase-structured batch-application profiles standing
+//!   in for the Rodinia HPC suite (Fig. 3): PCIe bursts that foreshadow
+//!   compute/memory peaks, ~90× median-to-peak SM spread, whole-allocation
+//!   use for only ~6% of runtime.
+//! * [`djinn`] — the Djinn & Tonic DNN-inference services (Fig. 4): small
+//!   per-query footprints that grow sub-linearly with batch size, behind a
+//!   TensorFlow-style greedy-memory default.
+//! * [`dnn`] — the §V-C simulation workload: 520 deep-learning training jobs
+//!   (Tiresias-modeled durations, periodic mini-batch peaks) plus 1400
+//!   inference tasks.
+//!
+//! [`appmix`] encodes Table I's three application mixes with their load and
+//! coefficient-of-variation classes, and [`loadgen`] turns a mix plus an
+//! arrival process into a concrete submission schedule for the simulator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alibaba;
+pub mod appmix;
+pub mod distributions;
+pub mod djinn;
+pub mod dnn;
+pub mod loadgen;
+pub mod rodinia;
+
+pub use appmix::{AppMix, CovClass, LoadLevel};
+pub use loadgen::{LoadGenerator, ScheduledPod};

@@ -1,0 +1,35 @@
+//! # kube-knots — a Rust reproduction of *Kube-Knots: Resource Harvesting
+//! through Dynamic Container Orchestration in GPU-based Datacenters*
+//! (IEEE CLUSTER 2019).
+//!
+//! This is the facade crate: it re-exports the whole workspace so examples,
+//! integration tests and downstream users need a single dependency.
+//!
+//! * [`sim`] — the discrete-time GPU cluster simulator substrate.
+//! * [`telemetry`] — the Knots monitoring layer (pyNVML + InfluxDB stand-in).
+//! * [`forecast`] — Spearman (Eq. 1), autocorrelation (Eq. 2), ARIMA (Eq. 3)
+//!   and the comparison regressors of Fig. 10b.
+//! * [`workloads`] — Alibaba-style traces, Rodinia batch profiles,
+//!   Djinn & Tonic inference services, the §V-C DNN workload, Table I mixes.
+//! * [`sched`] — Uniform, Res-Ag, CBP, CBP+PP, Gandiva, Tiresias.
+//! * [`core`] — the orchestrator, experiment runners and run reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kube_knots::core::prelude::*;
+//!
+//! let cfg = ExperimentConfig {
+//!     duration: SimDuration::from_secs(20),
+//!     ..Default::default()
+//! };
+//! let report = run_mix(Box::new(CbpPp::new()), AppMix::Mix3, &cfg);
+//! assert!(report.completed > 0);
+//! ```
+
+pub use knots_core as core;
+pub use knots_forecast as forecast;
+pub use knots_sched as sched;
+pub use knots_sim as sim;
+pub use knots_telemetry as telemetry;
+pub use knots_workloads as workloads;

@@ -1,0 +1,158 @@
+//! Property-based tests over the simulator's core invariants: whatever a
+//! (randomized) scheduler does, the cluster must preserve conservation and
+//! capacity properties.
+
+use kube_knots::sim::prelude::*;
+use proptest::prelude::*;
+
+/// A random but valid pod spec.
+fn arb_spec() -> impl Strategy<Value = PodSpec> {
+    (
+        0.05f64..1.0,        // sm
+        64.0f64..12_000.0,   // mem
+        0.05f64..5.0,        // work secs
+        0.5f64..1.8,         // request factor (under- and over-stated)
+        proptest::bool::ANY, // greedy
+        proptest::bool::ANY, // latency critical
+    )
+        .prop_map(|(sm, mem, work, reqf, greedy, lc)| {
+            let profile = ResourceProfile::constant(sm, mem, work);
+            let base = if lc {
+                PodSpec::latency_critical("p", profile)
+            } else {
+                PodSpec::batch("p", profile)
+            };
+            base.with_request_mb((mem * reqf).min(16_384.0)).with_greedy_memory(greedy)
+        })
+}
+
+/// Random action script entry: (pod index, node index, kind).
+#[derive(Debug, Clone)]
+enum Op {
+    Place(usize, usize),
+    Resize(usize, f64),
+    Preempt(usize),
+    Resume(usize, usize),
+    Step,
+}
+
+fn arb_op(pods: usize, nodes: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0..pods), (0..nodes)).prop_map(|(p, n)| Op::Place(p, n)),
+        ((0..pods), 32.0f64..16_384.0).prop_map(|(p, m)| Op::Resize(p, m)),
+        (0..pods).prop_map(Op::Preempt),
+        ((0..pods), (0..nodes)).prop_map(|(p, n)| Op::Resume(p, n)),
+        Just(Op::Step),
+        Just(Op::Step),
+        Just(Op::Step),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Whatever sequence of (possibly invalid) actions is applied, the
+    /// cluster never reports memory above capacity, never loses pods, and
+    /// keeps energy monotonically increasing.
+    #[test]
+    fn cluster_invariants_under_random_drivers(
+        specs in proptest::collection::vec(arb_spec(), 1..12),
+        ops in proptest::collection::vec(arb_op(12, 3), 1..80),
+    ) {
+        let mut cluster = Cluster::new(ClusterConfig::homogeneous(3, GpuModel::P100));
+        let ids: Vec<PodId> =
+            specs.into_iter().map(|s| cluster.submit(s, SimTime::ZERO)).collect();
+        let mut prev_energy = 0.0;
+        for op in ops {
+            // Errors are fine (invalid transitions must be *rejected*, not
+            // corrupt state); panics are not.
+            match op {
+                Op::Place(p, n) => {
+                    let _ = cluster.place(*ids.get(p % ids.len()).unwrap(), NodeId(n));
+                }
+                Op::Resize(p, m) => {
+                    let _ = cluster.resize(*ids.get(p % ids.len()).unwrap(), m);
+                }
+                Op::Preempt(p) => {
+                    let _ = cluster.preempt(*ids.get(p % ids.len()).unwrap());
+                }
+                Op::Resume(p, n) => {
+                    let _ = cluster.resume(*ids.get(p % ids.len()).unwrap(), NodeId(n));
+                }
+                Op::Step => cluster.step(SimDuration::from_millis(10)),
+            }
+            // Capacity: measured memory never exceeds the device.
+            for node in cluster.nodes() {
+                prop_assert!(node.last_sample().mem_used_mb <= 16_384.0 + 1e-6);
+                prop_assert!(node.last_sample().sm_util <= 1.0 + 1e-9);
+            }
+            // Energy is monotone.
+            let e = cluster.total_energy_joules();
+            prop_assert!(e >= prev_energy - 1e-9);
+            prev_energy = e;
+            // Conservation: every pod is exactly somewhere.
+            let mut found = 0usize;
+            for id in &ids {
+                if cluster.pod(*id).is_some() {
+                    found += 1;
+                }
+            }
+            prop_assert_eq!(found, ids.len(), "pods lost or duplicated");
+        }
+    }
+
+    /// Profiles: quantiles are monotone in q and bounded by the peak.
+    #[test]
+    fn profile_quantiles_are_monotone(
+        phases in proptest::collection::vec(
+            (0.01f64..5.0, 0.0f64..1.0, 1.0f64..16_000.0), 1..12),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let profile = ResourceProfile::new(
+            phases
+                .into_iter()
+                .map(|(w, sm, mem)| Phase::new(w, Usage::new(sm, mem, 0.0, 0.0)))
+                .collect(),
+        );
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(profile.mem_percentile(lo) <= profile.mem_percentile(hi) + 1e-9);
+        prop_assert!(profile.mem_percentile(1.0) <= profile.peak_demand().mem_mb + 1e-9);
+        prop_assert!(profile.mean_mem_mb() <= profile.peak_demand().mem_mb + 1e-9);
+        // demand_at stays within the phase envelope.
+        let total = profile.total_work();
+        for i in 0..20 {
+            let d = profile.demand_at(total * i as f64 / 19.0);
+            prop_assert!(d.mem_mb <= profile.peak_demand().mem_mb + 1e-9);
+            prop_assert!(d.sm_frac <= profile.peak_demand().sm_frac + 1e-9);
+        }
+    }
+
+    /// A solo pod's completion time equals its work (no contention, full
+    /// speed), up to one tick of quantization.
+    #[test]
+    fn solo_pod_runs_at_profile_speed(
+        sm in 0.05f64..1.0,
+        mem in 64.0f64..15_000.0,
+        work_ms in 50u64..2_000,
+    ) {
+        let mut cfg = ClusterConfig::homogeneous(1, GpuModel::P100);
+        cfg.overheads.cold_start_pull = SimDuration::ZERO;
+        let mut cluster = Cluster::new(cfg);
+        let id = cluster.submit(
+            PodSpec::batch("solo", ResourceProfile::constant(sm, mem, work_ms as f64 / 1000.0)),
+            SimTime::ZERO,
+        );
+        cluster.place(id, NodeId(0)).unwrap();
+        let tick = SimDuration::from_millis(10);
+        let mut ticks = 0u64;
+        while !cluster.pod(id).unwrap().state().is_completed() {
+            cluster.step(tick);
+            ticks += 1;
+            prop_assert!(ticks < 10_000, "runaway");
+        }
+        let elapsed_ms = ticks * 10;
+        prop_assert!(elapsed_ms >= work_ms, "finished early: {elapsed_ms} < {work_ms}");
+        prop_assert!(elapsed_ms <= work_ms + 10, "finished late: {elapsed_ms} vs {work_ms}");
+    }
+}
