@@ -26,7 +26,8 @@ fn bench_correlation_window(c: &mut Criterion) {
 }
 
 fn bench_binpack(c: &mut Criterion) {
-    let bins: Vec<(usize, f64)> = (0..256).map(|i| (i, 1_000.0 + (i % 17) as f64 * 900.0)).collect();
+    let bins: Vec<(usize, f64)> =
+        (0..256).map(|i| (i, 1_000.0 + (i % 17) as f64 * 900.0)).collect();
     let mut group = c.benchmark_group("binpack_256bins");
     for (name, strat) in [
         ("first_fit", PackStrategy::FirstFit),

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use knots_sched::context::{app_key, PendingPodView, SchedContext};
-use knots_sched::{cbp::Cbp, pp::CbpPp, resag::ResAg, tiresias::Tiresias, uniform::Uniform, Scheduler};
+use knots_sched::{
+    cbp::Cbp, pp::CbpPp, resag::ResAg, tiresias::Tiresias, uniform::Uniform, Scheduler,
+};
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::metrics::GpuSample;
 use knots_sim::pod::QosClass;
@@ -99,6 +101,7 @@ fn bench_decide(c: &mut Criterion) {
             suspended: &[],
             tsdb: &db,
             window: SimDuration::from_secs(5),
+            recorder: None,
         };
         let label = format!("{nodes}n_{queue}q");
         group.bench_with_input(BenchmarkId::new("uniform", &label), &(), |b, _| {

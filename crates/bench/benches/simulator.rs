@@ -1,5 +1,5 @@
 //! Simulator stepping throughput, including the serial-vs-parallel node
-//! fan-out ablation (the `crossbeam` scope kicks in at the configured
+//! fan-out ablation (the scoped-thread fan-out kicks in at the configured
 //! threshold).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

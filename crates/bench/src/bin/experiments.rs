@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <command> [--quick] [--seed N] [--secs N] [--json DIR]
+//!                       [--trace FILE.jsonl] [--metrics FILE.prom]
 //!
 //! commands:
 //!   fig1      energy efficiency vs utilization (GPU vs CPUs)
@@ -16,6 +17,10 @@
 //!
 //! `--quick` shrinks run lengths for smoke testing; the defaults match the
 //! numbers recorded in EXPERIMENTS.md.
+//!
+//! `--trace` (cluster command) writes the scheduler-decision audit trail as
+//! JSONL; `--metrics` writes the control-loop counters and histograms in
+//! Prometheus text exposition format.
 
 use knots_bench::figures::*;
 use knots_bench::render::Table;
@@ -29,10 +34,13 @@ struct Opts {
     seed: u64,
     secs: Option<u64>,
     json_dir: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
-    let mut o = Opts { quick: false, seed: 42, secs: None, json_dir: None };
+    let mut o =
+        Opts { quick: false, seed: 42, secs: None, json_dir: None, trace: None, metrics: None };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -40,6 +48,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
             "--secs" => o.secs = it.next().and_then(|v| v.parse().ok()),
             "--json" => o.json_dir = it.next().cloned(),
+            "--trace" => o.trace = it.next().cloned(),
+            "--metrics" => o.metrics = it.next().cloned(),
             _ => {}
         }
     }
@@ -96,9 +106,24 @@ fn run_cluster(opts: &Opts) {
         "[cluster study: 4 schedulers x 3 mixes, {}s window each ...]",
         cfg.duration.as_secs_f64()
     );
+    // Event recording is only paid for when a trace sink was requested;
+    // the metrics registry is always live (counters are cheap).
+    let obs = if opts.trace.is_some() {
+        knots_obs::Obs::with_trace_capacity(1 << 20)
+    } else {
+        knots_obs::Obs::disabled()
+    };
     let t0 = std::time::Instant::now();
-    let study = fig06_09_cluster::ClusterStudy::run(&cfg);
+    let study = fig06_09_cluster::ClusterStudy::run_with_obs(&cfg, &obs);
     eprintln!("[cluster study done in {:.1?}]", t0.elapsed());
+    if let Some(path) = &opts.trace {
+        obs.recorder.write_jsonl(std::path::Path::new(path)).expect("write trace jsonl");
+        eprintln!("[wrote {path}: {} events]", obs.recorder.len());
+    }
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, obs.metrics.to_prometheus()).expect("write metrics");
+        eprintln!("[wrote {path}]");
+    }
 
     let mut tables = Vec::new();
     for m in 0..3 {
@@ -208,7 +233,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|ablation|all> \
-                 [--quick] [--seed N] [--secs N] [--json DIR]"
+                 [--quick] [--seed N] [--secs N] [--json DIR] \
+                 [--trace FILE.jsonl] [--metrics FILE.prom]"
             );
             std::process::exit(2);
         }

@@ -58,7 +58,13 @@ pub fn run(scale: f64, bucket_ms: u64) -> Fig3 {
         while !cluster.pod(id).expect("pod exists").state().is_terminal() {
             cluster.step(tick);
             let s = cluster.node(NodeId(0)).expect("node 0").last_sample();
-            acc = (acc.0 + s.rx_mbps, acc.1 + s.tx_mbps, acc.2 + s.sm_util, acc.3 + s.mem_used_mb, acc.4 + 1);
+            acc = (
+                acc.0 + s.rx_mbps,
+                acc.1 + s.tx_mbps,
+                acc.2 + s.sm_util,
+                acc.3 + s.mem_used_mb,
+                acc.4 + 1,
+            );
             if cluster.now().saturating_since(SimTime::ZERO) >= next_bucket {
                 let n = acc.4.max(1) as f64;
                 rows.push(Row {
@@ -69,7 +75,7 @@ pub fn run(scale: f64, bucket_ms: u64) -> Fig3 {
                     mem_mb: acc.3 / n,
                 });
                 acc = (0.0, 0.0, 0.0, 0.0, 0);
-                next_bucket = next_bucket + SimDuration::from_millis(bucket_ms);
+                next_bucket += SimDuration::from_millis(bucket_ms);
             }
         }
         boundaries.push((app.name().to_string(), cluster.now().as_secs_f64()));
@@ -100,7 +106,13 @@ pub fn table(fig: &Fig3, max_rows: usize) -> Table {
     );
     let step = (fig.rows.len() / max_rows.max(1)).max(1);
     for r in fig.rows.iter().step_by(step) {
-        t.row(vec![f(r.t_secs, 1), f(r.rx_mbps, 0), f(r.tx_mbps, 0), f(r.sm_pct, 1), f(r.mem_mb, 0)]);
+        t.row(vec![
+            f(r.t_secs, 1),
+            f(r.rx_mbps, 0),
+            f(r.tx_mbps, 0),
+            f(r.sm_pct, 1),
+            f(r.mem_mb, 0),
+        ]);
     }
     t
 }

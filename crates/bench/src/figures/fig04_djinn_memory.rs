@@ -38,12 +38,12 @@ pub fn run() -> Vec<Row> {
 /// Render.
 pub fn table(rows: &[Row]) -> Table {
     let mut headers = vec!["batch"];
-    let names: Vec<String> =
-        rows[0].services.iter().map(|(n, _)| n.clone()).collect();
+    let names: Vec<String> = rows[0].services.iter().map(|(n, _)| n.clone()).collect();
     let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
     headers.extend(name_refs);
     headers.push("TF");
-    let mut t = Table::new("Fig. 4 — % GPU memory used by inference queries vs batch size", &headers);
+    let mut t =
+        Table::new("Fig. 4 — % GPU memory used by inference queries vs batch size", &headers);
     for r in rows {
         let mut cells = vec![r.batch.to_string()];
         cells.extend(r.services.iter().map(|(_, v)| f(*v, 1)));

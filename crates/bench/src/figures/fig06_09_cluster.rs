@@ -4,8 +4,11 @@
 //! once and shared.
 
 use crate::render::{f, Table};
-use knots_core::experiment::{run_mix, scheduler_by_name, ExperimentConfig, CLUSTER_SCHEDULERS};
+use knots_core::experiment::{
+    run_mix_with_obs, scheduler_by_name, ExperimentConfig, CLUSTER_SCHEDULERS,
+};
 use knots_core::metrics::RunReport;
+use knots_obs::Obs;
 use knots_workloads::AppMix;
 use serde::Serialize;
 
@@ -22,33 +25,42 @@ impl ClusterStudy {
     /// Run the full 3×4 grid. Runs are parallelized across scheduler/mix
     /// pairs with scoped threads (each run is single-threaded at 10 nodes).
     pub fn run(cfg: &ExperimentConfig) -> ClusterStudy {
+        Self::run_with_obs(cfg, &Obs::disabled())
+    }
+
+    /// [`ClusterStudy::run`] with a shared observability bundle: every run
+    /// in the grid records into the same trace/metrics (the bundle clones
+    /// are `Arc` handles, so concurrent runs interleave safely).
+    pub fn run_with_obs(cfg: &ExperimentConfig, obs: &Obs) -> ClusterStudy {
         let jobs: Vec<(AppMix, &str)> = AppMix::ALL
             .iter()
             .flat_map(|m| CLUSTER_SCHEDULERS.iter().map(move |s| (*m, *s)))
             .collect();
-        let results: Vec<RunReport> = crossbeam::thread::scope(|scope| {
+        let results: Vec<RunReport> = std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .iter()
                 .map(|(mix, name)| {
                     let cfg = *cfg;
                     let (mix, name) = (*mix, *name);
-                    scope.spawn(move |_| {
-                        run_mix(scheduler_by_name(name).expect("known scheduler"), mix, &cfg)
+                    let obs = obs.clone();
+                    scope.spawn(move || {
+                        run_mix_with_obs(
+                            scheduler_by_name(name).expect("known scheduler"),
+                            mix,
+                            &cfg,
+                            obs,
+                        )
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
-        })
-        .expect("scope");
+        });
         let mut reports = Vec::new();
         for (i, _mix) in AppMix::ALL.iter().enumerate() {
             let base = i * CLUSTER_SCHEDULERS.len();
             reports.push(results[base..base + CLUSTER_SCHEDULERS.len()].to_vec());
         }
-        ClusterStudy {
-            mixes: AppMix::ALL.iter().map(|m| m.to_string()).collect(),
-            reports,
-        }
+        ClusterStudy { mixes: AppMix::ALL.iter().map(|m| m.to_string()).collect(), reports }
     }
 
     /// The report for a mix/scheduler pair.
@@ -121,6 +133,7 @@ pub fn fig11b_table(study: &ClusterStudy, mix_idx: usize) -> Table {
         format!("Fig. 11b — pairwise COV of node loads under CBP+PP, {}", study.mixes[mix_idx]),
         &hrefs,
     );
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let mut cells = vec![(i + 1).to_string()];
         for j in 0..n {
@@ -139,10 +152,7 @@ mod tests {
     /// A fast, small instance of the whole study (smoke test).
     #[test]
     fn study_grid_runs() {
-        let cfg = ExperimentConfig {
-            duration: SimDuration::from_secs(20),
-            ..Default::default()
-        };
+        let cfg = ExperimentConfig { duration: SimDuration::from_secs(20), ..Default::default() };
         let study = ClusterStudy::run(&cfg);
         assert_eq!(study.reports.len(), 3);
         assert_eq!(study.reports[0].len(), 4);

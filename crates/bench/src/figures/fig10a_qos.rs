@@ -35,8 +35,7 @@ pub fn run(study: &ClusterStudy) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut headers = vec!["mix"];
     headers.extend(CLUSTER_SCHEDULERS);
-    let mut t =
-        Table::new("Fig. 10a — QoS violations per kilo inference queries", &headers);
+    let mut t = Table::new("Fig. 10a — QoS violations per kilo inference queries", &headers);
     for r in rows {
         let mut cells = vec![r.mix.clone()];
         cells.extend(r.per_kilo.iter().map(|(_, v)| f(*v, 1)));
@@ -55,10 +54,7 @@ mod tests {
     fn qos_ordering_on_a_short_run() {
         // Even a 60 s window shows the headline ordering on the loaded mix:
         // the GPU-aware schedulers violate far less than Res-Ag.
-        let cfg = ExperimentConfig {
-            duration: SimDuration::from_secs(60),
-            ..Default::default()
-        };
+        let cfg = ExperimentConfig { duration: SimDuration::from_secs(60), ..Default::default() };
         let study = ClusterStudy::run(&cfg);
         let rows = run(&study);
         assert_eq!(rows.len(), 3);

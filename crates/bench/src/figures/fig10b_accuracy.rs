@@ -168,7 +168,7 @@ pub fn run(cfg: &Fig10bConfig) -> Vec<Point> {
     for &h_us in &cfg.heartbeats_us {
         let acc_cfg = AccuracyConfig::paper(h_us);
         // Trace long enough for `evaluations` strided origins.
-        let stride = ((acc_cfg.window / 4).max(1)).min(2_000);
+        let stride = (acc_cfg.window / 4).clamp(1, 2_000);
         let needed = acc_cfg.window + acc_cfg.horizon + cfg.evaluations * stride;
         let duration_secs = needed as f64 * h_us as f64 / 1e6 + 1.0;
         let signal =
@@ -221,11 +221,7 @@ pub fn table(points: &[Point]) -> Table {
         }
     }
     for hb in hbs {
-        let mut cells = vec![if hb >= 1.0 {
-            format!("{hb:.0}ms")
-        } else {
-            format!("{hb:.1}ms")
-        }];
+        let mut cells = vec![if hb >= 1.0 { format!("{hb:.0}ms") } else { format!("{hb:.1}ms") }];
         for m in &models {
             let p = points
                 .iter()
@@ -291,8 +287,7 @@ mod tests {
     #[ignore = "several seconds; run with --ignored or via the experiments binary"]
     fn arima_accuracy_peaks_at_1ms() {
         let points = run(&Fig10bConfig::default());
-        let arima: Vec<&Point> =
-            points.iter().filter(|p| p.model.contains("ARIMA")).collect();
+        let arima: Vec<&Point> = points.iter().filter(|p| p.model.contains("ARIMA")).collect();
         let acc = |ms: f64| arima.iter().find(|p| p.heartbeat_ms == ms).unwrap().accuracy;
         assert!(acc(1000.0) < acc(1.0), "coarse {} fine {}", acc(1000.0), acc(1.0));
         assert!(acc(0.1) < acc(1.0), "overfit drop: {} vs {}", acc(0.1), acc(1.0));

@@ -40,14 +40,7 @@ pub fn run(study: &ClusterStudy) -> Vec<Row> {
 pub fn mean_pp_saving(rows: &[Row]) -> f64 {
     let savings: Vec<f64> = rows
         .iter()
-        .map(|r| {
-            1.0 - r
-                .normalized
-                .iter()
-                .find(|(s, _)| s == "CBP+PP")
-                .expect("CBP+PP present")
-                .1
-        })
+        .map(|r| 1.0 - r.normalized.iter().find(|(s, _)| s == "CBP+PP").expect("CBP+PP present").1)
         .collect();
     savings.iter().sum::<f64>() / savings.len().max(1) as f64
 }
@@ -79,10 +72,7 @@ mod tests {
 
     #[test]
     fn pp_saves_energy_vs_uniform() {
-        let cfg = ExperimentConfig {
-            duration: SimDuration::from_secs(60),
-            ..Default::default()
-        };
+        let cfg = ExperimentConfig { duration: SimDuration::from_secs(60), ..Default::default() };
         let study = ClusterStudy::run(&cfg);
         let rows = run(&study);
         // Uniform is 1.0 by construction.

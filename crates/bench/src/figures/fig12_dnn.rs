@@ -66,12 +66,7 @@ pub fn fig12a_table(study: &DnnStudy, points: usize) -> Table {
 
     // Common JCT grid from the slowest scheduler's max.
     let to_hours = 1.0 / 3600.0 / study.time_scale;
-    let max_jct = study
-        .reports
-        .iter()
-        .map(|r| r.all_jct.max)
-        .fold(0.0f64, f64::max)
-        * to_hours;
+    let max_jct = study.reports.iter().map(|r| r.all_jct.max).fold(0.0f64, f64::max) * to_hours;
 
     for i in 0..=points {
         let x = i as f64 * max_jct / points as f64;
@@ -152,6 +147,8 @@ mod tests {
             preemptions: 0,
             migrations: 0,
             skipped_actions: 0,
+            skipped_breakdown: vec![],
+            phase_timings: vec![],
         }
     }
 

@@ -71,6 +71,19 @@ pub const DNN_SCHEDULERS: [&str; 4] = ["Res-Ag", "Gandiva", "Tiresias", "CBP+PP"
 
 /// Run one scheduler over one app-mix on the paper's testbed topology.
 pub fn run_mix(scheduler: Box<dyn Scheduler>, mix: AppMix, cfg: &ExperimentConfig) -> RunReport {
+    run_mix_with_obs(scheduler, mix, cfg, knots_obs::Obs::disabled())
+}
+
+/// [`run_mix`] with an observability bundle attached: scheduler decisions
+/// land in `obs.recorder`, control-loop counters in `obs.metrics`. The
+/// bundle is `Clone`-cheap (`Arc` interiors), so one bundle can aggregate
+/// across several concurrent runs.
+pub fn run_mix_with_obs(
+    scheduler: Box<dyn Scheduler>,
+    mix: AppMix,
+    cfg: &ExperimentConfig,
+    obs: knots_obs::Obs,
+) -> RunReport {
     let mut gen_cfg = LoadGenConfig::new(cfg.duration, cfg.seed);
     gen_cfg.rate_scale = cfg.rate_scale;
     gen_cfg.batch_scale = cfg.batch_scale;
@@ -79,7 +92,7 @@ pub fn run_mix(scheduler: Box<dyn Scheduler>, mix: AppMix, cfg: &ExperimentConfi
     // Long-lived inference services keep their images pre-pulled in
     // production; batch jobs still pay real cold starts.
     cluster_cfg.prewarm_images = mix.lc_services().iter().map(|s| s.image()).collect();
-    run_schedule(scheduler, &schedule, cluster_cfg, cfg.orch)
+    run_schedule_with_obs(scheduler, &schedule, cluster_cfg, cfg.orch, obs)
 }
 
 /// Run one scheduler over an explicit schedule and cluster topology.
@@ -89,7 +102,18 @@ pub fn run_schedule(
     cluster_cfg: ClusterConfig,
     orch: OrchestratorConfig,
 ) -> RunReport {
-    let mut k = KubeKnots::new(cluster_cfg, scheduler, orch);
+    run_schedule_with_obs(scheduler, schedule, cluster_cfg, orch, knots_obs::Obs::disabled())
+}
+
+/// [`run_schedule`] with an observability bundle attached.
+pub fn run_schedule_with_obs(
+    scheduler: Box<dyn Scheduler>,
+    schedule: &[ScheduledPod],
+    cluster_cfg: ClusterConfig,
+    orch: OrchestratorConfig,
+    obs: knots_obs::Obs,
+) -> RunReport {
+    let mut k = KubeKnots::new(cluster_cfg, scheduler, orch).with_obs(obs);
     k.run_schedule(schedule)
 }
 
@@ -100,10 +124,8 @@ pub fn run_dnn(scheduler: Box<dyn Scheduler>, workload: &DnnWorkloadConfig) -> R
         tasks.into_iter().map(|t| ScheduledPod { at: t.at, spec: t.spec }).collect();
     let mut cluster_cfg = ClusterConfig::dnn_sim();
     // Serving images are pre-pulled fleet-wide; training images cold-start.
-    cluster_cfg.prewarm_images = knots_workloads::djinn::InferenceService::ALL
-        .iter()
-        .map(|s| s.image())
-        .collect();
+    cluster_cfg.prewarm_images =
+        knots_workloads::djinn::InferenceService::ALL.iter().map(|s| s.image()).collect();
     let mut orch = OrchestratorConfig::dnn_sim();
     // Overloaded traces leave a queue at the end of the window; give the
     // backlog room to drain so JCT statistics cover the whole population.
@@ -126,10 +148,7 @@ mod tests {
 
     #[test]
     fn short_mix_run_smoke() {
-        let cfg = ExperimentConfig {
-            duration: SimDuration::from_secs(30),
-            ..Default::default()
-        };
+        let cfg = ExperimentConfig { duration: SimDuration::from_secs(30), ..Default::default() };
         let report = run_mix(scheduler_by_name("CBP+PP").unwrap(), AppMix::Mix3, &cfg);
         assert!(report.submitted > 0);
         assert!(report.completed > 0, "some pods must finish");

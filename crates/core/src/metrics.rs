@@ -43,6 +43,50 @@ impl JctStats {
     }
 }
 
+/// Wall-clock percentiles for one control-loop phase (snapshot, decide,
+/// apply, step, probe), microseconds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name.
+    pub phase: String,
+    /// Number of timed executions.
+    pub count: u64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// Mean, µs.
+    pub mean_us: f64,
+}
+
+impl PhaseTiming {
+    /// Convert from the observability crate's aggregate.
+    pub fn from_stat(s: &knots_obs::PhaseStat) -> Self {
+        PhaseTiming {
+            phase: s.phase.to_string(),
+            count: s.count,
+            p50_us: s.p50_us,
+            p95_us: s.p95_us,
+            p99_us: s.p99_us,
+            mean_us: s.mean_us,
+        }
+    }
+}
+
+/// One row of the skipped-action breakdown: how many actions of `kind`
+/// failed with `error` when the orchestrator applied them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkippedAction {
+    /// Action kind (`Place`, `Resize`, ...).
+    pub kind: String,
+    /// Simulator error label (`invalid_state`, `node_asleep`, ...).
+    pub error: String,
+    /// Occurrences.
+    pub count: u64,
+}
+
 /// Everything measured over one orchestrated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -83,6 +127,12 @@ pub struct RunReport {
     /// Actions the orchestrator skipped because they raced with state
     /// changes (diagnostic; should stay near zero).
     pub skipped_actions: usize,
+    /// Skipped actions broken down by action kind and simulator error
+    /// (sums to `skipped_actions`).
+    pub skipped_breakdown: Vec<SkippedAction>,
+    /// Per-phase wall-clock percentiles of the control loop (snapshot,
+    /// decide, apply, step, probe).
+    pub phase_timings: Vec<PhaseTiming>,
 }
 
 impl RunReport {
@@ -129,6 +179,7 @@ impl RunReport {
     pub fn pairwise_cov(&self) -> Vec<Vec<f64>> {
         let n = self.node_util_series.len();
         let mut m = vec![vec![0.0; n]; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in (i + 1)..n {
                 let mut pooled = self.node_util_series[i].clone();
@@ -196,6 +247,8 @@ mod tests {
             preemptions: 0,
             migrations: 0,
             skipped_actions: 0,
+            skipped_breakdown: Vec::new(),
+            phase_timings: Vec::new(),
         }
     }
 

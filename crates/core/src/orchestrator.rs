@@ -13,14 +13,42 @@
 //!    and records experiment metrics at the configured interval.
 
 use crate::config::OrchestratorConfig;
-use crate::metrics::{JctStats, RunReport};
+use crate::metrics::{JctStats, PhaseTiming, RunReport, SkippedAction};
+use knots_obs::{Event, Obs, PhaseTimers, Severity};
 use knots_sched::{Action, PendingPodView, SchedContext, Scheduler, SuspendedPodView};
 use knots_sim::cluster::{Cluster, ClusterConfig};
+use knots_sim::error::SimError;
 use knots_sim::events::EventKind;
 use knots_sim::pod::QosClass;
 use knots_sim::time::SimTime;
 use knots_telemetry::{probe, TimeSeriesDb, UtilizationAggregator};
 use knots_workloads::ScheduledPod;
+
+/// Stable label for an action's kind, used in metrics and audit events.
+fn action_kind(a: &Action) -> &'static str {
+    match a {
+        Action::Place { .. } => "Place",
+        Action::Resize { .. } => "Resize",
+        Action::ConfigureGrowth { .. } => "ConfigureGrowth",
+        Action::Preempt { .. } => "Preempt",
+        Action::Resume { .. } => "Resume",
+        Action::Migrate { .. } => "Migrate",
+        Action::Wake { .. } => "Wake",
+        Action::Sleep { .. } => "Sleep",
+    }
+}
+
+/// Stable label for a simulator error variant.
+fn error_label(e: &SimError) -> &'static str {
+    match e {
+        SimError::UnknownPod(_) => "unknown_pod",
+        SimError::UnknownNode(_) => "unknown_node",
+        SimError::InvalidState { .. } => "invalid_state",
+        SimError::ExceedsDevice { .. } => "exceeds_device",
+        SimError::NodeAsleep(_) => "node_asleep",
+        SimError::InvalidResize { .. } => "invalid_resize",
+    }
+}
 
 /// The orchestrator.
 pub struct KubeKnots {
@@ -29,10 +57,12 @@ pub struct KubeKnots {
     aggregator: UtilizationAggregator,
     scheduler: Box<dyn Scheduler>,
     cfg: OrchestratorConfig,
+    obs: Obs,
+    timers: PhaseTimers,
     skipped: usize,
     util_series: Vec<Vec<f64>>,
     active_util: Vec<f64>,
-    last_metric: Option<SimTime>,
+    next_metric: Option<SimTime>,
     events_seen: usize,
 }
 
@@ -54,12 +84,31 @@ impl KubeKnots {
             aggregator: UtilizationAggregator::new(heartbeat, cfg.window),
             scheduler,
             cfg,
+            obs: Obs::disabled(),
+            timers: PhaseTimers::new(),
             skipped: 0,
             util_series: vec![Vec::new(); nodes],
             active_util: Vec::new(),
-            last_metric: None,
+            next_metric: None,
             events_seen: 0,
         }
+    }
+
+    /// Attach an observability bundle (trace recorder + metrics registry).
+    /// The configs stay `Copy`; the handle rides on the orchestrator itself.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability bundle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The control loop's per-phase wall-clock timers.
+    pub fn phase_timers(&self) -> &PhaseTimers {
+        &self.timers
     }
 
     /// The underlying cluster (read access for tests and examples).
@@ -95,12 +144,24 @@ impl KubeKnots {
             }
             // 2. Heartbeat: scheduling round.
             if self.aggregator.due(now) {
+                let t0 = std::time::Instant::now();
                 self.schedule_round();
+                self.obs.metrics.observe(
+                    "knots_heartbeat_latency_us",
+                    &[],
+                    t0.elapsed().as_secs_f64() * 1e6,
+                );
             }
             // 3. Advance.
-            self.cluster.step(self.cfg.tick);
+            {
+                let _span = self.timers.span("step");
+                self.cluster.step(self.cfg.tick);
+            }
             // 4. Telemetry + metrics.
-            probe::sample_cluster(&self.cluster, &self.tsdb);
+            {
+                let _span = self.timers.span("probe");
+                probe::sample_cluster(&self.cluster, &self.tsdb);
+            }
             self.collect_metrics();
             self.garbage_collect();
 
@@ -114,6 +175,7 @@ impl KubeKnots {
 
     /// One scheduling round: snapshot, contextualize, decide, apply.
     fn schedule_round(&mut self) {
+        let snapshot_span = self.timers.span("snapshot");
         let snapshot = self.aggregator.query(&self.cluster);
         let pending: Vec<PendingPodView> = self
             .cluster
@@ -152,8 +214,11 @@ impl KubeKnots {
                 })
             })
             .collect();
+        drop(snapshot_span);
+        self.obs.metrics.set_gauge("knots_pending_pods", &[], pending.len() as f64);
 
         let actions = {
+            let _span = self.timers.span("decide");
             let ctx = SchedContext {
                 now: self.cluster.now(),
                 snapshot: &snapshot,
@@ -161,10 +226,26 @@ impl KubeKnots {
                 suspended: &suspended,
                 tsdb: &self.tsdb,
                 window: self.cfg.window,
+                recorder: Some(&self.obs.recorder),
             };
             self.scheduler.decide(&ctx)
         };
+        let _span = self.timers.span("apply");
+        let now_us = self.cluster.now().as_micros();
         for action in actions {
+            let kind = action_kind(&action);
+            // Memory-harvesting accounting needs the pod's request before the
+            // action lands: a Resize below request is harvested headroom.
+            let mb_delta = match &action {
+                Action::Place { pod, .. } => {
+                    self.cluster.pod(*pod).map(|p| ("requested", p.spec().request_mb))
+                }
+                Action::Resize { pod, limit_mb } => self
+                    .cluster
+                    .pod(*pod)
+                    .map(|p| ("harvested", (p.spec().request_mb - limit_mb).max(0.0))),
+                _ => None,
+            };
             let res = match action {
                 Action::Place { pod, node } => self.cluster.place(pod, node),
                 Action::Resize { pod, limit_mb } => self.cluster.resize(pod, limit_mb),
@@ -175,22 +256,48 @@ impl KubeKnots {
                 Action::Wake { node } => self.cluster.wake_node(node),
                 Action::Sleep { node } => self.cluster.sleep_node(node),
             };
-            if res.is_err() {
-                self.skipped += 1;
+            match res {
+                Ok(()) => {
+                    self.obs.metrics.inc("knots_actions_applied_total", &[("kind", kind)]);
+                    match mb_delta {
+                        Some(("requested", mb)) => {
+                            self.obs.metrics.add("knots_requested_mb_total", &[], mb as u64);
+                        }
+                        Some(("harvested", mb)) if mb > 0.0 => {
+                            self.obs.metrics.add("knots_harvested_mb_total", &[], mb as u64);
+                        }
+                        _ => {}
+                    }
+                }
+                Err(e) => {
+                    self.skipped += 1;
+                    let err = error_label(&e);
+                    self.obs
+                        .metrics
+                        .inc("knots_actions_skipped_total", &[("kind", kind), ("error", err)]);
+                    self.obs.recorder.record(
+                        Event::new("orchestrator", "action.skipped")
+                            .at(now_us)
+                            .severity(Severity::Warn)
+                            .str("kind", kind)
+                            .str("error", err),
+                    );
+                }
             }
         }
     }
 
-    /// Record per-node utilization at the metric interval.
+    /// Record per-node utilization at the metric interval. Due times snap to
+    /// the interval grid (anchored at t=0) rather than trailing the previous
+    /// fire time, so a tick that doesn't divide the interval cannot make the
+    /// effective cadence drift to `ceil(interval / tick) * tick`.
     fn collect_metrics(&mut self) {
         let now = self.cluster.now();
-        let due = self
-            .last_metric
-            .is_none_or(|t| now.saturating_since(t) >= self.cfg.metric_interval);
-        if !due {
+        if self.next_metric.is_some_and(|t| now < t) {
             return;
         }
-        self.last_metric = Some(now);
+        let iv_us = self.cfg.metric_interval.as_micros().max(1);
+        self.next_metric = Some(SimTime::from_micros((now.as_micros() / iv_us + 1) * iv_us));
         for (i, node) in self.cluster.nodes().iter().enumerate() {
             let util = node.last_sample().sm_util * 100.0;
             self.util_series[i].push(util);
@@ -204,8 +311,15 @@ impl KubeKnots {
     fn garbage_collect(&mut self) {
         let events = self.cluster.events();
         for e in &events[self.events_seen..] {
-            if let (Some(pod), EventKind::Completed { .. }) = (e.pod, e.kind) {
-                self.tsdb.forget_pod(pod);
+            match (e.pod, e.kind) {
+                (Some(pod), EventKind::Completed { .. }) => self.tsdb.forget_pod(pod),
+                (_, EventKind::Crashed { .. }) => {
+                    // Crashed pods are requeued, so their series must stay:
+                    // CBP's OOM-avoidance needs the history that preceded the
+                    // crash. Only count it.
+                    self.obs.metrics.inc("knots_crashes_total", &[]);
+                }
+                _ => {}
             }
         }
         self.events_seen = events.len();
@@ -275,6 +389,24 @@ impl KubeKnots {
             preemptions,
             migrations,
             skipped_actions: self.skipped,
+            skipped_breakdown: self
+                .obs
+                .metrics
+                .counters_named("knots_actions_skipped_total")
+                .into_iter()
+                .map(|(labels, count)| {
+                    // Labels come back sorted alphabetically: error, kind.
+                    let get = |key: &str| {
+                        labels
+                            .iter()
+                            .find(|(k, _)| k == key)
+                            .map(|(_, v)| v.clone())
+                            .unwrap_or_default()
+                    };
+                    SkippedAction { kind: get("kind"), error: get("error"), count }
+                })
+                .collect(),
+            phase_timings: self.timers.stats().iter().map(PhaseTiming::from_stat).collect(),
         }
     }
 }
@@ -311,7 +443,8 @@ mod tests {
 
     #[test]
     fn uniform_runs_everything_to_completion() {
-        let mut k = KubeKnots::new(quiet(3), Box::new(Uniform::new()), OrchestratorConfig::default());
+        let mut k =
+            KubeKnots::new(quiet(3), Box::new(Uniform::new()), OrchestratorConfig::default());
         let report = k.run_schedule(&tiny_schedule());
         assert_eq!(report.submitted, 6);
         assert_eq!(report.completed, 6);
@@ -349,11 +482,8 @@ mod tests {
         let report = k.run_schedule(&tiny_schedule());
         assert_eq!(report.completed, 6);
         // Consolidation: at least one node never hosted anything.
-        let idle_nodes = report
-            .node_util_series
-            .iter()
-            .filter(|s| s.iter().all(|&u| u == 0.0))
-            .count();
+        let idle_nodes =
+            report.node_util_series.iter().filter(|s| s.iter().all(|&u| u == 0.0)).count();
         assert!(idle_nodes >= 1, "PP should leave nodes idle");
     }
 
@@ -366,8 +496,8 @@ mod tests {
             spec: PodSpec::latency_critical("q", ResourceProfile::constant(0.5, 100.0, 0.05))
                 .with_request_mb(20_000.0),
         }];
-        let mut orch_cfg = OrchestratorConfig::default();
-        orch_cfg.drain_grace = SimDuration::from_secs(2);
+        let orch_cfg =
+            OrchestratorConfig { drain_grace: SimDuration::from_secs(2), ..Default::default() };
         let mut k = KubeKnots::new(quiet(1), Box::new(ResAg::new()), orch_cfg);
         let report = k.run_schedule(&schedule);
         assert_eq!(report.completed, 0);
@@ -379,5 +509,113 @@ mod tests {
         let mut k = KubeKnots::new(quiet(2), Box::new(ResAg::new()), OrchestratorConfig::default());
         let _ = k.run_schedule(&tiny_schedule());
         assert!(k.tsdb().node_len(knots_sim::ids::NodeId(0)) > 0);
+    }
+
+    #[test]
+    fn metric_cadence_does_not_drift_under_non_divisible_tick() {
+        // 100 ms metric interval sampled by a 30 ms tick: the "since last
+        // sample" rule stretches every gap to 120 ms, collecting ~25 samples
+        // where ~30 belong. The grid-snapped rule keeps the average cadence
+        // at the configured interval.
+        let cfg = OrchestratorConfig {
+            tick: SimDuration::from_millis(30),
+            heartbeat: SimDuration::from_millis(30),
+            drain_grace: SimDuration::from_secs(3),
+            ..Default::default()
+        };
+        let schedule = vec![ScheduledPod {
+            at: SimTime::ZERO,
+            spec: PodSpec::batch("long", ResourceProfile::constant(0.4, 1500.0, 5.0)),
+        }];
+        let mut k = KubeKnots::new(quiet(1), Box::new(ResAg::new()), cfg);
+        let report = k.run_schedule(&schedule);
+        let samples = report.node_util_series[0].len() as f64;
+        // +1 for the fencepost: both endpoints of the run are sampled. The
+        // drifting rule would lose ~5 samples here (cadence 120 ms, not 100).
+        let expected = report.duration.as_secs_f64() / 0.1 + 1.0;
+        assert!(
+            (samples - expected).abs() <= 2.0,
+            "metric cadence drifted: {samples} samples over {:.2} s (expected ~{expected:.0})",
+            report.duration.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn gc_keeps_crashed_pod_series_and_drops_completed_ones() {
+        // One well-behaved pod plus two that each use 18x their request:
+        // Res-Ag co-locates all three on the single node by request, the
+        // aggregate usage blows past the 16 GB device and victims OOM-crash
+        // and requeue. Their telemetry must survive GC — CBP's OOM-avoidance
+        // needs the pre-crash history — while the completed pod's series is
+        // forgotten to bound TSDB growth.
+        let mut schedule = vec![ScheduledPod {
+            at: SimTime::ZERO,
+            spec: PodSpec::batch("good", ResourceProfile::constant(0.3, 1000.0, 0.5)),
+        }];
+        for i in 0..2 {
+            // Quiet for a second (so the probe records some history), then
+            // the demand jumps past half the device.
+            let profile = knots_sim::profile::ProfileBuilder::new()
+                .compute(1.0, 0.3, 800.0)
+                .compute(60.0, 0.3, 9000.0)
+                .build();
+            schedule.push(ScheduledPod {
+                at: SimTime::ZERO,
+                spec: PodSpec::batch(format!("oom-{i}"), profile).with_request_mb(500.0),
+            });
+        }
+        let cfg =
+            OrchestratorConfig { drain_grace: SimDuration::from_secs(3), ..Default::default() };
+        let mut k = KubeKnots::new(quiet(1), Box::new(ResAg::new()), cfg);
+        let report = k.run_schedule(&schedule);
+        assert!(report.crashes > 0, "oversubscribed co-location should crash");
+        assert_eq!(report.completed, 1, "only the well-behaved pod finishes");
+        let (completed_id, _) = k.cluster().completed_pods().next().expect("one completion");
+        assert_eq!(k.tsdb().pod_len(completed_id), 0, "completed series must be GC'd");
+        let crashed_id = k
+            .cluster()
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::Crashed { .. } => e.pod,
+                _ => None,
+            })
+            .expect("a crash event");
+        assert!(
+            k.tsdb().pod_len(crashed_id) > 0,
+            "crashed-and-requeued pod series must be retained"
+        );
+        // The crash counter flows through the metrics registry too.
+        assert_eq!(
+            k.obs().metrics.counter_value("knots_crashes_total", &[]),
+            report.crashes as u64
+        );
+    }
+
+    #[test]
+    fn obs_bundle_records_metrics_trace_and_phase_timings() {
+        let obs = knots_obs::Obs::with_trace_capacity(4096);
+        let mut k = KubeKnots::new(quiet(2), Box::new(CbpPp::new()), OrchestratorConfig::default())
+            .with_obs(obs);
+        let report = k.run_schedule(&tiny_schedule());
+        assert_eq!(report.completed, 6);
+        let placed =
+            k.obs().metrics.counter_value("knots_actions_applied_total", &[("kind", "Place")]);
+        assert!(placed >= 6, "every pod placement should be counted, got {placed}");
+        let hist = k.obs().metrics.histogram("knots_heartbeat_latency_us", &[]).expect("histogram");
+        assert!(hist.count() > 0, "heartbeat latency must be observed every round");
+        assert!(!report.phase_timings.is_empty(), "phase timings must reach the report");
+        for phase in ["snapshot", "decide", "apply", "step", "probe"] {
+            assert!(
+                report.phase_timings.iter().any(|p| p.phase == phase && p.count > 0),
+                "missing phase timing for {phase}"
+            );
+        }
+        // The scheduler audit trail flows through the shared recorder.
+        let trace = k.obs().recorder.export_jsonl();
+        assert!(trace.contains("\"sched."), "scheduler decisions should be audited: {trace}");
+        // Skipped breakdown is consistent with the aggregate counter.
+        let sum: u64 = report.skipped_breakdown.iter().map(|s| s.count).sum();
+        assert_eq!(sum as usize, report.skipped_actions);
     }
 }

@@ -55,7 +55,11 @@ pub struct AccuracyReport {
 
 /// Walk the series: at each origin `t`, fit on `series[t-window..t]`,
 /// forecast `horizon` steps ahead, compare against `series[t+horizon-1]`.
-pub fn walk_forward(series: &[f64], reg: &mut dyn Regressor, cfg: &AccuracyConfig) -> AccuracyReport {
+pub fn walk_forward(
+    series: &[f64],
+    reg: &mut dyn Regressor,
+    cfg: &AccuracyConfig,
+) -> AccuracyReport {
     let stride = cfg.stride.max(1);
     let mut preds = Vec::new();
     let mut actuals = Vec::new();
@@ -73,11 +77,7 @@ fn summarize(preds: &[f64], actuals: &[f64], tol: f64) -> AccuracyReport {
     if preds.is_empty() {
         return AccuracyReport { accuracy: 0.0, rmse: 0.0, mape: None, evaluated: 0 };
     }
-    let hits = preds
-        .iter()
-        .zip(actuals)
-        .filter(|(p, a)| (*p - *a).abs() <= tol)
-        .count();
+    let hits = preds.iter().zip(actuals).filter(|(p, a)| (*p - *a).abs() <= tol).count();
     AccuracyReport {
         accuracy: hits as f64 / preds.len() as f64,
         rmse: stats::rmse(preds, actuals),

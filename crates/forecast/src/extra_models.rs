@@ -128,8 +128,8 @@ impl Regressor for Ard {
                 let mut num = 0.0;
                 let mut den = alpha[j];
                 for (xi, &yi) in x.iter().zip(&y) {
-                    let residual_wo_j: f64 = yi
-                        - (0..Ard::LAGS).filter(|&k| k != j).map(|k| w[k] * xi[k]).sum::<f64>();
+                    let residual_wo_j: f64 =
+                        yi - (0..Ard::LAGS).filter(|&k| k != j).map(|k| w[k] * xi[k]).sum::<f64>();
                     num += xi[j] * residual_wo_j;
                     den += xi[j] * xi[j];
                 }

@@ -23,8 +23,8 @@
 
 pub mod accuracy;
 pub mod arima;
-pub mod extra_models;
 pub mod autocorr;
+pub mod extra_models;
 pub mod regressors;
 pub mod spearman;
 pub mod stats;

@@ -237,11 +237,7 @@ impl Regressor for Mlp {
         }
         // Normalize to zero-mean unit-ish scale for stable training.
         let mean = window.iter().sum::<f64>() / window.len() as f64;
-        let scale = window
-            .iter()
-            .map(|y| (y - mean).abs())
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
+        let scale = window.iter().map(|y| (y - mean).abs()).fold(0.0f64, f64::max).max(1e-9);
         self.norm = (mean, scale);
         let normed: Vec<f64> = window.iter().map(|y| (y - mean) / scale).collect();
 
@@ -253,6 +249,7 @@ impl Regressor for Mlp {
                 let (h, y) = self.forward(&x);
                 let err = y - target;
                 // Output layer gradients.
+                #[allow(clippy::needless_range_loop)]
                 for j in 0..self.hidden {
                     let g2 = err * h[j];
                     // Hidden layer gradients (before updating w2).

@@ -158,6 +158,7 @@ mod tests {
             (0..30).map(|i| 30.0 - i as f64).collect(),
         ];
         let m = correlation_matrix(&s);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             assert!((m[i][i] - 1.0).abs() < 1e-12);
             for j in 0..3 {

@@ -109,11 +109,8 @@ pub fn cdf_points(xs: &[f64], n: usize) -> Vec<(f64, f64)> {
             // The top grid point must be exactly the maximum: the linear
             // interpolation can round a hair below `hi`, which would report
             // a CDF that never reaches 1.0.
-            let v = if n == 1 || i == n - 1 {
-                hi
-            } else {
-                lo + (hi - lo) * i as f64 / (n - 1) as f64
-            };
+            let v =
+                if n == 1 || i == n - 1 { hi } else { lo + (hi - lo) * i as f64 / (n - 1) as f64 };
             let count = sorted.partition_point(|&x| x <= v);
             (v, count as f64 / sorted.len() as f64)
         })

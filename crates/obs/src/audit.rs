@@ -1,0 +1,181 @@
+//! Semantic audit records for scheduler decisions.
+//!
+//! Each helper freezes the *inputs* a policy used, not just its output, so
+//! a JSONL trace answers "why did CBP co-locate these apps?" directly: the
+//! Spearman coefficient it computed, the threshold it compared against,
+//! the Algorithm-1 branch peak prediction took, the reason a bin-pack pass
+//! rejected a pod.
+//!
+//! All helpers early-return on a disabled recorder, so call sites can stay
+//! unconditional.
+
+use crate::event::{Event, Severity};
+use crate::recorder::Recorder;
+
+/// CBP's correlation gate (paper §V-B): co-location of two apps on `node`
+/// was admitted or rejected by comparing Spearman's `rho` to `threshold`.
+#[allow(clippy::too_many_arguments)]
+pub fn correlation_gate(
+    rec: &Recorder,
+    t_us: u64,
+    scheduler: &'static str,
+    node: u64,
+    app_a: &str,
+    app_b: &str,
+    rho: f64,
+    threshold: f64,
+    admitted: bool,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(
+        Event::new(scheduler, "sched.correlation")
+            .at(t_us)
+            .node(node)
+            .str("app_a", app_a)
+            .str("app_b", app_b)
+            .f64("spearman_rho", rho)
+            .f64("threshold", threshold)
+            .bool("admitted", admitted),
+    );
+}
+
+/// Which branch of peak prediction's Algorithm 1 fired for `node`:
+/// `insufficient_history`, `no_trend`, `forecast_admit` or
+/// `forecast_reject`, with the forecasted peak vs. the capacity it was
+/// compared against.
+#[allow(clippy::too_many_arguments)]
+pub fn forecast_branch(
+    rec: &Recorder,
+    t_us: u64,
+    scheduler: &'static str,
+    node: u64,
+    branch: &'static str,
+    forecast_mb: Option<f64>,
+    capacity_mb: f64,
+    history_len: usize,
+    admitted: bool,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    let mut e = Event::new(scheduler, "sched.forecast")
+        .at(t_us)
+        .node(node)
+        .str("branch", branch)
+        .f64("capacity_mb", capacity_mb)
+        .u64("history_len", history_len as u64)
+        .bool("admitted", admitted);
+    if let Some(f) = forecast_mb {
+        e = e.f64("forecast_peak_mb", f);
+    }
+    rec.record(e);
+}
+
+/// A bin-pack pass could not place `pod` (`reason`: `no_feasible_bin`,
+/// `all_nodes_asleep`, `headroom`, ...).
+pub fn binpack_reject(
+    rec: &Recorder,
+    t_us: u64,
+    scheduler: &'static str,
+    pod: u64,
+    request_mb: f64,
+    reason: &'static str,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(
+        Event::new(scheduler, "sched.binpack_reject")
+            .at(t_us)
+            .severity(Severity::Debug)
+            .pod(pod)
+            .f64("request_mb", request_mb)
+            .str("reason", reason),
+    );
+}
+
+/// A placement decision: `pod` goes to `node`, with the headroom math that
+/// justified it.
+pub fn placement(
+    rec: &Recorder,
+    t_us: u64,
+    scheduler: &'static str,
+    pod: u64,
+    node: u64,
+    request_mb: f64,
+    free_mb: f64,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(
+        Event::new(scheduler, "sched.place")
+            .at(t_us)
+            .pod(pod)
+            .node(node)
+            .f64("request_mb", request_mb)
+            .f64("free_mb", free_mb),
+    );
+}
+
+/// A generic decision record for policies without richer structure
+/// (Gandiva packing moves, Tiresias preemptions, Res-Ag wake-ups).
+pub fn decision(
+    rec: &Recorder,
+    t_us: u64,
+    scheduler: &'static str,
+    kind: &'static str,
+    pod: Option<u64>,
+    node: Option<u64>,
+    detail: &'static str,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    let mut e = Event::new(scheduler, kind).at(t_us).str("detail", detail);
+    if let Some(p) = pod {
+        e = e.pod(p);
+    }
+    if let Some(n) = node {
+        e = e.node(n);
+    }
+    rec.record(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+
+    #[test]
+    fn correlation_gate_freezes_inputs() {
+        let rec = Recorder::bounded(8);
+        correlation_gate(&rec, 5_000_000, "sched.cbp", 1, "app0", "app2", 0.62, 0.5, false);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.kind, "sched.correlation");
+        assert_eq!(e.field("spearman_rho"), Some(&FieldValue::F64(0.62)));
+        assert_eq!(e.field("admitted"), Some(&FieldValue::Bool(false)));
+    }
+
+    #[test]
+    fn forecast_branch_omits_absent_forecast() {
+        let rec = Recorder::bounded(8);
+        forecast_branch(&rec, 0, "sched.pp", 0, "insufficient_history", None, 16_384.0, 3, true);
+        let e = &rec.events()[0];
+        assert_eq!(e.field("forecast_peak_mb"), None);
+        assert_eq!(e.field("history_len"), Some(&FieldValue::U64(3)));
+    }
+
+    #[test]
+    fn helpers_are_inert_when_disabled() {
+        let rec = Recorder::disabled();
+        placement(&rec, 0, "sched.uniform", 1, 2, 100.0, 200.0);
+        binpack_reject(&rec, 0, "sched.resag", 1, 100.0, "no_feasible_bin");
+        decision(&rec, 0, "sched.gandiva", "sched.migrate", Some(1), Some(2), "pack");
+        assert!(rec.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Typed, timestamped trace records.
+
+use serde::Value;
+
+/// How loud an event is. Filtering happens at read time — the recorder
+/// keeps everything it is given (bounded by capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fine-grained diagnostics.
+    Debug,
+    /// Normal control-loop activity (the default).
+    Info,
+    /// Something degraded but handled (skipped action, crash requeue).
+    Warn,
+    /// A contract violation.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A single payload value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Floating-point measurement (utilization, megabytes, coefficient).
+    F64(f64),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (ids, counts).
+    U64(u64),
+    /// Boolean verdict.
+    Bool(bool),
+    /// Free-form label.
+    Str(String),
+}
+
+impl FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::F64(x) => Value::F64(*x),
+            FieldValue::I64(x) => Value::I64(*x),
+            FieldValue::U64(x) => Value::U64(*x),
+            FieldValue::Bool(x) => Value::Bool(*x),
+            FieldValue::Str(x) => Value::Str(x.clone()),
+        }
+    }
+}
+
+/// One structured trace record.
+///
+/// Timestamps are simulation time in microseconds (`t_us`), matching
+/// `SimTime`'s representation, so a trace lines up with report timelines.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Simulation time, microseconds.
+    pub at_us: u64,
+    /// Which subsystem emitted this ("orchestrator", "sched.cbp", ...).
+    pub component: &'static str,
+    /// Loudness.
+    pub severity: Severity,
+    /// Dot-separated event name ("sched.correlation", "action.skip", ...).
+    pub kind: String,
+    /// Pod this event is about, if any.
+    pub pod: Option<u64>,
+    /// Node this event is about, if any.
+    pub node: Option<u64>,
+    /// Free-form payload, in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Start building an info-level event.
+    pub fn new(component: &'static str, kind: impl Into<String>) -> Self {
+        Event {
+            at_us: 0,
+            component,
+            severity: Severity::Info,
+            kind: kind.into(),
+            pod: None,
+            node: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Set the simulation timestamp (microseconds).
+    pub fn at(mut self, t_us: u64) -> Self {
+        self.at_us = t_us;
+        self
+    }
+
+    /// Set the severity.
+    pub fn severity(mut self, s: Severity) -> Self {
+        self.severity = s;
+        self
+    }
+
+    /// Attach the pod this event concerns.
+    pub fn pod(mut self, id: u64) -> Self {
+        self.pod = Some(id);
+        self
+    }
+
+    /// Attach the node this event concerns.
+    pub fn node(mut self, id: u64) -> Self {
+        self.node = Some(id);
+        self
+    }
+
+    /// Attach a float payload field.
+    pub fn f64(mut self, key: &'static str, v: f64) -> Self {
+        self.fields.push((key, FieldValue::F64(v)));
+        self
+    }
+
+    /// Attach an unsigned integer payload field.
+    pub fn u64(mut self, key: &'static str, v: u64) -> Self {
+        self.fields.push((key, FieldValue::U64(v)));
+        self
+    }
+
+    /// Attach a signed integer payload field.
+    pub fn i64(mut self, key: &'static str, v: i64) -> Self {
+        self.fields.push((key, FieldValue::I64(v)));
+        self
+    }
+
+    /// Attach a boolean payload field.
+    pub fn bool(mut self, key: &'static str, v: bool) -> Self {
+        self.fields.push((key, FieldValue::Bool(v)));
+        self
+    }
+
+    /// Attach a string payload field.
+    pub fn str(mut self, key: &'static str, v: impl Into<String>) -> Self {
+        self.fields.push((key, FieldValue::Str(v.into())));
+        self
+    }
+
+    /// Read back a payload field (test/analysis convenience).
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+impl serde::Serialize for Event {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = vec![
+            ("t_us".into(), Value::U64(self.at_us)),
+            ("component".into(), Value::Str(self.component.into())),
+            ("severity".into(), Value::Str(self.severity.as_str().into())),
+            ("kind".into(), Value::Str(self.kind.clone())),
+        ];
+        if let Some(p) = self.pod {
+            entries.push(("pod".into(), Value::U64(p)));
+        }
+        if let Some(n) = self.node {
+            entries.push(("node".into(), Value::U64(n)));
+        }
+        if !self.fields.is_empty() {
+            let fields: Vec<(String, Value)> =
+                self.fields.iter().map(|(k, v)| ((*k).into(), v.to_value())).collect();
+            entries.push(("fields".into(), Value::Object(fields)));
+        }
+        Value::Object(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_fields_in_order() {
+        let e = Event::new("sched.cbp", "sched.correlation")
+            .at(1_250_000)
+            .severity(Severity::Debug)
+            .node(2)
+            .f64("rho", 0.41)
+            .bool("admitted", true);
+        assert_eq!(e.at_us, 1_250_000);
+        assert_eq!(e.field("rho"), Some(&FieldValue::F64(0.41)));
+        assert_eq!(e.field("admitted"), Some(&FieldValue::Bool(true)));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn serializes_to_flat_json() {
+        let e = Event::new("orchestrator", "action.skip")
+            .at(42)
+            .pod(7)
+            .str("kind", "Place")
+            .str("error", "NodeAsleep");
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(line.starts_with("{\"t_us\":42,"), "{line}");
+        assert!(line.contains("\"pod\":7"));
+        assert!(line.contains("\"fields\":{\"kind\":\"Place\",\"error\":\"NodeAsleep\"}"));
+        assert!(!line.contains("\"node\""), "absent ids are omitted: {line}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Fixed-bucket histograms with percentile estimation.
+
+/// A histogram over fixed, ascending upper bounds, plus exact min/max/sum.
+///
+/// Observation cost is a binary search over the bounds; percentile queries
+/// interpolate linearly within the winning bucket, clamped to the observed
+/// min/max so small samples do not report impossible values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// counts[i] pairs with bounds[i]; the final slot is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Exponentially spaced bounds: `start, start*factor, ...` (`n` bounds).
+    ///
+    /// # Panics
+    /// Panics unless `start > 0`, `factor > 1`, `n >= 1`.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n >= 1, "bad exponential bucket spec");
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Self::new(bounds)
+    }
+
+    /// Default latency scale: 1 µs to ~8.4 s in powers of two.
+    pub fn latency_us() -> Self {
+        Self::exponential(1.0, 2.0, 24)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observations, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`), `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += c;
+            if cumulative >= rank {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = if i < self.bounds.len() { self.bounds[i] } else { self.max };
+                let frac = (rank - before) as f64 / c as f64;
+                let v = lower + (upper - lower) * frac;
+                return Some(v.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Iterate `(upper_bound, cumulative_count)` pairs, ending with the
+    /// `(+inf, total)` bucket — the shape Prometheus exposition needs.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            let bound = if i < self.bounds.len() { self.bounds[i] } else { f64::INFINITY };
+            out.push((bound, cumulative));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::latency_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_bracket_the_data() {
+        let mut h = Histogram::exponential(1.0, 2.0, 16);
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((300.0..800.0).contains(&p50), "p50 {p50}");
+        assert!(p99 > p50 && p99 <= 1000.0, "p99 {p99}");
+        assert_eq!(h.percentile(1.0).unwrap(), 1000.0);
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean().unwrap() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::latency_us();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_observation_is_every_percentile() {
+        let mut h = Histogram::latency_us();
+        h.observe(37.0);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(q).unwrap(), 37.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_catches_values_past_the_last_bound() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(5.0);
+        h.observe(1e9);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets, vec![(1.0, 0), (10.0, 1), (f64::INFINITY, 2)]);
+        assert_eq!(h.percentile(1.0).unwrap(), 1e9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Observability for the Kube-Knots control loop.
+//!
+//! Three pillars, all zero-external-dependency and cheap when disabled:
+//!
+//! * **Structured events** ([`Recorder`], [`Event`]): a bounded ring buffer
+//!   of typed, timestamped records (component, severity, pod/node ids,
+//!   key-value payload) exported as JSONL. A disabled recorder is a `None`
+//!   behind an `Option` — recording is a single branch.
+//! * **Metrics** ([`Registry`], [`Histogram`]): labelled counters, gauges
+//!   and fixed-bucket histograms with JSON and Prometheus text exposition.
+//! * **Decision audit** ([`audit`]): semantic constructors for the *why*
+//!   of every scheduler decision — the Spearman coefficient a CBP
+//!   co-location gate saw, the Algorithm-1 branch peak prediction took,
+//!   the reason a bin-pack pass rejected a pod — so a run's JSONL trace
+//!   reads as an explanation, not just a log.
+//!
+//! The [`Obs`] bundle groups one recorder and one registry and is what the
+//! orchestrator and experiment binaries thread through the stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod event;
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use event::{Event, FieldValue, Severity};
+pub use histogram::Histogram;
+pub use recorder::Recorder;
+pub use registry::Registry;
+pub use span::{PhaseStat, PhaseTimers};
+
+/// One recorder plus one metrics registry: the handle the control loop
+/// threads through orchestrator, schedulers and experiment binaries.
+///
+/// Cloning is cheap (shared interior); a disabled bundle costs one branch
+/// per would-be record.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    /// Structured event/trace sink.
+    pub recorder: Recorder,
+    /// Counters, gauges and histograms.
+    pub metrics: Registry,
+}
+
+impl Obs {
+    /// A fully disabled bundle: events are dropped, metrics still count
+    /// (they are cheap and always useful in reports).
+    pub fn disabled() -> Self {
+        Obs { recorder: Recorder::disabled(), metrics: Registry::new() }
+    }
+
+    /// A bundle with event recording enabled, keeping at most `capacity`
+    /// events (oldest evicted first).
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Obs { recorder: Recorder::bounded(capacity), metrics: Registry::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bundle_drops_events_but_counts_metrics() {
+        let obs = Obs::disabled();
+        obs.recorder.record(Event::new("test", "noop"));
+        assert_eq!(obs.recorder.len(), 0);
+        obs.metrics.inc("knots_test_total", &[("kind", "x")]);
+        assert_eq!(obs.metrics.counter_value("knots_test_total", &[("kind", "x")]), 1);
+    }
+
+    #[test]
+    fn enabled_bundle_retains_events() {
+        let obs = Obs::with_trace_capacity(16);
+        obs.recorder.record(Event::new("test", "hello").u64("n", 3));
+        assert_eq!(obs.recorder.len(), 1);
+        assert!(obs.recorder.export_jsonl().contains("\"hello\""));
+    }
+}

@@ -1,0 +1,246 @@
+//! Labelled metrics registry with JSON and Prometheus text exposition.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Value;
+
+use crate::histogram::Histogram;
+
+/// A metric identity: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        Key { name: name.to_string(), labels }
+    }
+
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            let inner: Vec<String> =
+                self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            format!("{}{{{}}}", self.name, inner.join(","))
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+/// Shared, clonable registry of counters, gauges and histograms.
+///
+/// Metric names follow Prometheus conventions (`knots_..._total` for
+/// counters); labels are `(key, value)` pairs and are part of the series
+/// identity.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)]) {
+        self.add(name, labels, 1);
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self.inner.lock().counters.entry(Key::new(name, labels)).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to `v`.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.inner.lock().gauges.insert(Key::new(name, labels), v);
+    }
+
+    /// Record `v` into a histogram (created with [`Histogram::latency_us`]
+    /// buckets on first use).
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.inner
+            .lock()
+            .histograms
+            .entry(Key::new(name, labels))
+            .or_insert_with(Histogram::latency_us)
+            .observe(v);
+    }
+
+    /// Record `v` into a histogram, supplying buckets on first use.
+    pub fn observe_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        v: f64,
+        make: impl FnOnce() -> Histogram,
+    ) {
+        self.inner.lock().histograms.entry(Key::new(name, labels)).or_insert_with(make).observe(v);
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.inner.lock().counters.get(&Key::new(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Read a gauge.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.inner.lock().gauges.get(&Key::new(name, labels)).copied()
+    }
+
+    /// Snapshot a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        self.inner.lock().histograms.get(&Key::new(name, labels)).cloned()
+    }
+
+    /// All counters under `name`, as `(label pairs, value)` rows.
+    pub fn counters_named(&self, name: &str) -> Vec<(Vec<(String, String)>, u64)> {
+        self.inner
+            .lock()
+            .counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(k, v)| (k.labels.clone(), *v))
+            .collect()
+    }
+
+    /// Prometheus text exposition (v0.0.4) of every metric.
+    pub fn to_prometheus(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for (key, v) in &inner.counters {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} counter\n", key.name));
+                last_name.clone_from(&key.name);
+            }
+            out.push_str(&format!("{} {v}\n", key.render()));
+        }
+        last_name.clear();
+        for (key, v) in &inner.gauges {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} gauge\n", key.name));
+                last_name.clone_from(&key.name);
+            }
+            out.push_str(&format!("{} {v}\n", key.render()));
+        }
+        last_name.clear();
+        for (key, h) in &inner.histograms {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} histogram\n", key.name));
+                last_name.clone_from(&key.name);
+            }
+            for (bound, cumulative) in h.cumulative_buckets() {
+                let le = if bound.is_infinite() { "+Inf".to_string() } else { format!("{bound}") };
+                let mut labels = key.labels.clone();
+                labels.push(("le".into(), le));
+                let series = Key { name: format!("{}_bucket", key.name), labels };
+                out.push_str(&format!("{} {cumulative}\n", series.render()));
+            }
+            let base = Key { name: format!("{}_sum", key.name), labels: key.labels.clone() };
+            out.push_str(&format!("{} {}\n", base.render(), h.sum()));
+            let base = Key { name: format!("{}_count", key.name), labels: key.labels.clone() };
+            out.push_str(&format!("{} {}\n", base.render(), h.count()));
+        }
+        out
+    }
+
+    /// JSON snapshot: `{"counters": {...}, "gauges": {...}, "histograms":
+    /// {name: {count, sum, p50, p95, p99}}}`.
+    pub fn to_json(&self) -> Value {
+        let inner = self.inner.lock();
+        let counters: Vec<(String, Value)> =
+            inner.counters.iter().map(|(k, v)| (k.render(), Value::U64(*v))).collect();
+        let gauges: Vec<(String, Value)> =
+            inner.gauges.iter().map(|(k, v)| (k.render(), Value::F64(*v))).collect();
+        let histograms: Vec<(String, Value)> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.render(),
+                    Value::Object(vec![
+                        ("count".into(), Value::U64(h.count())),
+                        ("sum".into(), Value::F64(h.sum())),
+                        ("p50".into(), Value::F64(h.percentile(0.50).unwrap_or(f64::NAN))),
+                        ("p95".into(), Value::F64(h.percentile(0.95).unwrap_or(f64::NAN))),
+                        ("p99".into(), Value::F64(h.percentile(0.99).unwrap_or(f64::NAN))),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("histograms".into(), Value::Object(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = Registry::new();
+        r.inc("knots_actions_applied_total", &[("kind", "Place")]);
+        r.inc("knots_actions_applied_total", &[("kind", "Place")]);
+        r.inc("knots_actions_applied_total", &[("kind", "Resize")]);
+        assert_eq!(r.counter_value("knots_actions_applied_total", &[("kind", "Place")]), 2);
+        assert_eq!(r.counter_value("knots_actions_applied_total", &[("kind", "Resize")]), 1);
+        assert_eq!(r.counter_value("knots_actions_applied_total", &[("kind", "Wake")]), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        r.inc("x_total", &[("a", "1"), ("b", "2")]);
+        assert_eq!(r.counter_value("x_total", &[("b", "2"), ("a", "1")]), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_buckets_and_counts() {
+        let r = Registry::new();
+        r.inc("knots_crashes_total", &[]);
+        r.set_gauge("knots_pending_pods", &[], 4.0);
+        r.observe("knots_heartbeat_latency_us", &[], 120.0);
+        r.observe("knots_heartbeat_latency_us", &[], 90.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE knots_crashes_total counter"));
+        assert!(text.contains("knots_crashes_total 1"));
+        assert!(text.contains("# TYPE knots_pending_pods gauge"));
+        assert!(text.contains("knots_pending_pods 4"));
+        assert!(text.contains("# TYPE knots_heartbeat_latency_us histogram"));
+        assert!(text.contains("knots_heartbeat_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("knots_heartbeat_latency_us_count 2"));
+        assert!(text.contains("knots_heartbeat_latency_us_sum 210"));
+    }
+
+    #[test]
+    fn json_snapshot_reports_percentiles() {
+        let r = Registry::new();
+        for v in 1..=100 {
+            r.observe("lat_us", &[], v as f64);
+        }
+        let json = serde_json::to_string(&r.to_json()).unwrap();
+        assert!(json.contains("\"lat_us\""));
+        assert!(json.contains("\"count\":100"));
+    }
+}

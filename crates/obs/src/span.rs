@@ -1,0 +1,123 @@
+//! Lightweight span timers for per-phase wall-clock accounting.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::histogram::Histogram;
+
+/// Aggregated timing for one named phase.
+#[derive(Debug, Clone)]
+pub struct PhaseStat {
+    /// Phase name ("decide", "step", ...).
+    pub phase: &'static str,
+    /// Number of timed spans.
+    pub count: u64,
+    /// Median span, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile span, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile span, microseconds.
+    pub p99_us: f64,
+    /// Mean span, microseconds.
+    pub mean_us: f64,
+}
+
+/// Wall-clock timers for a fixed set of control-loop phases.
+///
+/// `timers.span("decide")` returns a guard that records its lifetime into
+/// the phase's histogram on drop. Cloning shares the underlying store, so
+/// the orchestrator can hand the same timers to its report.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimers {
+    inner: Arc<Mutex<Vec<(&'static str, Histogram)>>>,
+}
+
+impl PhaseTimers {
+    /// Empty timer set; phases appear on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start timing `phase`; the returned guard records on drop.
+    pub fn span(&self, phase: &'static str) -> SpanGuard<'_> {
+        SpanGuard { timers: self, phase, start: Instant::now() }
+    }
+
+    /// Record an already-measured duration (microseconds) for `phase`.
+    pub fn record_us(&self, phase: &'static str, us: f64) {
+        let mut inner = self.inner.lock();
+        match inner.iter_mut().find(|(p, _)| *p == phase) {
+            Some((_, h)) => h.observe(us),
+            None => {
+                let mut h = Histogram::latency_us();
+                h.observe(us);
+                inner.push((phase, h));
+            }
+        }
+    }
+
+    /// Percentile summary per phase, in first-use order.
+    pub fn stats(&self) -> Vec<PhaseStat> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(phase, h)| PhaseStat {
+                phase,
+                count: h.count(),
+                p50_us: h.percentile(0.50).unwrap_or(0.0),
+                p95_us: h.percentile(0.95).unwrap_or(0.0),
+                p99_us: h.percentile(0.99).unwrap_or(0.0),
+                mean_us: h.mean().unwrap_or(0.0),
+            })
+            .collect()
+    }
+}
+
+/// Records the elapsed time of one phase execution when dropped.
+#[must_use = "the span is timed until this guard drops"]
+pub struct SpanGuard<'a> {
+    timers: &'a PhaseTimers,
+    phase: &'static str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_secs_f64() * 1e6;
+        self.timers.record_us(self.phase, us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_per_phase() {
+        let t = PhaseTimers::new();
+        for _ in 0..10 {
+            let _g = t.span("decide");
+        }
+        t.record_us("apply", 250.0);
+        let stats = t.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].phase, "decide");
+        assert_eq!(stats[0].count, 10);
+        assert!(stats[0].p50_us >= 0.0);
+        assert_eq!(stats[1].phase, "apply");
+        assert!((stats[1].mean_us - 250.0).abs() < 130.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let t = PhaseTimers::new();
+        for us in [10.0, 20.0, 40.0, 80.0, 5000.0] {
+            t.record_us("probe", us);
+        }
+        let s = &t.stats()[0];
+        assert!(s.p50_us <= s.p95_us + 1e-9);
+        assert!(s.p95_us <= s.p99_us + 1e-9);
+    }
+}

@@ -49,9 +49,7 @@ pub fn pick_bin<K>(bins: &[(K, f64)], size: f64, strategy: PackStrategy) -> Opti
 /// Sort item indices by size descending (the "decreasing" part of FFD).
 pub fn decreasing_order(sizes: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..sizes.len()).collect();
-    idx.sort_by(|&a, &b| {
-        sizes[b].partial_cmp(&sizes[a]).expect("finite sizes").then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| sizes[b].partial_cmp(&sizes[a]).expect("finite sizes").then(a.cmp(&b)));
     idx
 }
 

@@ -60,17 +60,11 @@ impl Default for CbpConfig {
 }
 
 /// The CBP scheduler.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Cbp {
     /// Configuration.
     pub cfg: CbpConfig,
     history: AppUsageHistory,
-}
-
-impl Default for Cbp {
-    fn default() -> Self {
-        Cbp { cfg: CbpConfig::default(), history: AppUsageHistory::default() }
-    }
 }
 
 impl Cbp {
@@ -190,11 +184,7 @@ pub(crate) fn sm_headroom_ok(history: &AppUsageHistory, app: &str, node: &NodeVi
     let resident_load: f64 = node
         .pods
         .iter()
-        .map(|p| {
-            history
-                .sm_quantile(&app_key(&p.name), 0.8)
-                .unwrap_or(p.usage.sm_frac)
-        })
+        .map(|p| history.sm_quantile(&app_key(&p.name), 0.8).unwrap_or(p.usage.sm_frac))
         .sum();
     resident_load + expected_sm(history, app) <= 1.05
 }
@@ -202,11 +192,14 @@ pub(crate) fn sm_headroom_ok(history: &AppUsageHistory, app: &str, node: &NodeVi
 /// Can `app` co-locate with everything resident on `node`?
 ///
 /// Rejects when the app's reference memory series is positively correlated
-/// (Spearman ρ > threshold) with any resident pod's recent series.
+/// (Spearman ρ > threshold) with any resident pod's recent series. When the
+/// context carries an audit recorder, the gate logs the worst coefficient
+/// it compared (`scheduler` labels the policy driving the shared gate).
 pub(crate) fn correlation_ok(
     history: &AppUsageHistory,
     cfg: &CbpConfig,
     ctx: &SchedContext<'_>,
+    scheduler: &'static str,
     app: &str,
     node: &NodeView,
     resident_series: &mut HashMap<PodId, Vec<f64>>,
@@ -214,6 +207,8 @@ pub(crate) fn correlation_ok(
     let Some(reference) = history.reference(app) else {
         return true; // nothing known yet: co-locate optimistically
     };
+    // Worst (highest) coefficient seen, with the resident app it belongs to.
+    let mut max_rho: Option<(f64, String)> = None;
     for pod in &node.pods {
         let series = resident_series
             .entry(pod.id)
@@ -223,9 +218,38 @@ pub(crate) fn correlation_ok(
             continue;
         }
         let rho = spearman(&reference[reference.len() - n..], &series[series.len() - n..]);
+        if max_rho.as_ref().is_none_or(|(best, _)| rho > *best) {
+            max_rho = Some((rho, app_key(&pod.name)));
+        }
         if rho > cfg.correlation_threshold {
+            if let Some(rec) = ctx.audit() {
+                knots_obs::audit::correlation_gate(
+                    rec,
+                    ctx.now.as_micros(),
+                    scheduler,
+                    node.id.0 as u64,
+                    app,
+                    &app_key(&pod.name),
+                    rho,
+                    cfg.correlation_threshold,
+                    false,
+                );
+            }
             return false;
         }
+    }
+    if let (Some(rec), Some((rho, other))) = (ctx.audit(), max_rho) {
+        knots_obs::audit::correlation_gate(
+            rec,
+            ctx.now.as_micros(),
+            scheduler,
+            node.id.0 as u64,
+            app,
+            &other,
+            rho,
+            cfg.correlation_threshold,
+            true,
+        );
     }
     true
 }
@@ -301,9 +325,27 @@ impl Scheduler for Cbp {
                 if !node.pods.is_empty() && !sm_headroom_ok(&self.history, &pod.app, node) {
                     continue;
                 }
-                if !correlation_ok(&self.history, &self.cfg, ctx, &pod.app, node, &mut resident_series)
-                {
+                if !correlation_ok(
+                    &self.history,
+                    &self.cfg,
+                    ctx,
+                    "CBP",
+                    &pod.app,
+                    node,
+                    &mut resident_series,
+                ) {
                     continue;
+                }
+                if let Some(rec) = ctx.audit() {
+                    knots_obs::audit::placement(
+                        rec,
+                        ctx.now.as_micros(),
+                        "CBP",
+                        pod.id.0,
+                        node_id.0 as u64,
+                        limit,
+                        meas,
+                    );
                 }
                 actions.push(Action::Place { pod: pod.id, node: *node_id });
                 free.insert(*node_id, (prov - limit, meas - limit));
@@ -316,6 +358,17 @@ impl Scheduler for Cbp {
         }
         if unplaced {
             if let Some(node) = ctx.snapshot.sleeping_nodes().next() {
+                if let Some(rec) = ctx.audit() {
+                    knots_obs::audit::decision(
+                        rec,
+                        ctx.now.as_micros(),
+                        "CBP",
+                        "sched.wake",
+                        None,
+                        Some(node.0 as u64),
+                        "queue_overflowed_active_set",
+                    );
+                }
                 actions.push(Action::Wake { node });
             }
         }
@@ -346,7 +399,9 @@ mod tests {
         let db = TimeSeriesDb::default();
         let mut s = Cbp::new();
         let acts = s.decide(&ctx(&s0, &pend, &[], &db));
-        assert!(acts.contains(&Action::ConfigureGrowth { pod: knots_sim::ids::PodId(1), allow: true }));
+        assert!(
+            acts.contains(&Action::ConfigureGrowth { pod: knots_sim::ids::PodId(1), allow: true })
+        );
     }
 
     #[test]
@@ -388,12 +443,22 @@ mod tests {
         let mut nv0 = node_view(0, 1, false);
         let resident_id = nv0.pods[0].id;
         nv0.pods[0].name = "rampA-1".into();
-        let nv1 = node_view(1, 0, false);
+        // Make node 0 the most-free candidate so the correlation gate (not
+        // the free-memory order) is what steers the pod to node 1.
+        nv0.free_measured_mb = 16_000.0;
+        nv0.free_provision_mb = 16_000.0;
+        let mut nv1 = node_view(1, 0, false);
+        nv1.free_measured_mb = 14_000.0;
+        nv1.free_provision_mb = 14_000.0;
         let s0 = snap(vec![nv0, nv1]);
         let db = TimeSeriesDb::default();
         let ramp: Vec<f64> = (0..40).map(|i| 100.0 + 10.0 * i as f64).collect();
         for (i, &m) in ramp.iter().enumerate() {
-            db.push_pod(resident_id, SimTime::from_millis(i as u64 * 10), Usage::new(0.2, m, 0.0, 0.0));
+            db.push_pod(
+                resident_id,
+                SimTime::from_millis(i as u64 * 10),
+                Usage::new(0.2, m, 0.0, 0.0),
+            );
         }
         let mut s = Cbp::new();
         teach(&mut s, "rampB", &ramp);
@@ -401,6 +466,7 @@ mod tests {
         let mut snapshot = s0;
         snapshot.at = SimTime::from_millis(400);
         let pend = vec![pending(1, "rampB-1", 500.0)];
+        let rec = knots_obs::Recorder::bounded(64);
         let c = SchedContext {
             now: snapshot.at,
             snapshot: &snapshot,
@@ -408,8 +474,14 @@ mod tests {
             suspended: &[],
             tsdb: &db,
             window: SimDuration::from_secs(5),
+            recorder: Some(&rec),
         };
         let acts = s.decide(&c);
+        // The audit trail must carry the rejecting Spearman coefficient.
+        let trace = rec.export_jsonl();
+        assert!(trace.contains("sched.correlation"), "trace: {trace}");
+        assert!(trace.contains("spearman_rho"), "trace: {trace}");
+        assert!(trace.contains("\"admitted\":false"), "trace: {trace}");
         let place = acts.iter().find_map(|a| match a {
             Action::Place { node, .. } => Some(*node),
             _ => None,
@@ -429,7 +501,11 @@ mod tests {
         let ramp_up: Vec<f64> = (0..40).map(|i| 100.0 + 10.0 * i as f64).collect();
         let ramp_down: Vec<f64> = ramp_up.iter().rev().copied().collect();
         for (i, &m) in ramp_up.iter().enumerate() {
-            db.push_pod(resident_id, SimTime::from_millis(i as u64 * 10), Usage::new(0.2, m, 0.0, 0.0));
+            db.push_pod(
+                resident_id,
+                SimTime::from_millis(i as u64 * 10),
+                Usage::new(0.2, m, 0.0, 0.0),
+            );
         }
         let mut s = Cbp::new();
         teach(&mut s, "anti", &ramp_down);
@@ -443,6 +519,7 @@ mod tests {
             suspended: &[],
             tsdb: &db,
             window: SimDuration::from_secs(5),
+            recorder: None,
         };
         let acts = s.decide(&c);
         assert!(

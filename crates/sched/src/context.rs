@@ -1,5 +1,6 @@
 //! The read-only context handed to a scheduler on every heartbeat.
 
+use knots_obs::Recorder;
 use knots_sim::ids::PodId;
 use knots_sim::pod::QosClass;
 use knots_sim::time::{SimDuration, SimTime};
@@ -66,6 +67,18 @@ pub struct SchedContext<'a> {
     pub tsdb: &'a TimeSeriesDb,
     /// The sliding-window length `d` (§IV-C; default 5 s).
     pub window: SimDuration,
+    /// Optional decision-audit recorder. `None` (or a disabled recorder)
+    /// keeps policies silent; when enabled, policies log *why* each
+    /// decision happened (Spearman gate outcomes, Algorithm-1 branches,
+    /// bin-pack rejections) via [`knots_obs::audit`].
+    pub recorder: Option<&'a Recorder>,
+}
+
+impl SchedContext<'_> {
+    /// The audit recorder, when one is attached and enabled.
+    pub fn audit(&self) -> Option<&Recorder> {
+        self.recorder.filter(|r| r.enabled())
+    }
 }
 
 /// Derive the application key from a pod name: strips one trailing

@@ -14,7 +14,7 @@
 use crate::action::Action;
 use crate::context::SchedContext;
 use crate::traits::Scheduler;
-use knots_sim::ids::{NodeId};
+use knots_sim::ids::NodeId;
 use knots_sim::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -43,18 +43,12 @@ impl Default for GandivaConfig {
 }
 
 /// The Gandiva-style scheduler.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Gandiva {
     /// Configuration.
     pub cfg: GandivaConfig,
     last_rotation: Option<SimTime>,
     last_migration: Option<SimTime>,
-}
-
-impl Default for Gandiva {
-    fn default() -> Self {
-        Gandiva { cfg: GandivaConfig::default(), last_rotation: None, last_migration: None }
-    }
 }
 
 impl Gandiva {
@@ -91,7 +85,6 @@ impl Scheduler for Gandiva {
                 .iter_mut()
                 .filter(|(_, (cnt, free))| *cnt < self.cfg.slots_per_node && *free >= s.limit_mb)
                 .min_by_key(|(_, (cnt, _))| *cnt)
-                .map(|(n, e)| (n, e))
             {
                 actions.push(Action::Resume { pod: s.id, node });
                 entry.0 += 1;
@@ -130,12 +123,14 @@ impl Scheduler for Gandiva {
         // 3. Time-slicing: every quantum, rotate one running pod out of
         //    each oversubscribed node (the suspend half; the pod re-enters
         //    via step 1 on a later heartbeat).
-        let waiting = ctx.pending.len()
-            + ctx.suspended.len()
-            - actions.iter().filter(|a| matches!(a, Action::Resume { .. } | Action::Place { .. })).count().min(ctx.pending.len() + ctx.suspended.len());
-        let rotate_due = self
-            .last_rotation
-            .is_none_or(|t| ctx.now.saturating_since(t) >= self.cfg.quantum);
+        let waiting = ctx.pending.len() + ctx.suspended.len()
+            - actions
+                .iter()
+                .filter(|a| matches!(a, Action::Resume { .. } | Action::Place { .. }))
+                .count()
+                .min(ctx.pending.len() + ctx.suspended.len());
+        let rotate_due =
+            self.last_rotation.is_none_or(|t| ctx.now.saturating_since(t) >= self.cfg.quantum);
         if rotate_due && waiting > 0 {
             self.last_rotation = Some(ctx.now);
             // Rotate only as many GPUs as there is waiting work: suspend
@@ -151,16 +146,20 @@ impl Scheduler for Gandiva {
                 bm.partial_cmp(&am).expect("finite")
             });
             for n in full.into_iter().take(waiting) {
-                if let Some(victim) = n
-                    .pods
-                    .iter()
-                    .filter(|p| !p.pulling)
-                    .max_by(|a, b| {
-                        a.attained_service_secs
-                            .partial_cmp(&b.attained_service_secs)
-                            .expect("finite")
-                    })
-                {
+                if let Some(victim) = n.pods.iter().filter(|p| !p.pulling).max_by(|a, b| {
+                    a.attained_service_secs.partial_cmp(&b.attained_service_secs).expect("finite")
+                }) {
+                    if let Some(rec) = ctx.audit() {
+                        knots_obs::audit::decision(
+                            rec,
+                            ctx.now.as_micros(),
+                            "Gandiva",
+                            "sched.preempt",
+                            Some(victim.id.0),
+                            Some(n.id.0 as u64),
+                            "time_slice_rotation",
+                        );
+                    }
                     actions.push(Action::Preempt { pod: victim.id });
                 }
             }
@@ -178,6 +177,17 @@ impl Scheduler for Gandiva {
             if let (Some(lo), Some(hi)) = (actives.first(), actives.last()) {
                 if hi.pods.len() >= lo.pods.len() + 2 {
                     if let Some(mover) = hi.pods.iter().find(|p| !p.pulling) {
+                        if let Some(rec) = ctx.audit() {
+                            knots_obs::audit::decision(
+                                rec,
+                                ctx.now.as_micros(),
+                                "Gandiva",
+                                "sched.migrate",
+                                Some(mover.id.0),
+                                Some(lo.id.0 as u64),
+                                "trial_and_error_rebalance",
+                            );
+                        }
                         actions.push(Action::Migrate { pod: mover.id, to: lo.id });
                     }
                 }

@@ -62,17 +62,11 @@ impl Default for PpConfig {
 }
 
 /// The CBP+PP scheduler (the full Kube-Knots policy).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct CbpPp {
     /// Configuration.
     pub cfg: PpConfig,
     history: AppUsageHistory,
-}
-
-impl Default for CbpPp {
-    fn default() -> Self {
-        CbpPp { cfg: PpConfig::default(), history: AppUsageHistory::default() }
-    }
 }
 
 impl CbpPp {
@@ -89,13 +83,31 @@ impl CbpPp {
     /// Peak-prediction admission (the `AutoCorrelation`/`ARIMA` branch of
     /// Algorithm 1): forecast the node's used memory one horizon ahead and
     /// check the pod still fits.
-    fn forecast_admits(&self, ctx: &SchedContext<'_>, node: NodeId, capacity_mb: f64, limit: f64) -> bool {
+    fn forecast_admits(
+        &self,
+        ctx: &SchedContext<'_>,
+        node: NodeId,
+        capacity_mb: f64,
+        limit: f64,
+    ) -> bool {
         let series = ctx.tsdb.node_series(node, Metric::MemUsedMb, ctx.now, ctx.window);
         if series.len() < 8 {
-            return false; // "input time-series data is limited"
+            // "input time-series data is limited"
+            self.audit_branch(
+                ctx,
+                node,
+                "insufficient_history",
+                None,
+                capacity_mb,
+                series.len(),
+                false,
+            );
+            return false;
         }
         if !has_forecastable_trend(&series) {
-            return false; // "the trend is not strong enough"
+            // "the trend is not strong enough"
+            self.audit_branch(ctx, node, "no_trend", None, capacity_mb, series.len(), false);
+            return false;
         }
         let model = Ar1::fit(&series);
         // Horizon in samples: infer the sampling interval from the window.
@@ -104,7 +116,37 @@ impl CbpPp {
         let steps = (self.cfg.horizon_secs / dt.max(1e-6)).round().max(1.0) as usize;
         let pred_used = model.forecast_h(*series.last().expect("non-empty"), steps.min(10_000));
         let pred_free = capacity_mb - pred_used.clamp(0.0, capacity_mb);
-        pred_free >= limit * self.cfg.forecast_margin
+        let admitted = pred_free >= limit * self.cfg.forecast_margin;
+        let branch = if admitted { "forecast_admit" } else { "forecast_reject" };
+        self.audit_branch(ctx, node, branch, Some(pred_used), capacity_mb, series.len(), admitted);
+        admitted
+    }
+
+    /// Log which Algorithm-1 branch fired, when an audit recorder is on.
+    #[allow(clippy::too_many_arguments)]
+    fn audit_branch(
+        &self,
+        ctx: &SchedContext<'_>,
+        node: NodeId,
+        branch: &'static str,
+        forecast_mb: Option<f64>,
+        capacity_mb: f64,
+        history_len: usize,
+        admitted: bool,
+    ) {
+        if let Some(rec) = ctx.audit() {
+            knots_obs::audit::forecast_branch(
+                rec,
+                ctx.now.as_micros(),
+                "CBP+PP",
+                node.0 as u64,
+                branch,
+                forecast_mb,
+                capacity_mb,
+                history_len,
+                admitted,
+            );
+        }
     }
 }
 
@@ -153,8 +195,7 @@ impl Scheduler for CbpPp {
             // loaded admissible node; batch pods follow the packing order.
             let lc_order: Vec<NodeId>;
             let candidates: &[NodeId] = if is_lc {
-                let mut v: Vec<&knots_telemetry::NodeView> =
-                    ctx.snapshot.active_nodes().collect();
+                let mut v: Vec<&knots_telemetry::NodeView> = ctx.snapshot.active_nodes().collect();
                 v.sort_by(|a, b| {
                     a.sample
                         .sm_util
@@ -191,16 +232,28 @@ impl Scheduler for CbpPp {
                     &self.history,
                     &self.cfg.cbp,
                     ctx,
+                    "CBP+PP",
                     &pod.app,
                     node,
                     &mut resident_series,
                 );
                 // Algorithm 1: correlated pods may still co-locate when the
                 // forecast says their peaks won't coincide.
-                let admitted = corr_ok
-                    || self.forecast_admits(ctx, *node_id, node.capacity_mb, limit);
+                let admitted =
+                    corr_ok || self.forecast_admits(ctx, *node_id, node.capacity_mb, limit);
                 if !admitted {
                     continue;
+                }
+                if let Some(rec) = ctx.audit() {
+                    knots_obs::audit::placement(
+                        rec,
+                        ctx.now.as_micros(),
+                        "CBP+PP",
+                        pod.id.0,
+                        node_id.0 as u64,
+                        limit,
+                        meas,
+                    );
                 }
                 actions.push(Action::Place { pod: pod.id, node: *node_id });
                 free.insert(*node_id, (prov - limit, meas - limit));
@@ -248,10 +301,7 @@ mod tests {
         let db = TimeSeriesDb::default();
         let mut s = CbpPp::new();
         let acts = s.decide(&ctx(&s0, &pend, &[], &db));
-        assert!(
-            acts.contains(&Action::Place { pod: PodId(1), node: NodeId(1) }),
-            "acts: {acts:?}"
-        );
+        assert!(acts.contains(&Action::Place { pod: PodId(1), node: NodeId(1) }), "acts: {acts:?}");
     }
 
     #[test]
@@ -321,6 +371,7 @@ mod tests {
         let mut snapshot = snap(vec![node_view(0, 0, false)]);
         snapshot.at = SimTime::from_secs(5);
         let pend = [pending(1, "x", 2_000.0)];
+        let rec = knots_obs::Recorder::bounded(16);
         let c = SchedContext {
             now: snapshot.at,
             snapshot: &snapshot,
@@ -328,8 +379,13 @@ mod tests {
             suspended: &[],
             tsdb: &db,
             window: SimDuration::from_secs(5),
+            recorder: Some(&rec),
         };
         assert!(s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
+        // Algorithm-1 branch taken must be in the audit trail.
+        let trace = rec.export_jsonl();
+        assert!(trace.contains("forecast_admit"), "trace: {trace}");
+        assert!(trace.contains("forecast_peak_mb"), "trace: {trace}");
     }
 
     #[test]
@@ -360,6 +416,7 @@ mod tests {
             suspended: &[],
             tsdb: db_ref,
             window: SimDuration::from_secs(5),
+            recorder: None,
         };
         // Used is ~15.8 GB now and rising: a 2 GB pod must be refused.
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
@@ -371,6 +428,7 @@ mod tests {
         let s = CbpPp::new();
         let snapshot = snap(vec![node_view(0, 0, false)]);
         let pend = [pending(1, "x", 100.0)];
+        let rec = knots_obs::Recorder::bounded(16);
         let c = SchedContext {
             now: snapshot.at,
             snapshot: &snapshot,
@@ -378,7 +436,9 @@ mod tests {
             suspended: &[],
             tsdb: &db,
             window: SimDuration::from_secs(5),
+            recorder: Some(&rec),
         };
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 100.0), "no data: reject");
+        assert!(rec.export_jsonl().contains("insufficient_history"));
     }
 }

@@ -68,10 +68,33 @@ impl Scheduler for ResAg {
             let pod = &ctx.pending[i];
             match pick_bin(&bins, pod.limit_mb, self.strategy) {
                 Some(b) => {
+                    if let Some(rec) = ctx.audit() {
+                        knots_obs::audit::placement(
+                            rec,
+                            ctx.now.as_micros(),
+                            "Res-Ag",
+                            pod.id.0,
+                            bins[b].0 .0 as u64,
+                            pod.limit_mb,
+                            bins[b].1,
+                        );
+                    }
                     actions.push(Action::Place { pod: pod.id, node: bins[b].0 });
                     bins[b].1 -= pod.limit_mb;
                 }
-                None => unplaced_any = true,
+                None => {
+                    if let Some(rec) = ctx.audit() {
+                        knots_obs::audit::binpack_reject(
+                            rec,
+                            ctx.now.as_micros(),
+                            "Res-Ag",
+                            pod.id.0,
+                            pod.limit_mb,
+                            "no_feasible_bin",
+                        );
+                    }
+                    unplaced_any = true;
+                }
             }
         }
         // Wake one sleeping node when demand overflowed the active set.
@@ -94,11 +117,8 @@ mod tests {
     #[test]
     fn packs_multiple_pods_per_node_by_request() {
         let s0 = snap(vec![node_view(0, 0, false)]);
-        let pend = vec![
-            pending(1, "a", 6_000.0),
-            pending(2, "b", 6_000.0),
-            pending(3, "c", 4_000.0),
-        ];
+        let pend =
+            vec![pending(1, "a", 6_000.0), pending(2, "b", 6_000.0), pending(3, "c", 4_000.0)];
         let db = TimeSeriesDb::default();
         let mut s = ResAg::new();
         let acts = s.decide(&ctx(&s0, &pend, &[], &db));

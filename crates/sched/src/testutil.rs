@@ -55,7 +55,11 @@ pub fn pending(id: u64, name: &str, request: f64) -> PendingPodView {
 
 /// A pending latency-critical pod view.
 pub fn pending_lc(id: u64, name: &str, request: f64, greedy: bool) -> PendingPodView {
-    PendingPodView { qos: QosClass::latency_critical(), greedy_memory: greedy, ..pending(id, name, request) }
+    PendingPodView {
+        qos: QosClass::latency_critical(),
+        greedy_memory: greedy,
+        ..pending(id, name, request)
+    }
 }
 
 /// Assemble a context.
@@ -72,6 +76,7 @@ pub fn ctx<'a>(
         suspended,
         tsdb,
         window: SimDuration::from_secs(5),
+        recorder: None,
     }
 }
 

@@ -41,17 +41,11 @@ impl Default for TiresiasConfig {
 }
 
 /// The Tiresias-style LAS scheduler.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Tiresias {
     /// Configuration.
     pub cfg: TiresiasConfig,
     last_preempt: HashMap<NodeId, SimTime>,
-}
-
-impl Default for Tiresias {
-    fn default() -> Self {
-        Tiresias { cfg: TiresiasConfig::default(), last_preempt: HashMap::new() }
-    }
 }
 
 impl Tiresias {
@@ -140,9 +134,9 @@ impl Scheduler for Tiresias {
                         .snapshot
                         .active_nodes()
                         .filter(|n| {
-                            self.last_preempt
-                                .get(&n.id)
-                                .is_none_or(|t| ctx.now.saturating_since(*t) >= self.cfg.preempt_cooldown)
+                            self.last_preempt.get(&n.id).is_none_or(|t| {
+                                ctx.now.saturating_since(*t) >= self.cfg.preempt_cooldown
+                            })
                         })
                         .flat_map(|n| n.pods.iter().map(move |p| (n.id, p)))
                         .filter(|(_, p)| {
@@ -154,6 +148,17 @@ impl Scheduler for Tiresias {
                                 .expect("finite")
                         });
                     if let Some((node, p)) = victim {
+                        if let Some(rec) = ctx.audit() {
+                            knots_obs::audit::decision(
+                                rec,
+                                ctx.now.as_micros(),
+                                "Tiresias",
+                                "sched.preempt",
+                                Some(p.id.0),
+                                Some(node.0 as u64),
+                                "las_low_band_victim",
+                            );
+                        }
                         actions.push(Action::Preempt { pod: p.id });
                         self.last_preempt.insert(node, ctx.now);
                     }
@@ -215,10 +220,7 @@ mod tests {
         let mut t = Tiresias::new();
         let acts = t.decide(&ctx(&s0, &pend, &[], &db));
         // The 2000 s job (most attained) is the victim.
-        assert!(
-            acts.contains(&Action::Preempt { pod: nv.pods[1].id }),
-            "acts: {acts:?}"
-        );
+        assert!(acts.contains(&Action::Preempt { pod: nv.pods[1].id }), "acts: {acts:?}");
     }
 
     #[test]

@@ -45,10 +45,32 @@ impl Scheduler for Uniform {
         // Strict FCFS: stop at the first pod that cannot be placed.
         for pod in ctx.pending {
             if let Some(node) = free.pop() {
+                if let Some(rec) = ctx.audit() {
+                    knots_obs::audit::decision(
+                        rec,
+                        ctx.now.as_micros(),
+                        "Uniform",
+                        "sched.place",
+                        Some(pod.id.0),
+                        Some(node.0 as u64),
+                        "fcfs_exclusive_gpu",
+                    );
+                }
                 actions.push(Action::Place { pod: pod.id, node });
             } else if let Some(node) = sleeping.pop() {
                 // Wake a node for the blocked head; it becomes placeable on
                 // a later heartbeat.
+                if let Some(rec) = ctx.audit() {
+                    knots_obs::audit::decision(
+                        rec,
+                        ctx.now.as_micros(),
+                        "Uniform",
+                        "sched.wake",
+                        Some(pod.id.0),
+                        Some(node.0 as u64),
+                        "hol_blocked_head",
+                    );
+                }
                 actions.push(Action::Wake { node });
                 break;
             } else {

@@ -92,8 +92,7 @@ fn check_actions(
                 prop_assert!(snapshot.node(*node).is_some(), "{name}: unknown node");
             }
             Action::Preempt { pod } => {
-                let resident =
-                    snapshot.nodes.iter().any(|n| n.pods.iter().any(|p| p.id == *pod));
+                let resident = snapshot.nodes.iter().any(|n| n.pods.iter().any(|p| p.id == *pod));
                 prop_assert!(resident, "{name}: preempted non-resident pod");
             }
             Action::Resume { .. } | Action::Migrate { .. } => {}
@@ -133,6 +132,7 @@ proptest! {
             suspended: &[],
             tsdb: &db,
             window: SimDuration::from_secs(5),
+            recorder: None,
         };
         let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
             Box::new(Uniform::new()),

@@ -270,8 +270,7 @@ impl Cluster {
         }
         let pod = self.pending.remove(&id).expect("checked above");
         self.queue.retain(|q| *q != id);
-        let cold =
-            self.nodes[node.0].admit(id, pod, self.now, self.cfg.overheads.cold_start_pull);
+        let cold = self.nodes[node.0].admit(id, pod, self.now, self.cfg.overheads.cold_start_pull);
         self.location.insert(id, Loc::OnNode(node));
         self.events.push(Event::pod(self.now, id, EventKind::Placed { node, cold_start: cold }));
         if !cold {
@@ -329,7 +328,11 @@ impl Cluster {
     pub fn preempt(&mut self, id: PodId) -> SimResult<()> {
         let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
         let Loc::OnNode(node) = loc else {
-            return Err(SimError::InvalidState { pod: id, op: "preempt", state: format!("{loc:?}") });
+            return Err(SimError::InvalidState {
+                pod: id,
+                op: "preempt",
+                state: format!("{loc:?}"),
+            });
         };
         let mut pod = self.nodes[node.0].evict(id).expect("location says resident");
         pod.suspend();
@@ -344,7 +347,11 @@ impl Cluster {
     pub fn resume(&mut self, id: PodId, node: NodeId) -> SimResult<()> {
         let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
         if loc != Loc::Suspended {
-            return Err(SimError::InvalidState { pod: id, op: "resume", state: format!("{loc:?}") });
+            return Err(SimError::InvalidState {
+                pod: id,
+                op: "resume",
+                state: format!("{loc:?}"),
+            });
         }
         let n = self.nodes.get(node.0).ok_or(SimError::UnknownNode(node))?;
         if !n.is_available() {
@@ -362,7 +369,11 @@ impl Cluster {
     pub fn migrate(&mut self, id: PodId, to: NodeId) -> SimResult<()> {
         let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
         let Loc::OnNode(from) = loc else {
-            return Err(SimError::InvalidState { pod: id, op: "migrate", state: format!("{loc:?}") });
+            return Err(SimError::InvalidState {
+                pod: id,
+                op: "migrate",
+                state: format!("{loc:?}"),
+            });
         };
         if from == to {
             return Ok(());
@@ -424,19 +435,18 @@ impl Cluster {
         //    so results are deterministic.
         let outcomes: Vec<StepOutcome> = if self.nodes.len() >= self.cfg.parallel_threshold {
             let chunk = self.nodes.len().div_ceil(num_threads());
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = self
                     .nodes
                     .chunks_mut(chunk)
                     .map(|nodes| {
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             nodes.iter_mut().map(|n| n.step(now, dt)).collect::<Vec<_>>()
                         })
                     })
                     .collect();
                 handles.into_iter().flat_map(|h| h.join().expect("node step panicked")).collect()
             })
-            .expect("crossbeam scope")
         } else {
             self.nodes.iter_mut().map(|n| n.step(now, dt)).collect()
         };
@@ -594,7 +604,10 @@ mod tests {
             .events()
             .iter()
             .filter(|e| {
-                matches!(e.kind, EventKind::Crashed { reason: CrashReason::MemoryCapacityViolation, .. })
+                matches!(
+                    e.kind,
+                    EventKind::Crashed { reason: CrashReason::MemoryCapacityViolation, .. }
+                )
             })
             .collect();
         assert_eq!(crashed.len(), 1);
@@ -616,10 +629,7 @@ mod tests {
         c.place(id, NodeId(0)).unwrap();
         c.resize(id, 1500.0).unwrap();
         assert_eq!(c.pod(id).unwrap().limit_mb(), 1500.0);
-        assert!(matches!(
-            c.resize(id, f64::NAN),
-            Err(SimError::InvalidResize { .. })
-        ));
+        assert!(matches!(c.resize(id, f64::NAN), Err(SimError::InvalidResize { .. })));
         assert_eq!(
             c.events().iter().filter(|e| matches!(e.kind, EventKind::Resized { .. })).count(),
             2
@@ -693,12 +703,10 @@ mod tests {
         }
         assert!(c.node(NodeId(0)).unwrap().gpu().is_asleep());
         assert!(c.node(NodeId(1)).unwrap().gpu().is_asleep());
-        assert!(c
-            .events()
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::NodeSlept { .. }))
-            .count()
-            >= 2);
+        assert!(
+            c.events().iter().filter(|e| matches!(e.kind, EventKind::NodeSlept { .. })).count()
+                >= 2
+        );
     }
 
     #[test]

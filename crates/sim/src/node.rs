@@ -2,7 +2,7 @@
 //!
 //! A node owns its resident pods while they are bound to it, which makes
 //! per-node stepping embarrassingly parallel (the cluster steps nodes on a
-//! `crossbeam` scope when there are many of them).
+//! scoped-thread fan-out when there are many of them).
 //!
 //! ## Execution model
 //!
@@ -155,7 +155,13 @@ impl Node {
 
     /// Admit a pod. Returns whether a cold-start pull is needed. The caller
     /// (`Cluster::place`) has already validated the placement.
-    pub(crate) fn admit(&mut self, id: PodId, mut pod: Pod, now: SimTime, pull: SimDuration) -> bool {
+    pub(crate) fn admit(
+        &mut self,
+        id: PodId,
+        mut pod: Pod,
+        now: SimTime,
+        pull: SimDuration,
+    ) -> bool {
         let cold = !self.image_cache.contains(&pod.spec().image);
         self.image_cache.insert(pod.spec().image);
         let pull_until = if cold { Some(now + pull) } else { None };
@@ -464,8 +470,18 @@ mod tests {
     fn pcie_contention_limits_speed() {
         let mut n = Node::new(NodeId(0), GpuModel::P100);
         let prof = ProfileBuilder::new().transfer(1.0, 10_000.0, 100.0).build();
-        n.admit(PodId(1), Pod::new(PodSpec::batch("a", prof.clone()), SimTime::ZERO), SimTime::ZERO, SimDuration::ZERO);
-        n.admit(PodId(2), Pod::new(PodSpec::batch("b", prof), SimTime::ZERO), SimTime::ZERO, SimDuration::ZERO);
+        n.admit(
+            PodId(1),
+            Pod::new(PodSpec::batch("a", prof.clone()), SimTime::ZERO),
+            SimTime::ZERO,
+            SimDuration::ZERO,
+        );
+        n.admit(
+            PodId(2),
+            Pod::new(PodSpec::batch("b", prof), SimTime::ZERO),
+            SimTime::ZERO,
+            SimDuration::ZERO,
+        );
         let mut now = SimTime::ZERO;
         tick(&mut n, &mut now, 100);
         // Total demand 20 GB/s on a 12 GB/s link -> speed 0.6.
@@ -491,10 +507,13 @@ mod tests {
         let mut n = Node::new(NodeId(0), GpuModel::P100);
         // Pod 1 provisioned honestly (10 GB limit, 10 GB use); pod 2 lied
         // (1 GB limit, 8 GB use). Pod 2 must be the victim.
-        let honest =
-            Pod::new(PodSpec::batch("h", ResourceProfile::constant(0.1, 10_000.0, 5.0)), SimTime::ZERO);
+        let honest = Pod::new(
+            PodSpec::batch("h", ResourceProfile::constant(0.1, 10_000.0, 5.0)),
+            SimTime::ZERO,
+        );
         let liar = Pod::new(
-            PodSpec::batch("l", ResourceProfile::constant(0.1, 8_000.0, 5.0)).with_request_mb(1_000.0),
+            PodSpec::batch("l", ResourceProfile::constant(0.1, 8_000.0, 5.0))
+                .with_request_mb(1_000.0),
             SimTime::ZERO,
         );
         n.admit(PodId(1), honest, SimTime::ZERO, SimDuration::ZERO);
@@ -509,7 +528,8 @@ mod tests {
     fn greedy_pod_earmarks_free_memory() {
         let mut n = Node::new(NodeId(0), GpuModel::P100);
         let tf = Pod::new(
-            PodSpec::batch("tf", ResourceProfile::constant(0.3, 500.0, 5.0)).with_greedy_memory(true),
+            PodSpec::batch("tf", ResourceProfile::constant(0.3, 500.0, 5.0))
+                .with_greedy_memory(true),
             SimTime::ZERO,
         );
         n.admit(PodId(1), tf, SimTime::ZERO, SimDuration::ZERO);
@@ -543,10 +563,8 @@ mod tests {
         n.admit(PodId(1), batch_pod(0.1, 14_000.0, 60.0), SimTime::ZERO, SimDuration::ZERO);
         let mut now = SimTime::ZERO;
         tick(&mut n, &mut now, 10); // establish measured usage
-        let grower = ProfileBuilder::new()
-            .compute(0.05, 0.2, 1_000.0)
-            .compute(1.0, 0.2, 4_000.0)
-            .build();
+        let grower =
+            ProfileBuilder::new().compute(0.05, 0.2, 1_000.0).compute(1.0, 0.2, 4_000.0).build();
         let tf = Pod::new(PodSpec::batch("tf", grower).with_greedy_memory(true), SimTime::ZERO);
         n.admit(PodId(2), tf, now, SimDuration::ZERO);
         let mut crashed = vec![];
@@ -594,7 +612,8 @@ mod tests {
         n.admit(
             PodId(1),
             Pod::new(
-                PodSpec::batch("a", ResourceProfile::constant(0.1, 100.0, 5.0)).with_request_mb(4_096.0),
+                PodSpec::batch("a", ResourceProfile::constant(0.1, 100.0, 5.0))
+                    .with_request_mb(4_096.0),
                 SimTime::ZERO,
             ),
             SimTime::ZERO,

@@ -32,7 +32,10 @@ impl Phase {
     /// Panics when `work_secs` is not strictly positive or the demand vector
     /// is invalid (negative, NaN, or `sm_frac > 1`).
     pub fn new(work_secs: f64, demand: Usage) -> Self {
-        assert!(work_secs.is_finite() && work_secs > 0.0, "phase work must be positive: {work_secs}");
+        assert!(
+            work_secs.is_finite() && work_secs > 0.0,
+            "phase work must be positive: {work_secs}"
+        );
         assert!(demand.is_valid_demand(), "invalid phase demand: {demand:?}");
         Phase { work_secs, demand }
     }
@@ -84,9 +87,10 @@ impl ResourceProfile {
         debug_assert!(work.is_finite() && work >= 0.0);
         // Binary search over the cumulative boundaries. Profiles have at most
         // a few dozen phases, but demand_at is called every tick per pod.
-        let idx = match self.cumulative.binary_search_by(|b| {
-            b.partial_cmp(&work).expect("cumulative work is finite")
-        }) {
+        let idx = match self
+            .cumulative
+            .binary_search_by(|b| b.partial_cmp(&work).expect("cumulative work is finite"))
+        {
             // Exactly on a boundary: the boundary ends its phase, so the
             // demand comes from the *next* phase (if any).
             Ok(i) => (i + 1).min(self.phases.len() - 1),

@@ -16,7 +16,7 @@ use knots_sim::time::{SimDuration, SimTime};
 pub struct UtilizationAggregator {
     heartbeat: SimDuration,
     window: SimDuration,
-    last_query: Option<SimTime>,
+    next_due: Option<SimTime>,
 }
 
 impl UtilizationAggregator {
@@ -28,7 +28,7 @@ impl UtilizationAggregator {
     /// Custom heartbeat and window.
     pub fn new(heartbeat: SimDuration, window: SimDuration) -> Self {
         assert!(!heartbeat.is_zero(), "heartbeat must be positive");
-        UtilizationAggregator { heartbeat, window, last_query: None }
+        UtilizationAggregator { heartbeat, window, next_due: None }
     }
 
     /// The configured heartbeat interval.
@@ -43,15 +43,19 @@ impl UtilizationAggregator {
 
     /// Whether a new heartbeat query is due at `now`.
     pub fn due(&self, now: SimTime) -> bool {
-        match self.last_query {
-            None => true,
-            Some(last) => now.saturating_since(last) >= self.heartbeat,
-        }
+        self.next_due.is_none_or(|t| now >= t)
     }
 
-    /// Build a snapshot (unconditionally) and remember the query time.
+    /// Build a snapshot (unconditionally) and schedule the next due time.
+    /// The next due time snaps to the heartbeat grid (anchored at t=0)
+    /// instead of `now + heartbeat`: when the simulation tick doesn't divide
+    /// the heartbeat, measuring from the (late) fire time would stretch
+    /// every interval to `ceil(heartbeat / tick) * tick` and the cadence
+    /// would drift ever further behind the configured rate.
     pub fn query(&mut self, cluster: &Cluster) -> ClusterSnapshot {
-        self.last_query = Some(cluster.now());
+        let now = cluster.now();
+        let hb_us = self.heartbeat.as_micros().max(1);
+        self.next_due = Some(SimTime::from_micros((now.as_micros() / hb_us + 1) * hb_us));
         snapshot_of(cluster)
     }
 
@@ -119,7 +123,8 @@ mod tests {
     #[test]
     fn heartbeat_gating() {
         let mut c = cluster();
-        let mut agg = UtilizationAggregator::new(SimDuration::from_millis(100), SimDuration::from_secs(5));
+        let mut agg =
+            UtilizationAggregator::new(SimDuration::from_millis(100), SimDuration::from_secs(5));
         assert!(agg.due(c.now()));
         assert!(agg.query_if_due(&c).is_some());
         assert!(!agg.due(c.now()));
@@ -130,10 +135,37 @@ mod tests {
     }
 
     #[test]
+    fn heartbeat_does_not_drift_under_non_divisible_tick() {
+        // 100 ms heartbeat sampled by a 30 ms tick. Measuring "since last
+        // fire" stretches every interval to 120 ms (fires at 0, 120, 240,
+        // 360 — a 20% cadence drift). Grid-snapping keeps the long-run
+        // average at the configured heartbeat: fires at 0, 120, 210, 300.
+        let mut c = cluster();
+        let mut agg =
+            UtilizationAggregator::new(SimDuration::from_millis(100), SimDuration::from_secs(5));
+        let mut fires = Vec::new();
+        for _ in 0..101 {
+            if agg.query_if_due(&c).is_some() {
+                fires.push(c.now().as_micros());
+            }
+            c.step(SimDuration::from_millis(30));
+        }
+        assert_eq!(&fires[..4], &[0, 120_000, 210_000, 300_000]);
+        // 3.03 s of wall time at a 100 ms heartbeat: ~30 fires, not 25.
+        let span_us = fires.last().unwrap() - fires.first().unwrap();
+        let mean_gap_us = span_us as f64 / (fires.len() - 1) as f64;
+        assert!(
+            (mean_gap_us - 100_000.0).abs() < 5_000.0,
+            "mean inter-fire gap drifted: {mean_gap_us} µs"
+        );
+    }
+
+    #[test]
     fn snapshot_reflects_cluster_state() {
         let mut c = cluster();
         let id = c.submit(
-            PodSpec::batch("r", ResourceProfile::constant(0.7, 3000.0, 10.0)).with_request_mb(8000.0),
+            PodSpec::batch("r", ResourceProfile::constant(0.7, 3000.0, 10.0))
+                .with_request_mb(8000.0),
             SimTime::ZERO,
         );
         c.place(id, NodeId(1)).unwrap();

@@ -39,8 +39,10 @@ mod tests {
         cfg.overheads.cold_start_pull = SimDuration::ZERO;
         let mut cluster = Cluster::new(cfg);
         let db = TimeSeriesDb::default();
-        let id = cluster
-            .submit(PodSpec::batch("x", ResourceProfile::constant(0.5, 2000.0, 10.0)), SimTime::ZERO);
+        let id = cluster.submit(
+            PodSpec::batch("x", ResourceProfile::constant(0.5, 2000.0, 10.0)),
+            SimTime::ZERO,
+        );
         cluster.place(id, NodeId(0)).unwrap();
         for _ in 0..20 {
             cluster.step(SimDuration::from_millis(10));
@@ -49,8 +51,7 @@ mod tests {
         assert_eq!(db.node_len(NodeId(0)), 20);
         assert_eq!(db.node_len(NodeId(1)), 20);
         assert_eq!(db.pod_len(id), 20);
-        let mem =
-            db.pod_mem_series(id, cluster.now(), SimDuration::from_secs(5));
+        let mem = db.pod_mem_series(id, cluster.now(), SimDuration::from_secs(5));
         assert!(mem.iter().all(|&m| (m - 2000.0).abs() < 1e-9));
         // Node 0 shows utilization; node 1 is idle.
         let latest = db.latest_node(NodeId(0)).unwrap();

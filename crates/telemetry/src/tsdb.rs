@@ -121,7 +121,12 @@ impl TimeSeriesDb {
     }
 
     /// Pod usage samples within the trailing window, oldest first.
-    pub fn pod_window(&self, pod: PodId, now: SimTime, window: SimDuration) -> Vec<(SimTime, Usage)> {
+    pub fn pod_window(
+        &self,
+        pod: PodId,
+        now: SimTime,
+        window: SimDuration,
+    ) -> Vec<(SimTime, Usage)> {
         let start = SimTime(now.0.saturating_sub(window.0));
         self.inner
             .read()
@@ -192,7 +197,12 @@ mod tests {
         for i in 0..5 {
             db.push_node(NodeId(0), sample(i, (i as f64) / 10.0));
         }
-        let s = db.node_series(NodeId(0), Metric::SmUtil, SimTime::from_millis(10), SimDuration::from_secs(1));
+        let s = db.node_series(
+            NodeId(0),
+            Metric::SmUtil,
+            SimTime::from_millis(10),
+            SimDuration::from_secs(1),
+        );
         assert_eq!(s, vec![0.0, 0.1, 0.2, 0.3, 0.4]);
     }
 
@@ -219,7 +229,9 @@ mod tests {
     #[test]
     fn empty_queries_are_empty() {
         let db = TimeSeriesDb::default();
-        assert!(db.node_window(NodeId(3), SimTime::from_secs(1), SimDuration::from_secs(1)).is_empty());
+        assert!(db
+            .node_window(NodeId(3), SimTime::from_secs(1), SimDuration::from_secs(1))
+            .is_empty());
         assert!(db.latest_node(NodeId(3)).is_none());
         assert_eq!(db.pod_sm_series(PodId(1), SimTime::ZERO, SimDuration::from_secs(1)).len(), 0);
     }

@@ -107,7 +107,8 @@ impl ArrivalProcess {
         let mut t = 0.0f64;
         let end = duration.as_secs_f64();
         let mut in_burst = rng.gen_bool(self.burst_fraction.clamp(0.0, 1.0));
-        let mut state_end = t + exponential(rng, 1.0 / if in_burst { self.burst_dwell_secs } else { calm_dwell });
+        let mut state_end =
+            t + exponential(rng, 1.0 / if in_burst { self.burst_dwell_secs } else { calm_dwell });
         while t < end {
             let mut rate = if in_burst { burst_rate } else { calm_rate };
             if self.diurnal {
@@ -118,7 +119,10 @@ impl ArrivalProcess {
             t += exponential(rng, rate.max(1e-9));
             while t > state_end {
                 in_burst = !in_burst;
-                state_end += exponential(rng, 1.0 / if in_burst { self.burst_dwell_secs } else { calm_dwell });
+                state_end += exponential(
+                    rng,
+                    1.0 / if in_burst { self.burst_dwell_secs } else { calm_dwell },
+                );
             }
             if t < end {
                 out.push(SimTime::from_micros((t * 1e6) as u64));
@@ -189,8 +193,10 @@ pub fn batch_metric_series(len: usize, seed: u64) -> Vec<Vec<f64>> {
     let smooth = |xs: &[f64], w: usize| knots_forecast::stats::moving_average(xs, w);
     let core: Vec<f64> =
         latent.iter().map(|&l| (l + normal(&mut rng, 0.0, 0.03)).clamp(0.0, 1.0)).collect();
-    let mem: Vec<f64> =
-        latent.iter().map(|&l| (0.2 + 0.75 * l + normal(&mut rng, 0.0, 0.03)).clamp(0.0, 1.0)).collect();
+    let mem: Vec<f64> = latent
+        .iter()
+        .map(|&l| (0.2 + 0.75 * l + normal(&mut rng, 0.0, 0.03)).clamp(0.0, 1.0))
+        .collect();
     let load1 = smooth(&core, 3);
     let load5 = smooth(&core, 15);
     let load15 = smooth(&core, 45);
@@ -204,9 +210,7 @@ pub fn batch_metric_series(len: usize, seed: u64) -> Vec<Vec<f64>> {
 /// indicators to predict utilization since these tasks are short-lived".
 pub fn lc_metric_series(len: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..LC_METRICS.len())
-        .map(|_| (0..len).map(|_| rng.gen_range(0.0..1.0)).collect())
-        .collect()
+    (0..LC_METRICS.len()).map(|_| (0..len).map(|_| rng.gen_range(0.0..1.0)).collect()).collect()
 }
 
 #[cfg(test)]
@@ -232,7 +236,8 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(2);
         let mut r2 = StdRng::seed_from_u64(2);
         let steady = ArrivalProcess::steady(5.0).generate(SimDuration::from_secs(3000), &mut r1);
-        let sporadic = ArrivalProcess::sporadic(5.0).generate(SimDuration::from_secs(3000), &mut r2);
+        let sporadic =
+            ArrivalProcess::sporadic(5.0).generate(SimDuration::from_secs(3000), &mut r2);
         let gaps = |v: &[SimTime]| -> Vec<f64> {
             v.windows(2).map(|w| (w[1].0 - w[0].0) as f64).collect()
         };
@@ -271,6 +276,7 @@ mod tests {
     fn lc_metrics_are_uncorrelated() {
         let series = lc_metric_series(2000, 5);
         let m = correlation_matrix(&series);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..series.len() {
             for j in 0..series.len() {
                 if i != j {

@@ -85,9 +85,7 @@ impl AppMix {
     pub fn lc_services(self) -> &'static [InferenceService] {
         match self {
             AppMix::Mix1 => &[InferenceService::Face, InferenceService::Key],
-            AppMix::Mix2 => {
-                &[InferenceService::Chk, InferenceService::Ner, InferenceService::Pos]
-            }
+            AppMix::Mix2 => &[InferenceService::Chk, InferenceService::Ner, InferenceService::Pos],
             AppMix::Mix3 => &[InferenceService::Imc, InferenceService::Face],
         }
     }

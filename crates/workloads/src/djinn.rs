@@ -168,10 +168,7 @@ mod tests {
     fn single_query_footprint_is_small() {
         // Fig. 4: "For most of the single inference queries, the memory
         // consumption is less than 10%."
-        let small = InferenceService::ALL
-            .iter()
-            .filter(|s| s.mem_mb(1) < 0.10 * P100_MB)
-            .count();
+        let small = InferenceService::ALL.iter().filter(|s| s.mem_mb(1) < 0.10 * P100_MB).count();
         assert!(small >= 5, "{small} of 7 under 10%");
     }
 

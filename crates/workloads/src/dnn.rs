@@ -159,7 +159,7 @@ pub fn generate(cfg: &DnnWorkloadConfig) -> Vec<DnnTask> {
     }
     for (i, at) in arrivals.into_iter().enumerate() {
         let svc = InferenceService::ALL[rng.gen_range(0..InferenceService::ALL.len())];
-        let batch = *[1u32, 1, 2].get(rng.gen_range(0..3)).expect("index in range");
+        let batch = *[1u32, 1, 2].get(rng.gen_range(0..3usize)).expect("index in range");
         // The trace-driven simulation models well-behaved serving systems:
         // no TF greedy earmarking (the Tiresias simulator the paper builds
         // on has no memory-crash dimension either).
@@ -178,7 +178,8 @@ mod tests {
 
     #[test]
     fn paper_scale_counts() {
-        let cfg = DnnWorkloadConfig { dlt_jobs: 50, dli_tasks: 140, ..DnnWorkloadConfig::compressed() };
+        let cfg =
+            DnnWorkloadConfig { dlt_jobs: 50, dli_tasks: 140, ..DnnWorkloadConfig::compressed() };
         let tasks = generate(&cfg);
         assert_eq!(tasks.len(), 190);
         assert_eq!(tasks.iter().filter(|t| t.is_training).count(), 50);
@@ -212,16 +213,15 @@ mod tests {
         let full = DnnWorkloadConfig { dlt_jobs: 40, dli_tasks: 0, ..DnnWorkloadConfig::paper() };
         let mut tiny = full;
         tiny.time_scale = 0.01;
-        let w_full: f64 =
-            generate(&full).iter().map(|t| t.spec.profile.total_work()).sum();
-        let w_tiny: f64 =
-            generate(&tiny).iter().map(|t| t.spec.profile.total_work()).sum();
+        let w_full: f64 = generate(&full).iter().map(|t| t.spec.profile.total_work()).sum();
+        let w_tiny: f64 = generate(&tiny).iter().map(|t| t.spec.profile.total_work()).sum();
         assert!(w_tiny < w_full * 0.05, "{w_tiny} vs {w_full}");
     }
 
     #[test]
     fn inference_tasks_are_latency_critical_and_short() {
-        let cfg = DnnWorkloadConfig { dlt_jobs: 0, dli_tasks: 100, ..DnnWorkloadConfig::compressed() };
+        let cfg =
+            DnnWorkloadConfig { dlt_jobs: 0, dli_tasks: 100, ..DnnWorkloadConfig::compressed() };
         let tasks = generate(&cfg);
         assert!(tasks.iter().all(|t| t.spec.qos.is_latency_critical()));
         assert!(tasks.iter().all(|t| t.spec.profile.total_work() < 10.0));
@@ -229,7 +229,8 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let cfg = DnnWorkloadConfig { dlt_jobs: 30, dli_tasks: 30, ..DnnWorkloadConfig::compressed() };
+        let cfg =
+            DnnWorkloadConfig { dlt_jobs: 30, dli_tasks: 30, ..DnnWorkloadConfig::compressed() };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.len(), b.len());

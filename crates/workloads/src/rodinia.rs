@@ -254,9 +254,11 @@ mod tests {
 
     #[test]
     fn nine_apps_with_unique_names_and_images() {
-        let names: std::collections::HashSet<_> = RodiniaApp::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<_> =
+            RodiniaApp::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 9);
-        let images: std::collections::HashSet<_> = RodiniaApp::ALL.iter().map(|a| a.image()).collect();
+        let images: std::collections::HashSet<_> =
+            RodiniaApp::ALL.iter().map(|a| a.image()).collect();
         assert_eq!(images.len(), 9);
     }
 
@@ -278,11 +280,7 @@ mod tests {
             let sm: Vec<f64> = p.sample(1000).iter().map(|u| u.sm_frac).collect();
             let median = percentile(&sm, 0.5);
             let peak = sm.iter().cloned().fold(0.0f64, f64::max);
-            assert!(
-                peak / median.max(1e-6) > 10.0,
-                "{}: median {median} peak {peak}",
-                app.name()
-            );
+            assert!(peak / median.max(1e-6) > 10.0, "{}: median {median} peak {peak}", app.name());
         }
     }
 
@@ -334,10 +332,16 @@ mod tests {
         let n = 1000;
         let mem: Vec<f64> = p.sample(n).iter().map(|u| u.mem_mb).collect();
         let samples_per_cycle = n / 10; // kmeans has 10 cycles
-        let period =
-            knots_forecast::autocorr::dominant_period(&mem, samples_per_cycle / 2, 3 * samples_per_cycle)
-                .expect("periodic signal");
+        let period = knots_forecast::autocorr::dominant_period(
+            &mem,
+            samples_per_cycle / 2,
+            3 * samples_per_cycle,
+        )
+        .expect("periodic signal");
         let ratio = period as f64 / samples_per_cycle as f64;
-        assert!((ratio - ratio.round()).abs() < 0.15, "period {period} vs cycle {samples_per_cycle}");
+        assert!(
+            (ratio - ratio.round()).abs() < 0.15,
+            "period {period} vs cycle {samples_per_cycle}"
+        );
     }
 }

@@ -7,7 +7,9 @@
 //! cargo run --release --example appmix_cluster [duration_secs] [mix]
 //! ```
 
-use kube_knots::core::experiment::{run_mix, scheduler_by_name, CLUSTER_SCHEDULERS, ExperimentConfig};
+use kube_knots::core::experiment::{
+    run_mix, scheduler_by_name, ExperimentConfig, CLUSTER_SCHEDULERS,
+};
 use kube_knots::core::metrics::RunReport;
 use kube_knots::sim::time::SimDuration;
 use kube_knots::workloads::AppMix;
@@ -40,8 +42,18 @@ fn main() {
 
         println!(
             "{:<9} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7} {:>7} {:>9} {:>8}",
-            "sched", "subm", "done", "a50%", "a90%", "a99%", "avg%", "viol/k", "crash", "energy",
-            "lc_p99ms", "batchJCT"
+            "sched",
+            "subm",
+            "done",
+            "a50%",
+            "a90%",
+            "a99%",
+            "avg%",
+            "viol/k",
+            "crash",
+            "energy",
+            "lc_p99ms",
+            "batchJCT"
         );
         for r in &reports {
             let (p50, p90, p99, _max) = r.active_quartet();

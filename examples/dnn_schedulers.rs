@@ -13,8 +13,7 @@ use kube_knots::workloads::dnn::DnnWorkloadConfig;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let workload =
-        if smoke { DnnWorkloadConfig::smoke() } else { DnnWorkloadConfig::compressed() };
+    let workload = if smoke { DnnWorkloadConfig::smoke() } else { DnnWorkloadConfig::compressed() };
     println!(
         "DNN workload: {} DLT + {} DLI over {:.0}s (time scale {:.4})",
         workload.dlt_jobs,
@@ -30,11 +29,7 @@ fn main() {
         eprintln!("   [{name} done in {:.1?}]", t0.elapsed());
         reports.push(report);
     }
-    let base = reports
-        .iter()
-        .find(|r| r.scheduler == "CBP+PP")
-        .expect("CBP+PP present")
-        .clone();
+    let base = reports.iter().find(|r| r.scheduler == "CBP+PP").expect("CBP+PP present").clone();
     let hours = base.duration.as_secs_f64() / 3600.0 / workload.time_scale;
 
     println!("\nTable IV — JCT normalized to CBP+PP (avg / median / p99):");
@@ -42,7 +37,14 @@ fn main() {
         let (avg, med, p99) = r.all_jct.normalized_to(&base.all_jct);
         println!(
             "{:<9} {:>5.2}x {:>5.2}x {:>5.2}x   (done {}/{}, preempt {}, migr {}, crash {})",
-            r.scheduler, avg, med, p99, r.completed, r.submitted, r.preemptions, r.migrations,
+            r.scheduler,
+            avg,
+            med,
+            p99,
+            r.completed,
+            r.submitted,
+            r.preemptions,
+            r.migrations,
             r.crashes
         );
     }

@@ -20,11 +20,8 @@ fn main() {
     let mut cluster_cfg = ClusterConfig::homogeneous(1, GpuModel::P100);
     cluster_cfg.prewarm_images =
         vec![RodiniaApp::MummerGpu.image(), InferenceService::Face.image()];
-    let mut knots = KubeKnots::new(
-        cluster_cfg,
-        Box::new(CbpPp::new()),
-        OrchestratorConfig::default(),
-    );
+    let mut knots =
+        KubeKnots::new(cluster_cfg, Box::new(CbpPp::new()), OrchestratorConfig::default());
 
     // A stream of mummergpu jobs that *request* far more than they use
     // (80% overstatement), plus face-recognition queries arriving behind
@@ -33,10 +30,7 @@ fn main() {
     for i in 0..6 {
         let mut spec = RodiniaApp::MummerGpu.pod_spec(0.6, 0.8);
         spec.name = format!("mummergpu-{i}");
-        schedule.push(kube_knots::workloads::ScheduledPod {
-            at: SimTime::from_secs(i * 8),
-            spec,
-        });
+        schedule.push(kube_knots::workloads::ScheduledPod { at: SimTime::from_secs(i * 8), spec });
     }
     for i in 0..40 {
         let mut spec = InferenceService::Face.pod_spec(1, true);

@@ -16,13 +16,9 @@ fn main() {
     let schedule = LoadGenerator::generate(AppMix::Mix2, &LoadGenConfig::new(duration, 21));
 
     let mut cluster_cfg = ClusterConfig::heterogeneous(10);
-    cluster_cfg.prewarm_images =
-        AppMix::Mix2.lc_services().iter().map(|s| s.image()).collect();
-    let mut knots = KubeKnots::new(
-        cluster_cfg,
-        Box::new(CbpPp::new()),
-        OrchestratorConfig::default(),
-    );
+    cluster_cfg.prewarm_images = AppMix::Mix2.lc_services().iter().map(|s| s.image()).collect();
+    let mut knots =
+        KubeKnots::new(cluster_cfg, Box::new(CbpPp::new()), OrchestratorConfig::default());
     let report = knots.run_schedule(&schedule);
 
     // Per-model completion accounting from the event log.

@@ -11,11 +11,8 @@ use kube_knots::core::prelude::*;
 fn main() {
     // 1. A workload: App-Mix-2 (medium load, medium burstiness) over two
     //    simulated minutes, deterministic under the seed.
-    let cfg = ExperimentConfig {
-        duration: SimDuration::from_secs(120),
-        seed: 7,
-        ..Default::default()
-    };
+    let cfg =
+        ExperimentConfig { duration: SimDuration::from_secs(120), seed: 7, ..Default::default() };
 
     // 2. The scheduler under test: CBP+PP, the paper's full policy
     //    (80th-percentile harvesting + Spearman anti-co-location + AR(1)

@@ -1,0 +1,308 @@
+//! Offline shim for `criterion`.
+//!
+//! Mirrors the criterion API this workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) with a simple wall-clock harness:
+//!
+//! * under `cargo bench` (cargo passes `--bench`), each benchmark is
+//!   calibrated and timed, and a `time: ... ns/iter` line is printed;
+//! * under `cargo test` (cargo passes `--test`) or when run directly, each
+//!   benchmark body executes once so the code stays covered without the
+//!   timing cost.
+//!
+//! No statistical analysis, baselines, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+///
+/// Reads/writes through `std::hint::black_box`, same contract as criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Real timing (`cargo bench`).
+    Measure,
+    /// One pass per benchmark (`cargo test`, direct invocation).
+    Smoke,
+}
+
+/// Benchmark registry and entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: Mode::Smoke, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Read harness mode (and an optional name filter) from the CLI
+    /// arguments cargo passes to bench binaries.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => self.mode = Mode::Measure,
+                "--test" => self.mode = Mode::Smoke,
+                // Flags with a value we accept-and-ignore.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.mode, &self.filter, &id, 20, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim derives its own budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up implicitly during
+    /// calibration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(self.criterion.mode, &self.criterion.filter, &full, self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(self.criterion.mode, &self.criterion.filter, &full, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (upstream finalizes reports here; the shim prints as
+    /// it goes, so this is a no-op kept for API shape).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (strings and ids both work).
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the workload.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled in measure mode.
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Execute `f` repeatedly and record its mean wall-clock cost (measure
+    /// mode), or once (smoke mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+            }
+            Mode::Measure => {
+                // Calibrate: grow the batch until one batch takes >= 2 ms.
+                let mut batch: u64 = 1;
+                loop {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    let elapsed = t.elapsed();
+                    if elapsed >= Duration::from_millis(2) || batch >= (1 << 24) {
+                        break;
+                    }
+                    batch = batch.saturating_mul(4);
+                }
+                // Sample.
+                let mut total = Duration::ZERO;
+                let mut iters: u64 = 0;
+                for _ in 0..self.samples {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    total += t.elapsed();
+                    iters += batch;
+                }
+                self.mean_ns = Some(total.as_nanos() as f64 / iters as f64);
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    mode: Mode,
+    filter: &Option<String>,
+    id: &str,
+    samples: usize,
+    mut f: F,
+) {
+    if let Some(needle) = filter {
+        if !id.contains(needle.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher { mode, samples, mean_ns: None };
+    f(&mut b);
+    match (mode, b.mean_ns) {
+        (Mode::Measure, Some(ns)) => {
+            if ns >= 1_000_000.0 {
+                println!("{id:<50} time: {:>12.3} ms/iter", ns / 1e6);
+            } else if ns >= 1_000.0 {
+                println!("{id:<50} time: {:>12.3} us/iter", ns / 1e3);
+            } else {
+                println!("{id:<50} time: {:>12.1} ns/iter", ns);
+            }
+        }
+        (Mode::Measure, None) => println!("{id:<50} (no Bencher::iter call)"),
+        (Mode::Smoke, _) => println!("{id:<50} ok (smoke)"),
+    }
+}
+
+/// Bundle benchmark functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary built from [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_bodies_once() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| calls += 1));
+            g.bench_with_input(BenchmarkId::new("two", 7), &7u32, |b, &x| {
+                b.iter(|| calls += x as usize)
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn measure_mode_reports_a_mean() {
+        let mut b = Bencher { mode: Mode::Measure, samples: 3, mean_ns: None };
+        b.iter(|| black_box(2u64.wrapping_mul(3)));
+        assert!(b.mean_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("uniform", "3x16").0, "uniform/3x16");
+        assert_eq!(BenchmarkId::from_parameter(512).0, "512");
+    }
+}

@@ -13,6 +13,8 @@
 //!   Djinn & Tonic inference services, the §V-C DNN workload, Table I mixes.
 //! * [`sched`] — Uniform, Res-Ag, CBP, CBP+PP, Gandiva, Tiresias.
 //! * [`core`] — the orchestrator, experiment runners and run reports.
+//! * [`obs`] — structured trace recorder, metrics registry and the
+//!   scheduler decision audit trail.
 //!
 //! ## Quickstart
 //!
@@ -29,6 +31,7 @@
 
 pub use knots_core as core;
 pub use knots_forecast as forecast;
+pub use knots_obs as obs;
 pub use knots_sched as sched;
 pub use knots_sim as sim;
 pub use knots_telemetry as telemetry;

@@ -18,7 +18,11 @@ fn check_invariants(r: &RunReport) {
     assert!(r.energy_joules > 0.0, "{}: no energy recorded", r.scheduler);
     assert_eq!(r.node_util_series.len(), 10, "{}: ten nodes expected", r.scheduler);
     for s in &r.node_util_series {
-        assert!(s.iter().all(|&u| (0.0..=100.0).contains(&u)), "{}: util out of range", r.scheduler);
+        assert!(
+            s.iter().all(|&u| (0.0..=100.0).contains(&u)),
+            "{}: util out of range",
+            r.scheduler
+        );
     }
     assert!(
         r.lc_violations <= r.lc_completed + (r.submitted - r.completed),
