@@ -1,0 +1,172 @@
+//! `analyzer.toml` — the per-file allowlist and severity overrides.
+//!
+//! The parser covers exactly the TOML subset the config needs (and the
+//! engine validates what it reads), keeping the analyzer dependency-free:
+//!
+//! ```toml
+//! # File-level allowlist entries: `path` is a repo-relative prefix.
+//! [[allow]]
+//! rule = "D1"                      # a rule id, or "*" for all rules
+//! path = "crates/obs/src/span.rs"  # file, or directory prefix ending in /
+//! reason = "span timers measure wall-clock by design"
+//!
+//! # Optional global severity downgrades.
+//! [severity]
+//! D2 = "warn"
+//! ```
+
+use crate::diag::Severity;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id or `"*"`.
+    pub rule: String,
+    /// Repo-relative path prefix (forward slashes).
+    pub path: String,
+    /// Mandatory human reason.
+    pub reason: String,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// File-level allowlist.
+    pub allow: Vec<AllowEntry>,
+    /// `(rule id, severity)` overrides.
+    pub severity: Vec<(String, Severity)>,
+}
+
+impl Config {
+    /// Does an allowlist entry cover `(rule, path)`?
+    pub fn allows(&self, rule: &str, path: &str) -> bool {
+        self.allow
+            .iter()
+            .any(|a| (a.rule == "*" || a.rule == rule) && path.starts_with(a.path.as_str()))
+    }
+
+    /// Effective severity for a rule.
+    pub fn severity_for(&self, rule: &str, default: Severity) -> Severity {
+        self.severity.iter().find(|(r, _)| r == rule).map(|(_, s)| *s).unwrap_or(default)
+    }
+}
+
+/// Parse the config text. Returns `Err` with a line-tagged message on any
+/// construct outside the supported subset — a config typo must fail loudly,
+/// not silently allow nothing.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Allow,
+        Severity,
+    }
+    let mut section = Section::None;
+    let mut current: Option<(Option<String>, Option<String>, Option<String>)> = None;
+
+    let mut finish =
+        |cur: &mut Option<(Option<String>, Option<String>, Option<String>)>| -> Result<(), String> {
+            if let Some((rule, path, reason)) = cur.take() {
+                let entry = AllowEntry {
+                    rule: rule.ok_or("[[allow] entry missing `rule`")?,
+                    path: path.ok_or("[[allow]] entry missing `path`")?,
+                    reason: reason.ok_or("[[allow]] entry missing `reason`")?,
+                };
+                if entry.reason.trim().is_empty() {
+                    return Err(format!("[[allow]] {}: empty reason", entry.path));
+                }
+                if !crate::rules::is_known_rule(&entry.rule) {
+                    return Err(format!("[[allow]] unknown rule `{}`", entry.rule));
+                }
+                cfg.allow.push(entry);
+            }
+            Ok(())
+        };
+
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let at = |m: &str| format!("analyzer.toml:{}: {m}", no + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut current)?;
+            section = Section::Allow;
+            current = Some((None, None, None));
+            continue;
+        }
+        if line == "[severity]" {
+            finish(&mut current)?;
+            section = Section::Severity;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(at(&format!("unknown section {line}")));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(at("expected `key = \"value\"`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let unquoted = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| at("values must be double-quoted strings"))?;
+        match section {
+            Section::Allow => {
+                let slot = current.as_mut().ok_or_else(|| at("key outside [[allow]]"))?;
+                match key {
+                    "rule" => slot.0 = Some(unquoted.to_string()),
+                    "path" => slot.1 = Some(unquoted.to_string()),
+                    "reason" => slot.2 = Some(unquoted.to_string()),
+                    _ => return Err(at(&format!("unknown [[allow]] key `{key}`"))),
+                }
+            }
+            Section::Severity => {
+                if !crate::rules::is_known_rule(key) {
+                    return Err(at(&format!("unknown rule `{key}` in [severity]")));
+                }
+                let sev = match unquoted {
+                    "warn" => Severity::Warn,
+                    "deny" => Severity::Deny,
+                    other => return Err(at(&format!("unknown severity `{other}`"))),
+                };
+                cfg.severity.push((key.to_string(), sev));
+            }
+            Section::None => return Err(at("key before any section")),
+        }
+    }
+    finish(&mut current)?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let cfg = parse(
+            "# comment\n\n[[allow]]\nrule = \"D1\"\npath = \"crates/obs/\"\nreason = \"spans\"\n\
+             \n[[allow]]\nrule = \"*\"\npath = \"shims/\"\nreason = \"vendored\"\n\
+             \n[severity]\nD2 = \"warn\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allow.len(), 2);
+        assert!(cfg.allows("D1", "crates/obs/src/span.rs"));
+        assert!(cfg.allows("P1", "shims/rand/src/lib.rs"));
+        assert!(!cfg.allows("D2", "crates/sim/src/cluster.rs"));
+        assert_eq!(cfg.severity_for("D2", Severity::Deny), Severity::Warn);
+        assert_eq!(cfg.severity_for("D1", Severity::Deny), Severity::Deny);
+    }
+
+    #[test]
+    fn rejects_missing_reason_and_unknown_rules() {
+        assert!(parse("[[allow]]\nrule = \"D1\"\npath = \"x\"\n").is_err());
+        assert!(parse("[[allow]]\nrule = \"D1\"\npath = \"x\"\nreason = \" \"\n").is_err());
+        assert!(parse("[[allow]]\nrule = \"Z9\"\npath = \"x\"\nreason = \"r\"\n").is_err());
+        assert!(parse("[severity]\nZ9 = \"warn\"\n").is_err());
+        assert!(parse("stray = \"value\"\n").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # knots-analyzer — the workspace lint engine
+//!
+//! Kube-Knots' headline claim is reproducibility: a run is a pure function
+//! of `(scheduler, workload, seed)`. That property is easy to assert and
+//! easy to erode — one `HashMap` iteration in a tie-break, one
+//! `Instant::now()` in a decision path, one `partial_cmp().unwrap()` on a
+//! NaN — so this crate enforces it mechanically:
+//!
+//! * [`lexer`] tokenizes Rust source with enough fidelity that rule text
+//!   inside strings, comments and raw strings can never fire;
+//! * [`rules`] holds the six invariant rules (D1–D3, P1–P2, H1);
+//! * [`engine`] walks the workspace, classifies files, carves out
+//!   `#[cfg(test)]` regions, and applies pragma/config suppression;
+//! * [`config`] parses `analyzer.toml` (file-level allowlist, severity
+//!   overrides);
+//! * [`selfcheck`] is the dynamic counterpart: a pinned experiment run
+//!   twice with the same seed must produce byte-identical reports.
+//!
+//! Run it with `cargo run -p knots-analyzer -- check` (or `--format json`
+//! for CI) and `cargo run -p knots-analyzer -- check --self-check`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod selfcheck;
+
+pub use diag::{Diagnostic, Severity};
+pub use engine::{check_root, check_source, classify, FileContext, FileKind};
+pub use selfcheck::report_digest;

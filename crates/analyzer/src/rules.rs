@@ -1,0 +1,283 @@
+//! The rule set: what each rule looks for in the token stream.
+//!
+//! | id | invariant it protects |
+//! |----|----------------------|
+//! | D1 | no wall-clock (`Instant`/`SystemTime`) in library code |
+//! | D2 | no `HashMap`/`HashSet` in decision-path crates (iteration order) |
+//! | D3 | no ambient RNG (`thread_rng`/`from_entropy`/`OsRng`) anywhere |
+//! | P1 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in non-test library code |
+//! | P2 | no `partial_cmp(..).unwrap()` comparators — `total_cmp` instead |
+//! | H1 | no `println!`-family output in library code (use `knots-obs`) |
+//!
+//! Matching is purely token-shaped: strings, comments and `#[cfg(test)]`
+//! regions were already stripped or marked by the lexer/engine, so rule
+//! text inside a string literal can never fire.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::engine::FileContext;
+use crate::lexer::{Tok, TokKind};
+
+/// Crates whose iteration order feeds scheduler decisions (rule D2).
+pub const DECISION_CRATES: [&str; 4] = ["sim", "sched", "core", "telemetry"];
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id used in output and pragmas.
+    pub id: &'static str,
+    /// Default severity (an `analyzer.toml` `[severity]` entry can downgrade).
+    pub severity: Severity,
+    /// One-line summary shown by `--list-rules`.
+    pub summary: &'static str,
+    /// Fix hint attached to every diagnostic.
+    pub hint: &'static str,
+}
+
+/// Every rule the engine knows, in reporting order.
+pub const RULES: [Rule; 6] = [
+    Rule {
+        id: "D1",
+        severity: Severity::Deny,
+        summary: "no std::time::Instant/SystemTime in library code (wall clock breaks replay)",
+        hint: "derive timing from SimTime, or allowlist the file in analyzer.toml \
+               if it is genuinely observability-only",
+    },
+    Rule {
+        id: "D2",
+        severity: Severity::Deny,
+        summary: "no HashMap/HashSet in sim/sched/core/telemetry (iteration order is random \
+                  per instance)",
+        hint: "use BTreeMap/BTreeSet or drain through a sorted Vec; if the collection is \
+               never iterated, suppress with `// knots-allow: D2 -- <reason>`",
+    },
+    Rule {
+        id: "D3",
+        severity: Severity::Deny,
+        summary: "no thread_rng/from_entropy/OsRng (all randomness must flow from the seeded \
+                  experiment config)",
+        hint: "plumb a seeded StdRng (SeedableRng::seed_from_u64) from the experiment config",
+    },
+    Rule {
+        id: "P1",
+        severity: Severity::Deny,
+        summary: "no unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
+        hint: "return a Result, restructure with let-else/unwrap_or, or suppress with \
+               `// knots-allow: P1 -- <why the invariant holds>`",
+    },
+    Rule {
+        id: "P2",
+        severity: Severity::Deny,
+        summary: "no partial_cmp(..).unwrap()/expect() comparators (NaN panics mid-run)",
+        hint: "use f64::total_cmp, which is total and NaN-safe",
+    },
+    Rule {
+        id: "H1",
+        severity: Severity::Deny,
+        summary: "no println!/eprintln!/print!/eprint!/dbg! in library code",
+        hint: "record through knots-obs (Recorder events or the metrics registry) so output \
+               is capturable and bounded",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// True when `id` names a real rule (pragma validation).
+pub fn is_known_rule(id: &str) -> bool {
+    rule(id).is_some() || id == "*"
+}
+
+/// Run every applicable rule over one file's token stream.
+///
+/// `test_lines` marks lines inside `#[cfg(test)]` / `#[test]` items; rules
+/// that only bind library code skip positions on those lines.
+pub fn scan(toks: &[Tok], ctx: &FileContext, test_lines: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+    let diag = |r: &'static Rule, t: &Tok, msg: String| Diagnostic {
+        rule: r.id,
+        severity: r.severity,
+        path: ctx.path.clone(),
+        line: t.line,
+        col: t.col,
+        message: msg,
+        hint: r.hint,
+    };
+
+    let lib = ctx.is_library();
+    let decision_crate = lib && DECISION_CRATES.iter().any(|c| ctx.crate_name == *c);
+
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let next_is = |c: char| toks.get(i + 1).is_some_and(|n| n.is_punct(c));
+        let prev_is = |c: char| i > 0 && toks[i - 1].is_punct(c);
+
+        // D1 — wall clock in library code.
+        if lib && matches!(name, "Instant" | "SystemTime") {
+            out.push(diag(
+                &RULES[0],
+                t,
+                format!(
+                    "`{name}` reads the wall clock; simulation state must be a pure \
+                         function of the seed"
+                ),
+            ));
+        }
+
+        // D2 — hash collections in decision-path crates.
+        if decision_crate && matches!(name, "HashMap" | "HashSet") {
+            out.push(diag(
+                &RULES[1],
+                t,
+                format!(
+                    "`{name}` in knots-{}: iteration order is random per instance and can \
+                     leak into scheduling decisions",
+                    ctx.crate_name
+                ),
+            ));
+        }
+
+        // D3 — ambient entropy, everywhere (tests and benches included:
+        // the reproducibility claim covers them too).
+        if matches!(name, "thread_rng" | "from_entropy" | "OsRng") {
+            out.push(diag(
+                &RULES[2],
+                t,
+                format!(
+                    "`{name}` draws ambient entropy; all RNG must be seeded from the \
+                         experiment config"
+                ),
+            ));
+        }
+
+        // P1 — panicking calls in non-test library code.
+        if lib && !in_test(t.line) {
+            let method_call = prev_is('.') && next_is('(');
+            let macro_call = next_is('!');
+            if (matches!(name, "unwrap" | "expect") && method_call)
+                || (matches!(name, "panic" | "todo" | "unimplemented") && macro_call)
+            {
+                out.push(diag(
+                    &RULES[3],
+                    t,
+                    format!(
+                        "`{name}` can abort a long harvest/resize run on a state the \
+                             type system already forced you to consider"
+                    ),
+                ));
+            }
+        }
+
+        // P2 — partial_cmp(..).unwrap()/expect(), everywhere. Pattern:
+        // `partial_cmp` `(` … matching `)` `.` `unwrap|expect` `(`.
+        if name == "partial_cmp" && next_is('(') {
+            if let Some(close) = matching_paren(toks, i + 1) {
+                let trail: Vec<&str> = toks[close + 1..]
+                    .iter()
+                    .take(2)
+                    .map(|t| match &t.kind {
+                        TokKind::Ident(s) => s.as_str(),
+                        TokKind::Punct('.') => ".",
+                        _ => "",
+                    })
+                    .collect();
+                if trail.len() == 2 && trail[0] == "." && matches!(trail[1], "unwrap" | "expect") {
+                    out.push(diag(
+                        &RULES[4],
+                        t,
+                        "`partial_cmp(..).unwrap()` comparator panics on NaN input mid-sort"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+
+        // H1 — stdout/stderr writes in library code (test regions may print).
+        if lib
+            && !in_test(t.line)
+            && matches!(name, "println" | "eprintln" | "print" | "eprint" | "dbg")
+            && next_is('!')
+        {
+            out.push(diag(
+                &RULES[5],
+                t,
+                format!("`{name}!` writes to the process streams from a library crate"),
+            ));
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`, or `None` when unbalanced.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lib_ctx() -> FileContext {
+        FileContext {
+            path: "crates/sched/src/x.rs".into(),
+            crate_name: "sched".into(),
+            kind: crate::engine::FileKind::Library,
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        scan(&lex(src).toks, &lib_ctx(), &[], &mut out);
+        out
+    }
+
+    #[test]
+    fn p2_matches_through_nested_parens() {
+        let hits = run("v.sort_by(|a, b| a.partial_cmp(&f(b, c(d))).unwrap());");
+        assert!(hits.iter().any(|d| d.rule == "P2"), "{hits:?}");
+    }
+
+    #[test]
+    fn p2_ignores_handled_partial_cmp() {
+        let hits = run("let o = a.partial_cmp(&b).unwrap_or(Ordering::Equal);");
+        assert!(!hits.iter().any(|d| d.rule == "P2"), "{hits:?}");
+    }
+
+    #[test]
+    fn p1_does_not_match_unwrap_or() {
+        let hits = run("let x = o.unwrap_or(3); let y = o.unwrap_or_default();");
+        assert!(!hits.iter().any(|d| d.rule == "P1"), "{hits:?}");
+    }
+
+    #[test]
+    fn p1_matches_method_and_macro_forms() {
+        let hits = run("fn f() { o.unwrap(); r.expect(\"x\"); panic!(\"no\"); todo!() }");
+        assert_eq!(hits.iter().filter(|d| d.rule == "P1").count(), 4);
+    }
+
+    #[test]
+    fn d2_only_fires_in_decision_crates() {
+        let src = "use std::collections::HashMap;";
+        let mut out = Vec::new();
+        let ctx = FileContext {
+            path: "crates/workloads/src/x.rs".into(),
+            crate_name: "workloads".into(),
+            kind: crate::engine::FileKind::Library,
+        };
+        scan(&lex(src).toks, &ctx, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert!(run(src).iter().any(|d| d.rule == "D2"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Fixture-based rule tests: every rule fires on its seeded fixture with
+//! the exact position, and the tricky constructs (rule text inside string
+//! literals, raw strings, block comments, `#[cfg(test)]` modules) stay
+//! silent.
+//!
+//! Fixtures are checked *as if* they lived in a decision-path library
+//! crate, so every rule binds; their real on-disk location
+//! (`crates/analyzer/tests/fixtures/`) is allowlisted in `analyzer.toml`
+//! so `check_root` on the workspace stays clean.
+
+use knots_analyzer::config::Config;
+use knots_analyzer::diag::{Diagnostic, Severity};
+use knots_analyzer::engine::check_source;
+
+/// Run a fixture under a pretend decision-crate library path.
+fn check(src: &str) -> Vec<Diagnostic> {
+    check_source("crates/sched/src/fixture.rs", src, &Config::default())
+}
+
+fn positions(diags: &[Diagnostic], rule: &str) -> Vec<(u32, u32)> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| (d.line, d.col)).collect()
+}
+
+#[test]
+fn d1_fires_on_both_wall_clock_types() {
+    let out = check(include_str!("fixtures/d1_wall_clock.rs"));
+    assert_eq!(positions(&out, "D1"), vec![(2, 16), (5, 14), (6, 28)]);
+    assert!(out.iter().all(|d| d.severity == Severity::Deny));
+    assert_eq!(out.len(), 3, "{out:?}");
+}
+
+#[test]
+fn d2_fires_on_hash_collections() {
+    let out = check(include_str!("fixtures/d2_hash_collections.rs"));
+    // use-line (two idents) + both field types.
+    assert_eq!(positions(&out, "D2"), vec![(2, 24), (2, 33), (5, 11), (6, 11)]);
+    assert_eq!(out.len(), 4, "{out:?}");
+}
+
+#[test]
+fn d3_fires_on_entropy_sources() {
+    let out = check(include_str!("fixtures/d3_ambient_entropy.rs"));
+    assert_eq!(positions(&out, "D3"), vec![(3, 23), (4, 25)]);
+    assert_eq!(out.len(), 2, "{out:?}");
+}
+
+#[test]
+fn p1_fires_on_panicking_calls_only() {
+    let out = check(include_str!("fixtures/p1_panics.rs"));
+    // unwrap, expect, panic!, todo! — and nothing from the `_or` family.
+    assert_eq!(positions(&out, "P1"), vec![(3, 17), (4, 17), (6, 9), (8, 5)]);
+    assert_eq!(out.len(), 4, "{out:?}");
+}
+
+#[test]
+fn p2_fires_through_nested_parens_only_when_unhandled() {
+    let out = check(include_str!("fixtures/p2_partial_cmp.rs"));
+    assert_eq!(positions(&out, "P2"), vec![(3, 24), (4, 30)]);
+    // The sibling P1s on the trailing unwrap()/expect() also fire — the
+    // comparator is library code like any other.
+    assert_eq!(positions(&out, "P1").len(), 2);
+    assert_eq!(out.len(), 4, "{out:?}");
+}
+
+#[test]
+fn h1_fires_on_print_macros() {
+    let out = check(include_str!("fixtures/h1_prints.rs"));
+    assert_eq!(positions(&out, "H1"), vec![(3, 5), (4, 5), (5, 5)]);
+    assert_eq!(out.len(), 3, "{out:?}");
+}
+
+#[test]
+fn tricky_constructs_stay_silent_except_cfg_not_test() {
+    let out = check(include_str!("fixtures/tricky.rs"));
+    // The only legitimate hit: the unwrap inside #[cfg(not(test))], which
+    // is live code. Everything in strings/raw strings/comments/#[cfg(test)]
+    // must stay silent.
+    assert_eq!(positions(&out, "P1"), vec![(33, 7)]);
+    assert_eq!(out.len(), 1, "{out:?}");
+}
+
+#[test]
+fn pragmas_suppress_and_are_linted() {
+    let out = check(include_str!("fixtures/pragmas.rs"));
+    // Suppressed: both v.last().unwrap() sites. Reported: the reasonless
+    // pragma (A0 deny), the unsuppressed unwrap, the stale pragma (A1 warn).
+    assert_eq!(positions(&out, "A0"), vec![(13, 1)]);
+    assert_eq!(positions(&out, "P1"), vec![(15, 7)]);
+    assert_eq!(positions(&out, "A1"), vec![(19, 1)]);
+    assert_eq!(out.len(), 3, "{out:?}");
+    assert!(out.iter().any(|d| d.rule == "A1" && d.severity == Severity::Warn));
+}
+
+#[test]
+fn severity_overrides_apply() {
+    let cfg = knots_analyzer::config::parse("[severity]\nH1 = \"warn\"\n").unwrap();
+    let out =
+        check_source("crates/sched/src/fixture.rs", include_str!("fixtures/h1_prints.rs"), &cfg);
+    assert!(out.iter().all(|d| d.rule == "H1" && d.severity == Severity::Warn), "{out:?}");
+}
+
+#[test]
+fn fixtures_outside_library_paths_mostly_relax() {
+    // The same P1 fixture under a binary path: P1/H1 do not bind there.
+    let out = check_source(
+        "crates/bench/src/bin/tool.rs",
+        include_str!("fixtures/p1_panics.rs"),
+        &Config::default(),
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The repo itself must pass its own analyzer: zero deny, zero warn.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = knots_analyzer::check_root(&root).expect("workspace walk");
+    assert!(diags.is_empty(), "workspace not clean:\n{diags:#?}");
+}

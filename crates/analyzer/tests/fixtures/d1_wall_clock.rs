@@ -1,0 +1,8 @@
+// Fixture: D1 — wall-clock types in library code.
+use std::time::Instant;
+
+fn measure() -> f64 {
+    let t0 = Instant::now();
+    let _wall = std::time::SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+// Fixture: D2 — hash collections in a decision-path crate.
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    load: HashMap<u32, usize>,
+    seen: HashSet<u32>,
+}

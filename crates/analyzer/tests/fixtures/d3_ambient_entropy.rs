@@ -1,0 +1,6 @@
+// Fixture: D3 — ambient entropy sources.
+fn roll() -> u64 {
+    let mut r = rand::thread_rng();
+    let mut s = StdRng::from_entropy();
+    r.gen_range(0..s.gen_range(0..6))
+}

@@ -1,0 +1,6 @@
+// Fixture: H1 — process-stream writes from library code.
+fn noisy(x: u32) -> u32 {
+    println!("placing {x}");
+    eprintln!("warning");
+    dbg!(x)
+}

@@ -1,0 +1,14 @@
+// Fixture: P1 — panicking calls in non-test library code.
+fn bad(opt: Option<u32>, res: Result<u32, ()>) -> u32 {
+    let a = opt.unwrap();
+    let b = res.expect("always ok");
+    if a > b {
+        panic!("impossible");
+    }
+    todo!()
+}
+
+// The `_or` family must NOT fire.
+fn fine(opt: Option<u32>) -> u32 {
+    opt.unwrap_or(0) + opt.unwrap_or_default() + opt.unwrap_or_else(|| 1)
+}

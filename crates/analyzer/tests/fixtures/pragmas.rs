@@ -1,0 +1,22 @@
+// Fixture: suppression pragma behavior.
+
+fn suppressed_next_line(v: Vec<u32>) -> u32 {
+    // knots-allow: P1 -- invariant: caller checked emptiness
+    *v.last().unwrap()
+}
+
+fn suppressed_same_line(v: Vec<u32>) -> u32 {
+    *v.last().unwrap() // knots-allow: P1 -- same-line form also works
+}
+
+// A reasonless pragma is A0 and suppresses nothing.
+// knots-allow: P1
+fn not_suppressed(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+// A pragma that matches nothing is A1.
+// knots-allow: D1 -- stale reason
+fn no_violation_here() -> u32 {
+    7
+}

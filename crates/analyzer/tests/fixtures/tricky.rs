@@ -1,0 +1,34 @@
+// Fixture: constructs that must NOT trip the lexer-backed rules.
+
+// Rule text inside ordinary strings.
+fn strings() -> &'static str {
+    "call HashMap::new() then unwrap() and println!(now Instant::now())"
+}
+
+// Rule text inside raw strings (with quotes and hashes).
+fn raw_strings() -> &'static str {
+    r#"thread_rng() says "panic!" but it is just text"#
+}
+
+/* Block comments hide everything,
+   even nested: /* x.unwrap(); Instant::now() */ still a comment. */
+fn after_comment() -> u32 {
+    0
+}
+
+// Test-gated items may panic and print.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_hard() {
+        let v: Option<u32> = None;
+        v.unwrap();
+        println!("test output is fine");
+    }
+}
+
+// cfg(not(test)) is LIVE code: this unwrap must fire.
+#[cfg(not(test))]
+fn live_despite_cfg(o: Option<u32>) -> u32 {
+    o.unwrap()
+}

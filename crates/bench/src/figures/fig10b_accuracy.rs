@@ -127,7 +127,7 @@ impl UtilSignal {
         let b = self.app_b.demand_at((t + self.period_b / 3.0) % self.period_b).sm_frac;
         let spike = self
             .spikes
-            .binary_search_by(|(s, _)| s.partial_cmp(&t).expect("finite"))
+            .binary_search_by(|(s, _)| s.total_cmp(&t))
             .map(|_| true)
             .unwrap_or_else(|i| i > 0 && t < self.spikes[i - 1].0 + self.spikes[i - 1].1);
         let s = if spike { 0.8 } else { 0.0 };

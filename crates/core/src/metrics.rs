@@ -26,13 +26,13 @@ impl JctStats {
         if xs.is_empty() {
             return JctStats::default();
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite JCTs"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         JctStats {
             count: xs.len(),
             avg: mean(&xs),
             median: percentile(&xs, 0.5),
             p99: percentile(&xs, 0.99),
-            max: *xs.last().expect("non-empty"),
+            max: xs.last().copied().unwrap_or(0.0),
         }
     }
 
@@ -169,7 +169,7 @@ impl RunReport {
             .filter(|s| s.iter().any(|&u| u > 0.0))
             .map(|s| cov(s))
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite COV"));
+        v.sort_by(|a, b| a.total_cmp(b));
         v
     }
 

@@ -144,6 +144,7 @@ impl KubeKnots {
             }
             // 2. Heartbeat: scheduling round.
             if self.aggregator.due(now) {
+                // knots-allow: D1 -- wall-clock heartbeat latency is an observability metric only; it never feeds back into simulation state
                 let t0 = std::time::Instant::now();
                 self.schedule_round();
                 self.obs.metrics.observe(
@@ -333,7 +334,8 @@ impl KubeKnots {
         let mut lc_completed = 0usize;
         let mut lc_violations = 0usize;
         for (_, pod) in self.cluster.completed_pods() {
-            let t = pod.turnaround().expect("completed").as_secs_f64();
+            let Some(turnaround) = pod.turnaround() else { continue };
+            let t = turnaround.as_secs_f64();
             all.push(t);
             match pod.spec().qos {
                 QosClass::LatencyCritical { .. } => {

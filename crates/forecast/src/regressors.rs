@@ -59,11 +59,11 @@ impl Regressor for TheilSen {
                 slopes.push((window[j] - window[i]) / (j - i) as f64);
             }
         }
-        slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite slopes"));
+        slopes.sort_by(|a, b| a.total_cmp(b));
         self.slope = median_of_sorted(&slopes);
         let mut offsets: Vec<f64> =
             window.iter().enumerate().map(|(i, &y)| y - self.slope * i as f64).collect();
-        offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite offsets"));
+        offsets.sort_by(|a, b| a.total_cmp(b));
         self.intercept = median_of_sorted(&offsets);
     }
 

@@ -43,17 +43,18 @@ pub fn cov(xs: &[f64]) -> f64 {
 /// Percentile with linear interpolation between closest ranks.
 /// `q` is in `[0, 1]`; `percentile(xs, 0.5)` is the median.
 ///
-/// Returns 0 for an empty slice.
+/// Returns 0 for an empty slice. NaN values sort last (IEEE total order),
+/// so they can only surface in the top percentiles of polluted input.
 ///
 /// # Panics
-/// Panics when `q` is outside `[0, 1]` or any value is NaN.
+/// Panics when `q` is outside `[0, 1]`.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]: {q}");
     if xs.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     percentile_of_sorted(&sorted, q)
 }
 
@@ -85,12 +86,12 @@ pub fn utilization_quartet(xs: &[f64]) -> (f64, f64, f64, f64) {
         return (0.0, 0.0, 0.0, 0.0);
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     (
         percentile_of_sorted(&sorted, 0.50),
         percentile_of_sorted(&sorted, 0.90),
         percentile_of_sorted(&sorted, 0.99),
-        *sorted.last().expect("non-empty"),
+        sorted.last().copied().unwrap_or(0.0),
     )
 }
 
@@ -101,9 +102,9 @@ pub fn cdf_points(xs: &[f64], n: usize) -> Vec<(f64, f64)> {
         return vec![];
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let lo = sorted[0];
-    let hi = *sorted.last().expect("non-empty");
+    let hi = sorted.last().copied().unwrap_or(lo);
     (0..n)
         .map(|i| {
             // The top grid point must be exactly the maximum: the linear
@@ -194,6 +195,20 @@ mod tests {
         assert!((percentile(&xs, 0.25) - 1.75).abs() < 1e-12);
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn percentile_survives_nan_samples() {
+        // A single NaN telemetry sample must not abort the whole run.
+        // total_cmp sorts NaN after +inf, so low/mid percentiles of the
+        // finite data are unaffected and only the max picks up the NaN.
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!(percentile(&xs, 1.0).is_nan());
+        let (p50, _, _, max) = utilization_quartet(&xs);
+        assert!(p50.is_finite());
+        assert!(max.is_nan());
     }
 
     #[test]

@@ -31,17 +31,13 @@ pub fn pick_bin<K>(bins: &[(K, f64)], size: f64, strategy: PackStrategy) -> Opti
             .iter()
             .enumerate()
             .filter(|(_, (_, free))| fits(*free))
-            .min_by(|a, b| {
-                (a.1 .1 - size).partial_cmp(&(b.1 .1 - size)).expect("finite capacities")
-            })
+            .min_by(|a, b| (a.1 .1 - size).total_cmp(&(b.1 .1 - size)))
             .map(|(i, _)| i),
         PackStrategy::WorstFit => bins
             .iter()
             .enumerate()
             .filter(|(_, (_, free))| fits(*free))
-            .max_by(|a, b| {
-                (a.1 .1 - size).partial_cmp(&(b.1 .1 - size)).expect("finite capacities")
-            })
+            .max_by(|a, b| (a.1 .1 - size).total_cmp(&(b.1 .1 - size)))
             .map(|(i, _)| i),
     }
 }
@@ -49,7 +45,7 @@ pub fn pick_bin<K>(bins: &[(K, f64)], size: f64, strategy: PackStrategy) -> Opti
 /// Sort item indices by size descending (the "decreasing" part of FFD).
 pub fn decreasing_order(sizes: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..sizes.len()).collect();
-    idx.sort_by(|&a, &b| sizes[b].partial_cmp(&sizes[a]).expect("finite sizes").then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| sizes[b].total_cmp(&sizes[a]).then(a.cmp(&b)));
     idx
 }
 
@@ -87,5 +83,20 @@ mod tests {
     fn decreasing_order_is_stable_for_ties() {
         assert_eq!(decreasing_order(&[3.0, 9.0, 3.0, 12.0]), vec![3, 1, 0, 2]);
         assert!(decreasing_order(&[]).is_empty());
+    }
+
+    #[test]
+    fn nan_sizes_do_not_panic() {
+        // A NaN utilization estimate must degrade, not abort the run.
+        // In descending total order NaN ranks above +inf, so NaN items
+        // surface first — and then never pass any bin's fit check.
+        let order = decreasing_order(&[3.0, f64::NAN, 12.0]);
+        assert_eq!(order, vec![1, 2, 0]);
+
+        // A NaN free-capacity bin never satisfies the fit check, so it is
+        // skipped rather than chosen or panicked on.
+        let bins = [("a", 9.0), ("b", f64::NAN), ("c", 6.0)];
+        assert_eq!(pick_bin(&bins, 5.0, PackStrategy::BestFit), Some(2));
+        assert_eq!(pick_bin(&bins, 5.0, PackStrategy::WorstFit), Some(0));
     }
 }

@@ -30,7 +30,7 @@ use knots_forecast::spearman::spearman;
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::pod::QosClass;
 use knots_telemetry::NodeView;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tunables (ablated in `knots-bench`).
 #[derive(Debug, Clone, Copy)]
@@ -102,7 +102,7 @@ pub(crate) fn learn(history: &mut AppUsageHistory, ctx: &SchedContext<'_>) {
     }
     // Refresh one reference series per app from the longest-running pod we
     // can see (cheap: one TSDB query per resident pod at most).
-    let mut best: HashMap<String, (usize, PodId)> = HashMap::new();
+    let mut best: BTreeMap<String, (usize, PodId)> = BTreeMap::new();
     for node in &ctx.snapshot.nodes {
         for pod in &node.pods {
             let app = app_key(&pod.name);
@@ -202,7 +202,7 @@ pub(crate) fn correlation_ok(
     scheduler: &'static str,
     app: &str,
     node: &NodeView,
-    resident_series: &mut HashMap<PodId, Vec<f64>>,
+    resident_series: &mut BTreeMap<PodId, Vec<f64>>,
 ) -> bool {
     let Some(reference) = history.reference(app) else {
         return true; // nothing known yet: co-locate optimistically
@@ -304,12 +304,12 @@ impl Scheduler for Cbp {
         // Candidate nodes ordered by *measured* free memory, most free
         // first (the real-time signal Knots adds over Res-Ag).
         let order = ctx.snapshot.nodes_by_free_memory();
-        let mut free: HashMap<NodeId, (f64, f64)> = ctx
+        let mut free: BTreeMap<NodeId, (f64, f64)> = ctx
             .snapshot
             .active_nodes()
             .map(|n| (n.id, (n.free_provision_mb, n.free_measured_mb)))
             .collect();
-        let mut resident_series: HashMap<PodId, Vec<f64>> = HashMap::new();
+        let mut resident_series: BTreeMap<PodId, Vec<f64>> = BTreeMap::new();
         let mut unplaced = false;
 
         for i in service_order(ctx) {
@@ -317,7 +317,7 @@ impl Scheduler for Cbp {
             let limit = effective_limit(&actions, pod.id, pod.limit_mb);
             let mut placed = false;
             for node_id in &order {
-                let node = ctx.snapshot.node(*node_id).expect("node in snapshot");
+                let Some(node) = ctx.snapshot.node(*node_id) else { continue };
                 let (prov, meas) = free[node_id];
                 if limit > prov + 1e-9 || limit > meas + 1e-9 {
                     continue;

@@ -16,7 +16,7 @@ use crate::context::SchedContext;
 use crate::traits::Scheduler;
 use knots_sim::ids::NodeId;
 use knots_sim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Gandiva tunables.
 #[derive(Debug, Clone, Copy)]
@@ -72,7 +72,7 @@ impl Scheduler for Gandiva {
         let mut actions = Vec::new();
 
         // Local bookkeeping: (running pods, free provisioned memory).
-        let mut load: HashMap<NodeId, (usize, f64)> = ctx
+        let mut load: BTreeMap<NodeId, (usize, f64)> = ctx
             .snapshot
             .active_nodes()
             .map(|n| (n.id, (n.pods.len(), n.free_provision_mb)))
@@ -143,12 +143,15 @@ impl Scheduler for Gandiva {
             full.sort_by(|a, b| {
                 let am = a.pods.iter().map(|p| p.attained_service_secs).fold(0.0, f64::max);
                 let bm = b.pods.iter().map(|p| p.attained_service_secs).fold(0.0, f64::max);
-                bm.partial_cmp(&am).expect("finite")
+                bm.total_cmp(&am)
             });
             for n in full.into_iter().take(waiting) {
-                if let Some(victim) = n.pods.iter().filter(|p| !p.pulling).max_by(|a, b| {
-                    a.attained_service_secs.partial_cmp(&b.attained_service_secs).expect("finite")
-                }) {
+                if let Some(victim) = n
+                    .pods
+                    .iter()
+                    .filter(|p| !p.pulling)
+                    .max_by(|a, b| a.attained_service_secs.total_cmp(&b.attained_service_secs))
+                {
                     if let Some(rec) = ctx.audit() {
                         knots_obs::audit::decision(
                             rec,
@@ -221,6 +224,29 @@ mod tests {
         );
         // ... and time-slicing kicks in instead.
         assert!(acts.iter().any(|a| matches!(a, Action::Preempt { .. })));
+    }
+
+    #[test]
+    fn equally_loaded_tie_break_is_lowest_node_id() {
+        // Regression twin of the Tiresias test: min_by_key over the old
+        // HashMap load map broke ties by random iteration order.
+        let s0 = snap(vec![
+            node_view(3, 0, false),
+            node_view(1, 0, false),
+            node_view(0, 0, false),
+            node_view(2, 0, false),
+        ]);
+        let pend = vec![pending(1, "dli-5", 500.0)];
+        let db = TimeSeriesDb::default();
+        for _ in 0..32 {
+            let mut g = Gandiva::new();
+            let acts = g.decide(&ctx(&s0, &pend, &[], &db));
+            assert_eq!(
+                acts.first(),
+                Some(&Action::Place { pod: PodId(1), node: NodeId(0) }),
+                "tie-break must be deterministic across scheduler instances"
+            );
+        }
     }
 
     #[test]

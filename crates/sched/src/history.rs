@@ -10,7 +10,7 @@
 //! series to correlate against).
 
 use knots_forecast::stats::percentile;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Bounded history for one application.
 #[derive(Debug, Default, Clone)]
@@ -32,7 +32,7 @@ struct AppStats {
 #[derive(Debug)]
 pub struct AppUsageHistory {
     cap: usize,
-    apps: HashMap<String, AppStats>,
+    apps: BTreeMap<String, AppStats>,
 }
 
 impl Default for AppUsageHistory {
@@ -45,7 +45,7 @@ impl AppUsageHistory {
     /// Create with a per-app sample cap.
     pub fn new(cap: usize) -> Self {
         assert!(cap >= 8);
-        AppUsageHistory { cap, apps: HashMap::new() }
+        AppUsageHistory { cap, apps: BTreeMap::new() }
     }
 
     /// Record one memory observation for an app.

@@ -30,7 +30,7 @@ use knots_forecast::autocorr::has_forecastable_trend;
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::metrics::Metric;
 use knots_sim::pod::QosClass;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// PP-specific tunables.
 #[derive(Debug, Clone, Copy)]
@@ -114,7 +114,7 @@ impl CbpPp {
         let span = ctx.window.as_secs_f64();
         let dt = span / series.len() as f64;
         let steps = (self.cfg.horizon_secs / dt.max(1e-6)).round().max(1.0) as usize;
-        let pred_used = model.forecast_h(*series.last().expect("non-empty"), steps.min(10_000));
+        let pred_used = model.forecast_h(series.last().copied().unwrap_or(0.0), steps.min(10_000));
         let pred_free = capacity_mb - pred_used.clamp(0.0, capacity_mb);
         let admitted = pred_free >= limit * self.cfg.forecast_margin;
         let branch = if admitted { "forecast_admit" } else { "forecast_reject" };
@@ -178,13 +178,13 @@ impl Scheduler for CbpPp {
         } else {
             ctx.snapshot.nodes_by_packing()
         };
-        let mut free: HashMap<NodeId, (f64, f64)> = ctx
+        let mut free: BTreeMap<NodeId, (f64, f64)> = ctx
             .snapshot
             .active_nodes()
             .map(|n| (n.id, (n.free_provision_mb, n.free_measured_mb)))
             .collect();
-        let mut placed_on: HashMap<NodeId, usize> = HashMap::new();
-        let mut resident_series: HashMap<PodId, Vec<f64>> = HashMap::new();
+        let mut placed_on: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut resident_series: BTreeMap<PodId, Vec<f64>> = BTreeMap::new();
         let mut unplaced = false;
 
         for i in service_order(ctx) {
@@ -197,11 +197,7 @@ impl Scheduler for CbpPp {
             let candidates: &[NodeId] = if is_lc {
                 let mut v: Vec<&knots_telemetry::NodeView> = ctx.snapshot.active_nodes().collect();
                 v.sort_by(|a, b| {
-                    a.sample
-                        .sm_util
-                        .partial_cmp(&b.sample.sm_util)
-                        .expect("finite util")
-                        .then(a.id.cmp(&b.id))
+                    a.sample.sm_util.total_cmp(&b.sample.sm_util).then(a.id.cmp(&b.id))
                 });
                 lc_order = v.into_iter().map(|n| n.id).collect();
                 &lc_order
@@ -210,7 +206,7 @@ impl Scheduler for CbpPp {
             };
             let mut placed = false;
             for node_id in candidates {
-                let node = ctx.snapshot.node(*node_id).expect("node in snapshot");
+                let Some(node) = ctx.snapshot.node(*node_id) else { continue };
                 let (prov, meas) = free[node_id];
                 if limit > prov + 1e-9 || limit > meas + 1e-9 {
                     continue;

@@ -15,7 +15,7 @@ use crate::context::SchedContext;
 use crate::traits::Scheduler;
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tiresias tunables.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +45,7 @@ impl Default for TiresiasConfig {
 pub struct Tiresias {
     /// Configuration.
     pub cfg: TiresiasConfig,
-    last_preempt: HashMap<NodeId, SimTime>,
+    last_preempt: BTreeMap<NodeId, SimTime>,
 }
 
 impl Tiresias {
@@ -56,7 +56,7 @@ impl Tiresias {
 
     /// Create with explicit tunables.
     pub fn with_config(cfg: TiresiasConfig) -> Self {
-        Tiresias { cfg, last_preempt: HashMap::new() }
+        Tiresias { cfg, last_preempt: BTreeMap::new() }
     }
 }
 
@@ -98,11 +98,9 @@ impl Scheduler for Tiresias {
                 suspended: true,
             }))
             .collect();
-        waiting.sort_by(|a, b| {
-            a.attained.partial_cmp(&b.attained).expect("finite").then(a.arrival.cmp(&b.arrival))
-        });
+        waiting.sort_by(|a, b| a.attained.total_cmp(&b.attained).then(a.arrival.cmp(&b.arrival)));
 
-        let mut load: HashMap<NodeId, (usize, f64)> = ctx
+        let mut load: BTreeMap<NodeId, (usize, f64)> = ctx
             .snapshot
             .active_nodes()
             .map(|n| (n.id, (n.pods.len(), n.free_provision_mb)))
@@ -143,9 +141,7 @@ impl Scheduler for Tiresias {
                             !p.pulling && p.attained_service_secs > self.cfg.queue_threshold_secs
                         })
                         .max_by(|(_, a), (_, b)| {
-                            a.attained_service_secs
-                                .partial_cmp(&b.attained_service_secs)
-                                .expect("finite")
+                            a.attained_service_secs.total_cmp(&b.attained_service_secs)
                         });
                     if let Some((node, p)) = victim {
                         if let Some(rec) = ctx.audit() {
@@ -207,6 +203,31 @@ mod tests {
             Tiresias::with_config(TiresiasConfig { slots_per_node: 2, ..Default::default() });
         let acts = t.decide(&ctx(&s0, &pend, &suspended, &db));
         assert_eq!(acts.first(), Some(&Action::Place { pod: PodId(1), node: NodeId(0) }));
+    }
+
+    #[test]
+    fn equally_loaded_tie_break_is_lowest_node_id() {
+        // Regression: the load map used to be a HashMap, whose per-instance
+        // random iteration order picked an arbitrary node among min_by_key
+        // ties. With a BTreeMap the tie-break is the lowest NodeId, every
+        // time, for every scheduler instance.
+        let s0 = snap(vec![
+            node_view(2, 0, false),
+            node_view(0, 0, false),
+            node_view(3, 0, false),
+            node_view(1, 0, false),
+        ]);
+        let pend = vec![pending(1, "dli-5", 500.0)];
+        let db = TimeSeriesDb::default();
+        for _ in 0..32 {
+            let mut t = Tiresias::new();
+            let acts = t.decide(&ctx(&s0, &pend, &[], &db));
+            assert_eq!(
+                acts.first(),
+                Some(&Action::Place { pod: PodId(1), node: NodeId(0) }),
+                "tie-break must be deterministic across scheduler instances"
+            );
+        }
     }
 
     #[test]

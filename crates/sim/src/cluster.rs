@@ -18,7 +18,7 @@ use crate::node::{Node, StepOutcome};
 use crate::pod::{Pod, PodSpec};
 use crate::resources::GpuModel;
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Cluster construction parameters.
@@ -110,11 +110,11 @@ pub struct Cluster {
     /// FIFO of pending pod ids (schedulers may serve it out of order; the
     /// queue order is what FCFS policies follow).
     queue: VecDeque<PodId>,
-    pending: HashMap<PodId, Pod>,
-    suspended: HashMap<PodId, Pod>,
+    pending: BTreeMap<PodId, Pod>,
+    suspended: BTreeMap<PodId, Pod>,
     relaunching: Vec<(SimTime, PodId, Pod)>,
-    completed: HashMap<PodId, Pod>,
-    location: HashMap<PodId, Loc>,
+    completed: BTreeMap<PodId, Pod>,
+    location: BTreeMap<PodId, Loc>,
     events: Vec<Event>,
 }
 
@@ -137,11 +137,11 @@ impl Cluster {
             now: SimTime::ZERO,
             next_pod: 0,
             queue: VecDeque::new(),
-            pending: HashMap::new(),
-            suspended: HashMap::new(),
+            pending: BTreeMap::new(),
+            suspended: BTreeMap::new(),
             relaunching: Vec::new(),
-            completed: HashMap::new(),
-            location: HashMap::new(),
+            completed: BTreeMap::new(),
+            location: BTreeMap::new(),
             events: Vec::new(),
         }
     }
@@ -248,6 +248,14 @@ impl Cluster {
         id
     }
 
+    /// The `location` index disagrees with the state map it points into.
+    /// Surfacing this as an error keeps a long run alive and lets the
+    /// orchestrator report it through the skipped-action channel instead of
+    /// aborting mid-experiment.
+    fn desync(pod: PodId, op: &'static str) -> SimError {
+        SimError::InvalidState { pod, op, state: "location index desynced".into() }
+    }
+
     /// Bind a pending pod to a node.
     pub fn place(&mut self, id: PodId, node: NodeId) -> SimResult<()> {
         let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
@@ -258,7 +266,7 @@ impl Cluster {
         if !n.is_available() {
             return Err(SimError::NodeAsleep(node));
         }
-        let pod = self.pending.get(&id).expect("location says pending");
+        let pod = self.pending.get(&id).ok_or(Self::desync(id, "place"))?;
         let cap = n.gpu().spec().mem_mb;
         if pod.limit_mb() > cap {
             return Err(SimError::ExceedsDevice {
@@ -268,7 +276,7 @@ impl Cluster {
                 capacity_mb: cap,
             });
         }
-        let pod = self.pending.remove(&id).expect("checked above");
+        let pod = self.pending.remove(&id).ok_or(Self::desync(id, "place"))?;
         self.queue.retain(|q| *q != id);
         let cold = self.nodes[node.0].admit(id, pod, self.now, self.cfg.overheads.cold_start_pull);
         self.location.insert(id, Loc::OnNode(node));
@@ -287,8 +295,8 @@ impl Cluster {
         }
         let loc = *self.location.get(&id).ok_or(SimError::UnknownPod(id))?;
         let pod: &mut Pod = match loc {
-            Loc::Pending => self.pending.get_mut(&id).expect("pending"),
-            Loc::OnNode(n) => self.nodes[n.0].resident_mut(id).expect("resident"),
+            Loc::Pending => self.pending.get_mut(&id).ok_or(Self::desync(id, "resize"))?,
+            Loc::OnNode(n) => self.nodes[n.0].resident_mut(id).ok_or(Self::desync(id, "resize"))?,
             _ => {
                 return Err(SimError::InvalidState {
                     pod: id,
@@ -320,7 +328,10 @@ impl Cluster {
                 state: format!("{loc:?}"),
             });
         }
-        self.pending.get_mut(&id).expect("pending").set_allow_growth(allow);
+        self.pending
+            .get_mut(&id)
+            .ok_or(Self::desync(id, "configure growth"))?
+            .set_allow_growth(allow);
         Ok(())
     }
 
@@ -334,7 +345,7 @@ impl Cluster {
                 state: format!("{loc:?}"),
             });
         };
-        let mut pod = self.nodes[node.0].evict(id).expect("location says resident");
+        let mut pod = self.nodes[node.0].evict(id).ok_or(Self::desync(id, "preempt"))?;
         pod.suspend();
         pod.set_node(None);
         self.suspended.insert(id, pod);
@@ -357,7 +368,7 @@ impl Cluster {
         if !n.is_available() {
             return Err(SimError::NodeAsleep(node));
         }
-        let pod = self.suspended.remove(&id).expect("suspended");
+        let pod = self.suspended.remove(&id).ok_or(Self::desync(id, "resume"))?;
         self.nodes[node.0].reattach(id, pod, self.now, self.cfg.overheads.resume_overhead);
         self.location.insert(id, Loc::OnNode(node));
         self.events.push(Event::pod(self.now, id, EventKind::Resumed { node }));
@@ -382,7 +393,7 @@ impl Cluster {
         if !n.is_available() {
             return Err(SimError::NodeAsleep(to));
         }
-        let mut pod = self.nodes[from.0].evict(id).expect("resident");
+        let mut pod = self.nodes[from.0].evict(id).ok_or(Self::desync(id, "migrate"))?;
         pod.suspend();
         pod.record_migration();
         self.nodes[to.0].reattach(id, pod, self.now, self.cfg.overheads.migration_delay);
@@ -445,7 +456,11 @@ impl Cluster {
                         })
                     })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("node step panicked")).collect()
+                handles
+                    .into_iter()
+                    // knots-allow: P1 -- re-raising a worker-thread panic is the std idiom; there is no recovery
+                    .flat_map(|h| h.join().expect("node step panicked"))
+                    .collect()
             })
         } else {
             self.nodes.iter_mut().map(|n| n.step(now, dt)).collect()

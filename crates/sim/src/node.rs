@@ -30,7 +30,7 @@ use crate::power::{gpu_power_watts, EnergyMeter};
 use crate::resources::{GpuModel, Usage};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Fraction of free device memory a greedy framework earmarks at startup
 /// (Fig. 4 reports TF consuming 99% of device memory).
@@ -53,7 +53,7 @@ pub struct Node {
     id: NodeId,
     gpu: GpuDevice,
     residents: Vec<(PodId, Pod)>,
-    image_cache: HashSet<ImageId>,
+    image_cache: BTreeSet<ImageId>,
     last_sample: GpuSample,
     energy: EnergyMeter,
     /// Set while waking from deep sleep.
@@ -69,7 +69,7 @@ impl Node {
             id,
             gpu: GpuDevice::new(model),
             residents: Vec::new(),
-            image_cache: HashSet::new(),
+            image_cache: BTreeSet::new(),
             last_sample: GpuSample::default(),
             energy: EnergyMeter::new(),
             waking_until: None,
@@ -402,10 +402,7 @@ impl Node {
                 .max_by(|(ai, (_, a)), (bi, (_, b))| {
                     let oa = a.last_usage().mem_mb - a.limit_mb();
                     let ob = b.last_usage().mem_mb - b.limit_mb();
-                    oa.partial_cmp(&ob)
-                        .unwrap()
-                        .then(a.memory_grew().cmp(&b.memory_grew()))
-                        .then(ai.cmp(bi))
+                    oa.total_cmp(&ob).then(a.memory_grew().cmp(&b.memory_grew())).then(ai.cmp(bi))
                 })
                 .map(|(i, _)| i);
             match victim {

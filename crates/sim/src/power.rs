@@ -128,7 +128,7 @@ mod tests {
             let (peak_u, peak_ee) = utils
                 .iter()
                 .map(|&u| (u, cpu_energy_efficiency(gen, u)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap();
             assert!((0.55..=0.85).contains(&peak_u), "{gen:?} peak at {peak_u}");
             assert!(peak_ee > 1.0, "{gen:?} peak EE {peak_ee} should exceed EE(100%)");

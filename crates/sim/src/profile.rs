@@ -73,7 +73,7 @@ impl ResourceProfile {
 
     /// Total work in seconds-at-full-speed. This is the job's *solo* runtime.
     pub fn total_work(&self) -> f64 {
-        *self.cumulative.last().expect("non-empty profile")
+        self.cumulative.last().copied().unwrap_or(0.0)
     }
 
     /// The phases of this profile.
@@ -87,10 +87,7 @@ impl ResourceProfile {
         debug_assert!(work.is_finite() && work >= 0.0);
         // Binary search over the cumulative boundaries. Profiles have at most
         // a few dozen phases, but demand_at is called every tick per pod.
-        let idx = match self
-            .cumulative
-            .binary_search_by(|b| b.partial_cmp(&work).expect("cumulative work is finite"))
-        {
+        let idx = match self.cumulative.binary_search_by(|b| b.total_cmp(&work)) {
             // Exactly on a boundary: the boundary ends its phase, so the
             // demand comes from the *next* phase (if any).
             Ok(i) => (i + 1).min(self.phases.len() - 1),
@@ -119,7 +116,7 @@ impl ResourceProfile {
         assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]: {q}");
         let mut levels: Vec<(f64, f64)> =
             self.phases.iter().map(|p| (p.demand.mem_mb, p.work_secs)).collect();
-        levels.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite memory levels"));
+        levels.sort_by(|a, b| a.0.total_cmp(&b.0));
         let total = self.total_work();
         let target = q * total;
         let mut acc = 0.0;

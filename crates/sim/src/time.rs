@@ -138,6 +138,7 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
+        // knots-allow: P1 -- time-arithmetic underflow is a simulator bug; wrapping silently would corrupt every downstream metric
         SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
     }
 }
@@ -158,12 +159,14 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // knots-allow: P1 -- time-arithmetic underflow is a simulator bug; wrapping silently would corrupt every downstream metric
         SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration subtraction underflow"))
     }
 }
 
 impl SubAssign for SimDuration {
     fn sub_assign(&mut self, rhs: SimDuration) {
+        // knots-allow: P1 -- time-arithmetic underflow is a simulator bug; wrapping silently would corrupt every downstream metric
         self.0 = self.0.checked_sub(rhs.0).expect("SimDuration subtraction underflow");
     }
 }

@@ -83,12 +83,7 @@ impl ClusterSnapshot {
     /// `Sort_by_Free_Memory` step of Algorithm 1.
     pub fn nodes_by_free_memory(&self) -> Vec<NodeId> {
         let mut v: Vec<&NodeView> = self.active_nodes().collect();
-        v.sort_by(|a, b| {
-            b.free_measured_mb
-                .partial_cmp(&a.free_measured_mb)
-                .expect("finite free memory")
-                .then(a.id.cmp(&b.id))
-        });
+        v.sort_by(|a, b| b.free_measured_mb.total_cmp(&a.free_measured_mb).then(a.id.cmp(&b.id)));
         v.into_iter().map(|n| n.id).collect()
     }
 
@@ -96,12 +91,7 @@ impl ClusterSnapshot {
     /// so pods pack onto already-busy GPUs and idle ones can sleep.
     pub fn nodes_by_packing(&self) -> Vec<NodeId> {
         let mut v: Vec<&NodeView> = self.active_nodes().collect();
-        v.sort_by(|a, b| {
-            a.free_measured_mb
-                .partial_cmp(&b.free_measured_mb)
-                .expect("finite free memory")
-                .then(a.id.cmp(&b.id))
-        });
+        v.sort_by(|a, b| a.free_measured_mb.total_cmp(&b.free_measured_mb).then(a.id.cmp(&b.id)));
         v.into_iter().map(|n| n.id).collect()
     }
 

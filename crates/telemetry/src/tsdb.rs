@@ -11,6 +11,7 @@ use knots_sim::metrics::{GpuSample, Metric};
 use knots_sim::resources::Usage;
 use knots_sim::time::{SimDuration, SimTime};
 use parking_lot::RwLock;
+// knots-allow: D2 -- import only; the two maps below are keyed lookups that are never iterated
 use std::collections::{HashMap, VecDeque};
 
 /// Store configuration.
@@ -30,7 +31,12 @@ impl Default for TsdbConfig {
 
 #[derive(Debug, Default)]
 struct Inner {
+    // Both maps are accessed exclusively by key (get/entry/remove/clear) —
+    // iteration order can never leak into scheduling decisions, so O(1)
+    // hashed lookups are safe and worth it on the hot sampling path.
+    // knots-allow: D2 -- keyed get/entry/remove only, never iterated
     nodes: HashMap<NodeId, VecDeque<GpuSample>>,
+    // knots-allow: D2 -- keyed get/entry/remove only, never iterated
     pods: HashMap<PodId, VecDeque<(SimTime, Usage)>>,
 }
 

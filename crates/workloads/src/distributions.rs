@@ -64,7 +64,7 @@ mod tests {
         assert!(xs.iter().all(|&x| x >= 1.0));
         // ~80/20: with alpha≈1.16 the top 20% hold most of the mass.
         let mut sorted = xs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let total: f64 = sorted.iter().sum();
         let top20: f64 = sorted[(0.8 * sorted.len() as f64) as usize..].iter().sum();
         assert!(top20 / total > 0.6, "top-20% share {}", top20 / total);

@@ -159,7 +159,8 @@ pub fn generate(cfg: &DnnWorkloadConfig) -> Vec<DnnTask> {
     }
     for (i, at) in arrivals.into_iter().enumerate() {
         let svc = InferenceService::ALL[rng.gen_range(0..InferenceService::ALL.len())];
-        let batch = *[1u32, 1, 2].get(rng.gen_range(0..3usize)).expect("index in range");
+        // Batch size 2 with probability 1/3, else 1.
+        let batch: u32 = if rng.gen_range(0..3usize) == 2 { 2 } else { 1 };
         // The trace-driven simulation models well-behaved serving systems:
         // no TF greedy earmarking (the Tiresias simulator the paper builds
         // on has no memory-crash dimension either).
