@@ -107,6 +107,7 @@ fn bench_decide_with_recorder(c: &mut Criterion) {
             tsdb: &db,
             window: SimDuration::from_secs(5),
             recorder,
+            cache: Default::default(),
         };
         group.bench_with_input(BenchmarkId::new("cbp", label), &(), |b, _| {
             let mut s = Cbp::new();

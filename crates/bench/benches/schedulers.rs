@@ -102,6 +102,7 @@ fn bench_decide(c: &mut Criterion) {
             tsdb: &db,
             window: SimDuration::from_secs(5),
             recorder: None,
+            cache: Default::default(),
         };
         let label = format!("{nodes}n_{queue}q");
         group.bench_with_input(BenchmarkId::new("uniform", &label), &(), |b, _| {

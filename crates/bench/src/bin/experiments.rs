@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <command> [--quick] [--seed N] [--secs N] [--json DIR]
+//!                       [--threads N] [--out FILE]
 //!                       [--trace FILE.jsonl] [--metrics FILE.prom]
 //!
 //! commands:
@@ -12,15 +13,23 @@
 //!   cluster   the ten-node study: Figs. 6, 7, 8, 9, 10a, 11a, 11b
 //!   fig10b    prediction accuracy vs heartbeat interval
 //!   dnn       the 256-GPU DL study: Fig. 12a, Fig. 12b, Table IV
-//!   all       everything above
+//!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_3.json
+//!   all       everything above except perf
 //! ```
 //!
 //! `--quick` shrinks run lengths for smoke testing; the defaults match the
 //! numbers recorded in EXPERIMENTS.md.
 //!
+//! `--threads` bounds the worker pool for the cluster/dnn sweeps and the
+//! parallel legs of `perf` (default: the host's available parallelism).
+//! `--out` overrides where `perf` writes its JSON report.
+//!
 //! `--trace` (cluster command) writes the scheduler-decision audit trail as
 //! JSONL; `--metrics` writes the control-loop counters and histograms in
 //! Prometheus text exposition format.
+//!
+//! Unknown flags are an error: the run aborts with usage on stderr and a
+//! non-zero exit so a typo cannot silently fall back to defaults.
 
 use knots_bench::figures::*;
 use knots_bench::render::Table;
@@ -29,6 +38,11 @@ use knots_sim::time::SimDuration;
 use knots_workloads::dnn::DnnWorkloadConfig;
 use std::io::Write as _;
 
+const USAGE: &str =
+    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|ablation|perf|all> \
+     [--quick] [--seed N] [--secs N] [--json DIR] [--threads N] [--out FILE] \
+     [--trace FILE.jsonl] [--metrics FILE.prom]";
+
 struct Opts {
     quick: bool,
     seed: u64,
@@ -36,24 +50,55 @@ struct Opts {
     json_dir: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    threads: usize,
+    out: Option<String>,
 }
 
-fn parse_opts(args: &[String]) -> Opts {
-    let mut o =
-        Opts { quick: false, seed: 42, secs: None, json_dir: None, trace: None, metrics: None };
+/// Parse everything after the command word. Returns `Err` with a message for
+/// unknown flags or malformed values; the caller prints it plus usage and
+/// exits non-zero.
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        quick: false,
+        seed: 42,
+        secs: None,
+        json_dir: None,
+        trace: None,
+        metrics: None,
+        threads: knots_bench::parallel::default_threads(),
+        out: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
         match a.as_str() {
             "--quick" => o.quick = true,
-            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
-            "--secs" => o.secs = it.next().and_then(|v| v.parse().ok()),
-            "--json" => o.json_dir = it.next().cloned(),
-            "--trace" => o.trace = it.next().cloned(),
-            "--metrics" => o.metrics = it.next().cloned(),
-            _ => {}
+            "--seed" => {
+                let v = value("--seed")?;
+                o.seed = v.parse().map_err(|_| format!("--seed: not an integer: {v:?}"))?;
+            }
+            "--secs" => {
+                let v = value("--secs")?;
+                o.secs = Some(v.parse().map_err(|_| format!("--secs: not an integer: {v:?}"))?);
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--threads: not an integer: {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                o.threads = n;
+            }
+            "--json" => o.json_dir = Some(value("--json")?),
+            "--out" => o.out = Some(value("--out")?),
+            "--trace" => o.trace = Some(value("--trace")?),
+            "--metrics" => o.metrics = Some(value("--metrics")?),
+            other => return Err(format!("unknown flag: {other:?}")),
         }
     }
-    o
+    Ok(o)
 }
 
 fn emit(opts: &Opts, name: &str, tables: &[Table]) {
@@ -103,8 +148,9 @@ fn run_fig4(opts: &Opts) {
 fn run_cluster(opts: &Opts) {
     let cfg = cluster_cfg(opts);
     eprintln!(
-        "[cluster study: 4 schedulers x 3 mixes, {}s window each ...]",
-        cfg.duration.as_secs_f64()
+        "[cluster study: 4 schedulers x 3 mixes, {}s window each, {} thread(s) ...]",
+        cfg.duration.as_secs_f64(),
+        opts.threads
     );
     // Event recording is only paid for when a trace sink was requested;
     // the metrics registry is always live (counters are cheap).
@@ -114,7 +160,7 @@ fn run_cluster(opts: &Opts) {
         knots_obs::Obs::disabled()
     };
     let t0 = std::time::Instant::now();
-    let study = fig06_09_cluster::ClusterStudy::run_with_obs(&cfg, &obs);
+    let study = fig06_09_cluster::ClusterStudy::run_with_obs_threads(&cfg, &obs, opts.threads);
     eprintln!("[cluster study done in {:.1?}]", t0.elapsed());
     if let Some(path) = &opts.trace {
         obs.recorder.write_jsonl(std::path::Path::new(path)).expect("write trace jsonl");
@@ -161,11 +207,11 @@ fn run_dnn(opts: &Opts) {
         DnnWorkloadConfig { seed: opts.seed, ..DnnWorkloadConfig::compressed() }
     };
     eprintln!(
-        "[dnn study: 4 schedulers, {} DLT + {} DLI, 256 GPUs ...]",
-        workload.dlt_jobs, workload.dli_tasks
+        "[dnn study: 4 schedulers, {} DLT + {} DLI, 256 GPUs, {} thread(s) ...]",
+        workload.dlt_jobs, workload.dli_tasks, opts.threads
     );
     let t0 = std::time::Instant::now();
-    let study = fig12_dnn::DnnStudy::run(&workload);
+    let study = fig12_dnn::DnnStudy::run_threads(&workload, opts.threads);
     eprintln!("[dnn study done in {:.1?}]", t0.elapsed());
     emit(
         opts,
@@ -205,10 +251,41 @@ fn run_ablations(opts: &Opts) {
     emit(opts, "ablations", &tables);
 }
 
+fn run_perf(opts: &Opts) {
+    let cfg =
+        knots_bench::perf::PerfConfig { quick: opts.quick, threads: opts.threads, seed: opts.seed };
+    let report = knots_bench::perf::run(&cfg);
+    let path = opts.out.as_deref().unwrap_or("BENCH_3.json");
+    let payload = serde_json::to_string_pretty(&report).expect("serialize perf report");
+    std::fs::write(path, payload).expect("write perf report");
+    eprintln!("[wrote {path}]");
+    for s in &report.sweeps {
+        match s.speedup_vs_serial {
+            Some(x) => eprintln!(
+                "[{} x{} threads: {:.0} ms, {:.2}x vs serial]",
+                s.name, s.threads, s.wall_ms, x
+            ),
+            None => eprintln!("[{} serial baseline: {:.0} ms]", s.name, s.wall_ms),
+        }
+    }
+    if !report.ok() {
+        eprintln!("[perf: DETERMINISM CHECK FAILED — see {path}]");
+        std::process::exit(1);
+    }
+    eprintln!("[perf: all determinism digests match]");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
-    let opts = parse_opts(&args);
+    let opts = match parse_opts(args.get(1..).unwrap_or(&[])) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
     match cmd {
         "fig1" => run_fig1(&opts),
         "fig2" => run_fig2(&opts),
@@ -220,6 +297,7 @@ fn main() {
         "fig10b" => run_fig10b(&opts),
         "dnn" | "fig12a" | "fig12b" | "table4" => run_dnn(&opts),
         "ablation" | "ablations" => run_ablations(&opts),
+        "perf" => run_perf(&opts),
         "all" => {
             run_fig1(&opts);
             run_fig2(&opts);
@@ -231,11 +309,7 @@ fn main() {
             run_ablations(&opts);
         }
         _ => {
-            eprintln!(
-                "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|ablation|all> \
-                 [--quick] [--seed N] [--secs N] [--json DIR] \
-                 [--trace FILE.jsonl] [--metrics FILE.prom]"
-            );
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     }

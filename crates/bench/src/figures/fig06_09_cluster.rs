@@ -23,7 +23,8 @@ pub struct ClusterStudy {
 
 impl ClusterStudy {
     /// Run the full 3×4 grid. Runs are parallelized across scheduler/mix
-    /// pairs with scoped threads (each run is single-threaded at 10 nodes).
+    /// pairs with scoped threads (each run is single-threaded at 10 nodes),
+    /// bounded by the host's available parallelism.
     pub fn run(cfg: &ExperimentConfig) -> ClusterStudy {
         Self::run_with_obs(cfg, &Obs::disabled())
     }
@@ -32,29 +33,33 @@ impl ClusterStudy {
     /// in the grid records into the same trace/metrics (the bundle clones
     /// are `Arc` handles, so concurrent runs interleave safely).
     pub fn run_with_obs(cfg: &ExperimentConfig, obs: &Obs) -> ClusterStudy {
-        let jobs: Vec<(AppMix, &str)> = AppMix::ALL
+        Self::run_with_obs_threads(cfg, obs, crate::parallel::default_threads())
+    }
+
+    /// [`ClusterStudy::run_with_obs`] on an explicit worker count.
+    ///
+    /// `threads == 1` runs the grid serially on the calling thread (the
+    /// perf harness' baseline). Every leg is deterministic from the config
+    /// seed and results are reassembled in grid order, so the study is
+    /// byte-identical at every thread count.
+    pub fn run_with_obs_threads(cfg: &ExperimentConfig, obs: &Obs, threads: usize) -> ClusterStudy {
+        let jobs: Vec<_> = AppMix::ALL
             .iter()
             .flat_map(|m| CLUSTER_SCHEDULERS.iter().map(move |s| (*m, *s)))
+            .map(|(mix, name)| {
+                let cfg = *cfg;
+                let obs = obs.clone();
+                move || {
+                    run_mix_with_obs(
+                        scheduler_by_name(name).expect("known scheduler"),
+                        mix,
+                        &cfg,
+                        obs,
+                    )
+                }
+            })
             .collect();
-        let results: Vec<RunReport> = std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .iter()
-                .map(|(mix, name)| {
-                    let cfg = *cfg;
-                    let (mix, name) = (*mix, *name);
-                    let obs = obs.clone();
-                    scope.spawn(move || {
-                        run_mix_with_obs(
-                            scheduler_by_name(name).expect("known scheduler"),
-                            mix,
-                            &cfg,
-                            obs,
-                        )
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
-        });
+        let results: Vec<RunReport> = crate::parallel::run_jobs(jobs, threads);
         let mut reports = Vec::new();
         for (i, _mix) in AppMix::ALL.iter().enumerate() {
             let base = i * CLUSTER_SCHEDULERS.len();

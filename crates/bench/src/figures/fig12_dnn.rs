@@ -18,14 +18,25 @@ pub struct DnnStudy {
 }
 
 impl DnnStudy {
-    /// Run the four schedulers over the workload. Each run uses the
-    /// simulator's internal parallel node stepping; the four runs execute
-    /// sequentially to bound memory.
+    /// Run the four schedulers over the workload in parallel, bounded by
+    /// the host's available parallelism.
     pub fn run(workload: &DnnWorkloadConfig) -> DnnStudy {
-        let reports = DNN_SCHEDULERS
+        Self::run_threads(workload, crate::parallel::default_threads())
+    }
+
+    /// [`DnnStudy::run`] on an explicit worker count. Each leg is
+    /// deterministic from the workload seed and results are reassembled in
+    /// [`DNN_SCHEDULERS`] order, so the study is identical at every thread
+    /// count (`threads == 1` is the serial baseline).
+    pub fn run_threads(workload: &DnnWorkloadConfig, threads: usize) -> DnnStudy {
+        let jobs: Vec<_> = DNN_SCHEDULERS
             .iter()
-            .map(|name| run_dnn(scheduler_by_name(name).expect("known"), workload))
+            .map(|name| {
+                let workload = *workload;
+                move || run_dnn(scheduler_by_name(name).expect("known"), &workload)
+            })
             .collect();
+        let reports = crate::parallel::run_jobs(jobs, threads);
         DnnStudy { reports, time_scale: workload.time_scale }
     }
 

@@ -9,4 +9,6 @@
 #![forbid(unsafe_code)]
 
 pub mod figures;
+pub mod parallel;
+pub mod perf;
 pub mod render;

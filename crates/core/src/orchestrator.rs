@@ -228,8 +228,15 @@ impl KubeKnots {
                 tsdb: &self.tsdb,
                 window: self.cfg.window,
                 recorder: Some(&self.obs.recorder),
+                cache: knots_sched::StatsCache::new(),
             };
-            self.scheduler.decide(&ctx)
+            let actions = self.scheduler.decide(&ctx);
+            // The cache dies with the round; fold its effectiveness into the
+            // metrics registry before it goes.
+            let cs = ctx.cache.stats();
+            self.obs.metrics.add("knots_stats_cache_hits_total", &[], cs.hits);
+            self.obs.metrics.add("knots_stats_cache_misses_total", &[], cs.misses);
+            actions
         };
         let _span = self.timers.span("apply");
         let now_us = self.cluster.now().as_micros();

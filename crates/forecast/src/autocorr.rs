@@ -25,9 +25,41 @@ pub fn autocorrelation(ys: &[f64], k: usize) -> f64 {
     num / denom
 }
 
+/// Shared mean/denominator of Eq. (2), computed once for all lags.
+///
+/// Summation order matches [`autocorrelation`] exactly, so per-lag values
+/// derived from these are bit-identical to the naive per-lag recompute.
+fn acf_prefix(ys: &[f64]) -> Option<(f64, f64)> {
+    let n = ys.len();
+    if n < 2 {
+        return None;
+    }
+    let mean = ys.iter().sum::<f64>() / n as f64;
+    let denom: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+    if denom < 1e-18 {
+        None
+    } else {
+        Some((mean, denom))
+    }
+}
+
+/// The lag-`k` numerator of Eq. (2) given the precomputed mean.
+fn acf_lag_num(ys: &[f64], mean: f64, k: usize) -> f64 {
+    (0..ys.len() - k).map(|i| (ys[i] - mean) * (ys[i + k] - mean)).sum()
+}
+
 /// The full autocorrelation function for lags `1..=max_lag`.
+///
+/// One-pass: the series mean and the Eq. (2) denominator are hoisted out of
+/// the per-lag loop (they do not depend on `k`), turning the naive
+/// `O(max_lag · n)` mean/denominator recompute into a single prefix pass.
+/// Values are bit-identical to calling [`autocorrelation`] per lag.
 pub fn acf(ys: &[f64], max_lag: usize) -> Vec<f64> {
-    (1..=max_lag).map(|k| autocorrelation(ys, k)).collect()
+    let n = ys.len();
+    let Some((mean, denom)) = acf_prefix(ys) else {
+        return vec![0.0; max_lag];
+    };
+    (1..=max_lag).map(|k| if n <= k { 0.0 } else { acf_lag_num(ys, mean, k) / denom }).collect()
 }
 
 /// The dominant period of a series: the lag `k ≥ min_lag` with the highest
@@ -41,9 +73,10 @@ pub fn dominant_period(ys: &[f64], min_lag: usize, max_lag: usize) -> Option<usi
     if min_lag == 0 || max_lag < min_lag {
         return None;
     }
+    let (mean, denom) = acf_prefix(ys)?;
     let mut best: Option<(usize, f64)> = None;
     for k in min_lag..=max_lag.min(ys.len().saturating_sub(1)) {
-        let r = autocorrelation(ys, k);
+        let r = acf_lag_num(ys, mean, k) / denom;
         if r > 0.0 {
             match best {
                 Some((_, br)) if br >= r => {}
@@ -93,6 +126,54 @@ mod tests {
     fn acf_length() {
         let ys: Vec<f64> = (0..30).map(|i| i as f64).collect();
         assert_eq!(acf(&ys, 5).len(), 5);
+    }
+
+    #[test]
+    fn one_pass_acf_is_bit_identical_to_naive_per_lag() {
+        // Seeded-LCG fuzz: the hoisted mean/denominator must reproduce the
+        // naive per-lag recompute exactly (same summation order → same
+        // bits), including lags past the series length.
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for len in [0usize, 1, 2, 7, 33, 200] {
+            let ys: Vec<f64> = (0..len).map(|_| lcg() * 500.0 - 100.0).collect();
+            let max_lag = len + 5;
+            let fast = acf(&ys, max_lag);
+            for (i, k) in (1..=max_lag).enumerate() {
+                let naive = autocorrelation(&ys, k);
+                assert_eq!(fast[i].to_bits(), naive.to_bits(), "len {len} lag {k}");
+            }
+        }
+        // Constant series: both forms short-circuit to zero.
+        assert_eq!(acf(&[3.0; 20], 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn dominant_period_matches_naive_selection() {
+        let mut state = 7u64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for len in [10usize, 50, 120] {
+            let ys: Vec<f64> = (0..len).map(|i| (i % 12) as f64 + lcg()).collect();
+            let fast = dominant_period(&ys, 2, 40);
+            // Naive reference selection over per-lag autocorrelation.
+            let mut best: Option<(usize, f64)> = None;
+            for k in 2..=40usize.min(len.saturating_sub(1)) {
+                let r = autocorrelation(&ys, k);
+                if r > 0.0 {
+                    match best {
+                        Some((_, br)) if br >= r => {}
+                        _ => best = Some((k, r)),
+                    }
+                }
+            }
+            assert_eq!(fast, best.map(|(k, _)| k), "len {len}");
+        }
     }
 
     #[test]

@@ -29,18 +29,30 @@ pub fn ranks(xs: &[f64]) -> Vec<f64> {
     out
 }
 
-/// Spearman's ρ between two equal-length series.
+/// Align two series on their common trailing suffix — the freshest samples.
+///
+/// Telemetry series rarely share a length (pods start at different times,
+/// windows truncate differently), and CBP already aligns its reference this
+/// way (`reference[len-n..]` in `correlation_ok`), so the library does it
+/// uniformly instead of panicking on a mismatch.
+fn common_suffix<'a>(a: &'a [f64], b: &'a [f64]) -> (&'a [f64], &'a [f64]) {
+    let n = a.len().min(b.len());
+    (&a[a.len() - n..], &b[b.len() - n..])
+}
+
+/// Spearman's ρ between two series.
 ///
 /// Computed as the Pearson correlation of the rank vectors, which reduces to
 /// the paper's Eq. (1) (`ρ = 1 − 6Σd²/n(n²−1)`) when there are no ties and
 /// handles ties gracefully otherwise. Returns 0 when either series is
-/// constant or shorter than 2 (no usable signal — the §IV-D "input
-/// time-series data is limited" case).
+/// constant or the overlap is shorter than 2 (no usable signal — the §IV-D
+/// "input time-series data is limited" case).
 ///
-/// # Panics
-/// Panics when the series lengths differ.
+/// Mismatched lengths are not an error: the series are aligned on their
+/// common *trailing* suffix (the most recent overlap), matching how CBP
+/// aligns an app's reference series against resident-pod telemetry.
 pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "spearman needs equal-length series");
+    let (a, b) = common_suffix(a, b);
     if a.len() < 2 {
         return 0.0;
     }
@@ -51,8 +63,9 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 
 /// The textbook Eq. (1) form (no tie correction): `1 − 6Σd²/n(n²−1)`.
 /// Kept for exact parity with the paper's formula; prefer [`spearman`].
+/// Mismatched lengths align on the common trailing suffix, as [`spearman`].
 pub fn spearman_d2(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len());
+    let (a, b) = common_suffix(a, b);
     let n = a.len();
     if n < 2 {
         return 0.0;
@@ -64,8 +77,9 @@ pub fn spearman_d2(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Pearson correlation coefficient; 0 when either input is constant.
+/// Mismatched lengths align on the common trailing suffix.
 pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len());
+    let (a, b) = common_suffix(a, b);
     let n = a.len();
     if n < 2 {
         return 0.0;
@@ -170,8 +184,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equal-length")]
-    fn length_mismatch_panics() {
-        let _ = spearman(&[1.0], &[1.0, 2.0]);
+    fn length_mismatch_aligns_on_trailing_suffix() {
+        // The longer series' *oldest* samples are dropped: ρ must equal the
+        // explicit suffix computation CBP performs.
+        let long: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let short: Vec<f64> = (0..8).map(|i| (i * i) as f64).collect();
+        let expected = {
+            let n = short.len();
+            let ra = ranks(&long[long.len() - n..]);
+            let rb = ranks(&short);
+            pearson(&ra, &rb)
+        };
+        assert_eq!(spearman(&long, &short).to_bits(), expected.to_bits());
+        assert_eq!(spearman(&short, &long).to_bits(), expected.to_bits());
+        assert!((spearman(&long, &short) - 1.0).abs() < 1e-12, "both increasing");
+        // Degenerate overlaps yield the "no signal" zero, not a panic.
+        assert_eq!(spearman(&[1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(spearman(&[], &[1.0, 2.0]), 0.0);
+        assert_eq!(spearman_d2(&[1.0], &[1.0, 2.0, 3.0]), 0.0);
+        // Eq. (1) and rank-Pearson still agree on mismatched tie-free input.
+        let a = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0, 6.0];
+        let b = [0.0, 2.0, 7.0, 1.0, 8.0, 2.5, 0.5, 9.0, 4.0];
+        assert!((spearman(&a, &b) - spearman_d2(&a, &b)).abs() < 1e-9);
     }
 }

@@ -26,7 +26,6 @@ use crate::binpack::decreasing_order;
 use crate::context::{app_key, SchedContext};
 use crate::history::AppUsageHistory;
 use crate::traits::Scheduler;
-use knots_forecast::spearman::spearman;
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::pod::QosClass;
 use knots_telemetry::NodeView;
@@ -101,7 +100,8 @@ pub(crate) fn learn(history: &mut AppUsageHistory, ctx: &SchedContext<'_>) {
         }
     }
     // Refresh one reference series per app from the longest-running pod we
-    // can see (cheap: one TSDB query per resident pod at most).
+    // can see. The fetch goes through the round cache, so the correlation
+    // gate below reuses the same buffer instead of re-querying the TSDB.
     let mut best: BTreeMap<String, (usize, PodId)> = BTreeMap::new();
     for node in &ctx.snapshot.nodes {
         for pod in &node.pods {
@@ -115,8 +115,8 @@ pub(crate) fn learn(history: &mut AppUsageHistory, ctx: &SchedContext<'_>) {
     }
     for (app, (len, pod)) in best {
         if len >= 8 {
-            let series = ctx.tsdb.pod_mem_series(pod, ctx.now, ctx.window);
-            history.set_reference(&app, series);
+            let series = ctx.cache.pod_mem_series(ctx.tsdb, pod, ctx.now, ctx.window);
+            history.set_reference(&app, series.as_ref().clone());
         }
     }
 }
@@ -195,6 +195,11 @@ pub(crate) fn sm_headroom_ok(history: &AppUsageHistory, app: &str, node: &NodeVi
 /// (Spearman ρ > threshold) with any resident pod's recent series. When the
 /// context carries an audit recorder, the gate logs the worst coefficient
 /// it compared (`scheduler` labels the policy driving the shared gate).
+///
+/// Series fetches, rank vectors, and pairwise ρ all go through the round's
+/// [`crate::StatsCache`], so a resident pod compared against many candidate
+/// apps (or one app probing many nodes) costs one TSDB query and one ranking
+/// per overlap length instead of one per comparison.
 pub(crate) fn correlation_ok(
     history: &AppUsageHistory,
     cfg: &CbpConfig,
@@ -202,7 +207,6 @@ pub(crate) fn correlation_ok(
     scheduler: &'static str,
     app: &str,
     node: &NodeView,
-    resident_series: &mut BTreeMap<PodId, Vec<f64>>,
 ) -> bool {
     let Some(reference) = history.reference(app) else {
         return true; // nothing known yet: co-locate optimistically
@@ -210,14 +214,12 @@ pub(crate) fn correlation_ok(
     // Worst (highest) coefficient seen, with the resident app it belongs to.
     let mut max_rho: Option<(f64, String)> = None;
     for pod in &node.pods {
-        let series = resident_series
-            .entry(pod.id)
-            .or_insert_with(|| ctx.tsdb.pod_mem_series(pod.id, ctx.now, ctx.window));
+        let series = ctx.cache.pod_mem_series(ctx.tsdb, pod.id, ctx.now, ctx.window);
         let n = reference.len().min(series.len());
         if n < cfg.min_corr_samples {
             continue;
         }
-        let rho = spearman(&reference[reference.len() - n..], &series[series.len() - n..]);
+        let rho = ctx.cache.spearman_suffix(app, reference, pod.id, &series);
         if max_rho.as_ref().is_none_or(|(best, _)| rho > *best) {
             max_rho = Some((rho, app_key(&pod.name)));
         }
@@ -309,7 +311,6 @@ impl Scheduler for Cbp {
             .active_nodes()
             .map(|n| (n.id, (n.free_provision_mb, n.free_measured_mb)))
             .collect();
-        let mut resident_series: BTreeMap<PodId, Vec<f64>> = BTreeMap::new();
         let mut unplaced = false;
 
         for i in service_order(ctx) {
@@ -325,15 +326,7 @@ impl Scheduler for Cbp {
                 if !node.pods.is_empty() && !sm_headroom_ok(&self.history, &pod.app, node) {
                     continue;
                 }
-                if !correlation_ok(
-                    &self.history,
-                    &self.cfg,
-                    ctx,
-                    "CBP",
-                    &pod.app,
-                    node,
-                    &mut resident_series,
-                ) {
+                if !correlation_ok(&self.history, &self.cfg, ctx, "CBP", &pod.app, node) {
                     continue;
                 }
                 if let Some(rec) = ctx.audit() {
@@ -475,6 +468,7 @@ mod tests {
             tsdb: &db,
             window: SimDuration::from_secs(5),
             recorder: Some(&rec),
+            cache: Default::default(),
         };
         let acts = s.decide(&c);
         // The audit trail must carry the rejecting Spearman coefficient.
@@ -520,6 +514,7 @@ mod tests {
             tsdb: &db,
             window: SimDuration::from_secs(5),
             recorder: None,
+            cache: Default::default(),
         };
         let acts = s.decide(&c);
         assert!(

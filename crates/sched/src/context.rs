@@ -1,5 +1,6 @@
 //! The read-only context handed to a scheduler on every heartbeat.
 
+use crate::cache::StatsCache;
 use knots_obs::Recorder;
 use knots_sim::ids::PodId;
 use knots_sim::pod::QosClass;
@@ -72,6 +73,10 @@ pub struct SchedContext<'a> {
     /// decision happened (Spearman gate outcomes, Algorithm-1 branches,
     /// bin-pack rejections) via [`knots_obs::audit`].
     pub recorder: Option<&'a Recorder>,
+    /// Per-round memo tables for series fetches, rank vectors, and pairwise
+    /// Spearman ρ. Rebuilt with the context every heartbeat, so nothing in
+    /// it can go stale (the TSDB is only written between rounds).
+    pub cache: StatsCache,
 }
 
 impl SchedContext<'_> {

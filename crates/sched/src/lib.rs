@@ -23,6 +23,7 @@
 
 pub mod action;
 pub mod binpack;
+pub mod cache;
 pub mod cbp;
 pub mod context;
 pub mod gandiva;
@@ -36,5 +37,6 @@ pub mod traits;
 pub mod uniform;
 
 pub use action::Action;
+pub use cache::{CacheStats, StatsCache};
 pub use context::{PendingPodView, SchedContext, SuspendedPodView};
 pub use traits::Scheduler;

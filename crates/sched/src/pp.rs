@@ -27,8 +27,7 @@ use crate::history::AppUsageHistory;
 use crate::traits::Scheduler;
 use knots_forecast::arima::Ar1;
 use knots_forecast::autocorr::has_forecastable_trend;
-use knots_sim::ids::{NodeId, PodId};
-use knots_sim::metrics::Metric;
+use knots_sim::ids::NodeId;
 use knots_sim::pod::QosClass;
 use std::collections::BTreeMap;
 
@@ -90,7 +89,7 @@ impl CbpPp {
         capacity_mb: f64,
         limit: f64,
     ) -> bool {
-        let series = ctx.tsdb.node_series(node, Metric::MemUsedMb, ctx.now, ctx.window);
+        let series = ctx.cache.node_mem_series(ctx.tsdb, node, ctx.now, ctx.window);
         if series.len() < 8 {
             // "input time-series data is limited"
             self.audit_branch(
@@ -184,7 +183,6 @@ impl Scheduler for CbpPp {
             .map(|n| (n.id, (n.free_provision_mb, n.free_measured_mb)))
             .collect();
         let mut placed_on: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut resident_series: BTreeMap<PodId, Vec<f64>> = BTreeMap::new();
         let mut unplaced = false;
 
         for i in service_order(ctx) {
@@ -224,15 +222,8 @@ impl Scheduler for CbpPp {
                 {
                     continue;
                 }
-                let corr_ok = correlation_ok(
-                    &self.history,
-                    &self.cfg.cbp,
-                    ctx,
-                    "CBP+PP",
-                    &pod.app,
-                    node,
-                    &mut resident_series,
-                );
+                let corr_ok =
+                    correlation_ok(&self.history, &self.cfg.cbp, ctx, "CBP+PP", &pod.app, node);
                 // Algorithm 1: correlated pods may still co-locate when the
                 // forecast says their peaks won't coincide.
                 let admitted =
@@ -279,6 +270,7 @@ impl Scheduler for CbpPp {
 mod tests {
     use super::*;
     use crate::testutil::{ctx, node_view, pending, pending_lc, snap};
+    use knots_sim::ids::PodId;
     use knots_sim::metrics::GpuSample;
     use knots_sim::time::{SimDuration, SimTime};
     use knots_telemetry::TimeSeriesDb;
@@ -376,6 +368,7 @@ mod tests {
             tsdb: &db,
             window: SimDuration::from_secs(5),
             recorder: Some(&rec),
+            cache: Default::default(),
         };
         assert!(s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
         // Algorithm-1 branch taken must be in the audit trail.
@@ -413,6 +406,7 @@ mod tests {
             tsdb: db_ref,
             window: SimDuration::from_secs(5),
             recorder: None,
+            cache: Default::default(),
         };
         // Used is ~15.8 GB now and rising: a 2 GB pod must be refused.
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
@@ -433,6 +427,7 @@ mod tests {
             tsdb: &db,
             window: SimDuration::from_secs(5),
             recorder: Some(&rec),
+            cache: Default::default(),
         };
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 100.0), "no data: reject");
         assert!(rec.export_jsonl().contains("insufficient_history"));

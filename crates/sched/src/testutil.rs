@@ -77,6 +77,7 @@ pub fn ctx<'a>(
         tsdb,
         window: SimDuration::from_secs(5),
         recorder: None,
+        cache: Default::default(),
     }
 }
 

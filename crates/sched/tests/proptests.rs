@@ -133,6 +133,7 @@ proptest! {
             tsdb: &db,
             window: SimDuration::from_secs(5),
             recorder: None,
+            cache: Default::default(),
         };
         let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
             Box::new(Uniform::new()),

@@ -1,0 +1,103 @@
+//! Seeded-LCG fuzz: everything the round cache memoizes must be
+//! bit-identical to the uncached reference computation, or the PR's
+//! "same decisions, less work" claim is void.
+
+use knots_forecast::spearman::spearman;
+use knots_sched::StatsCache;
+use knots_sim::ids::{NodeId, PodId};
+use knots_sim::metrics::{GpuSample, Metric};
+use knots_sim::resources::Usage;
+use knots_sim::time::{SimDuration, SimTime};
+use knots_telemetry::TimeSeriesDb;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_usize(&mut self, bound: usize) -> usize {
+        (self.next_f64() * bound as f64) as usize % bound.max(1)
+    }
+}
+
+/// Build a TSDB with `pods` pod series and `nodes` node series of random
+/// (seeded) lengths and values.
+fn fuzz_db(rng: &mut Lcg, pods: usize, nodes: usize) -> TimeSeriesDb {
+    let db = TimeSeriesDb::default();
+    for p in 0..pods {
+        let len = 4 + rng.next_usize(60);
+        for i in 0..len {
+            db.push_pod(
+                PodId(p as u64),
+                SimTime::from_millis(i as u64 * 50),
+                Usage::new(rng.next_f64(), rng.next_f64() * 4_000.0, 0.0, 0.0),
+            );
+        }
+    }
+    for n in 0..nodes {
+        let len = 4 + rng.next_usize(60);
+        for i in 0..len {
+            db.push_node(
+                NodeId(n),
+                GpuSample {
+                    at: SimTime::from_millis(i as u64 * 50),
+                    mem_used_mb: rng.next_f64() * 16_000.0,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+    db
+}
+
+#[test]
+fn cached_series_and_spearman_are_bit_identical_to_reference() {
+    let mut rng = Lcg(0x6b6e_6f74_735f_7033); // "knots_p3"
+    for round in 0..20 {
+        let pods = 1 + rng.next_usize(6);
+        let nodes = 1 + rng.next_usize(4);
+        let db = fuzz_db(&mut rng, pods, nodes);
+        let now = SimTime::from_millis(3_000);
+        let window = SimDuration::from_secs(5);
+        let cache = StatsCache::new();
+
+        // A reference series per "app", as CBP's history would hold.
+        let ref_len = 8 + rng.next_usize(40);
+        let reference: Vec<f64> = (0..ref_len).map(|_| rng.next_f64() * 2_000.0).collect();
+
+        // Interleave repeated queries so hits and misses both happen.
+        for q in 0..40 {
+            let pod = PodId(rng.next_usize(pods) as u64);
+            let node = NodeId(rng.next_usize(nodes));
+
+            let cached_pod = cache.pod_mem_series(&db, pod, now, window);
+            let direct_pod = db.pod_mem_series(pod, now, window);
+            assert_eq!(*cached_pod, direct_pod, "round {round} q {q} pod series diverged");
+
+            let cached_node = cache.node_mem_series(&db, node, now, window);
+            let direct_node = db.node_series(node, Metric::MemUsedMb, now, window);
+            assert_eq!(*cached_node, direct_node, "round {round} q {q} node series diverged");
+
+            // ρ through the memo tables vs the plain library call on the
+            // aligned suffixes (exactly what correlation_ok used to do).
+            let rho_cached = cache.spearman_suffix("app", &reference, pod, &cached_pod);
+            let n = reference.len().min(cached_pod.len());
+            let rho_direct = if n < 2 {
+                0.0
+            } else {
+                spearman(&reference[reference.len() - n..], &cached_pod[cached_pod.len() - n..])
+            };
+            assert_eq!(
+                rho_cached.to_bits(),
+                rho_direct.to_bits(),
+                "round {round} q {q} rho diverged: cached {rho_cached} direct {rho_direct}"
+            );
+        }
+        let cs = cache.stats();
+        assert!(cs.hits > 0, "round {round}: repeated queries must hit");
+        assert!(cs.misses > 0, "round {round}: first queries must miss");
+    }
+}

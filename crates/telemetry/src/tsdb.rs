@@ -5,6 +5,18 @@
 //! with the paper's 1 ms heartbeat and 5 s sliding window (§IV-D), the
 //! default capacity of 8192 samples comfortably covers the window the
 //! schedulers query.
+//!
+//! Two query tiers keep the per-heartbeat decision loop cheap:
+//!
+//! * **Rolling statistics** ([`SeriesStats`]) are maintained *at push time*
+//!   (Welford count/mean/M2, evicted samples removed with the inverse
+//!   update), so "how loaded is this series" questions cost O(1) and zero
+//!   allocations.
+//! * **Copy-into-scratch** queries (`*_series_into`) extend a caller-owned
+//!   buffer under the read lock, so hot callers reuse one allocation across
+//!   heartbeats instead of materializing a fresh `Vec` per query. The
+//!   allocating `*_series` forms remain as conveniences built on top and
+//!   return bit-identical values.
 
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::metrics::{GpuSample, Metric};
@@ -29,15 +41,93 @@ impl Default for TsdbConfig {
     }
 }
 
+/// Rolling count/mean/M2 over a bounded series, maintained incrementally.
+///
+/// Uses Welford's online update on push and its algebraic inverse on
+/// eviction, so the summary always describes exactly the samples currently
+/// retained in the ring buffer — no rescan, no allocation. The inverse
+/// update is subject to ordinary floating-point cancellation, so `m2` is
+/// clamped at zero; tests pin the drift against a naive rescan to < 1e-6
+/// relative error over thousands of push/evict cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SeriesStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl SeriesStats {
+    /// Number of samples currently summarized.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the retained samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance of the retained samples (0 when `count < 2`).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Welford push.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Inverse Welford update: remove one previously-pushed sample.
+    pub fn evict(&mut self, x: f64) {
+        match self.count {
+            0 => {}
+            1 => *self = SeriesStats::default(),
+            n => {
+                self.count = n - 1;
+                let old_mean = self.mean;
+                self.mean = (n as f64 * old_mean - x) / (n - 1) as f64;
+                self.m2 = (self.m2 - (x - self.mean) * (x - old_mean)).max(0.0);
+            }
+        }
+    }
+}
+
+/// One node's ring buffer plus per-metric rolling stats.
+#[derive(Debug, Default)]
+struct NodeEntry {
+    q: VecDeque<GpuSample>,
+    stats: [SeriesStats; Metric::ALL.len()],
+}
+
+/// One pod's ring buffer plus rolling memory/SM stats.
+#[derive(Debug, Default)]
+struct PodEntry {
+    q: VecDeque<(SimTime, Usage)>,
+    mem: SeriesStats,
+    sm: SeriesStats,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     // Both maps are accessed exclusively by key (get/entry/remove/clear) —
     // iteration order can never leak into scheduling decisions, so O(1)
     // hashed lookups are safe and worth it on the hot sampling path.
     // knots-allow: D2 -- keyed get/entry/remove only, never iterated
-    nodes: HashMap<NodeId, VecDeque<GpuSample>>,
+    nodes: HashMap<NodeId, NodeEntry>,
     // knots-allow: D2 -- keyed get/entry/remove only, never iterated
-    pods: HashMap<PodId, VecDeque<(SimTime, Usage)>>,
+    pods: HashMap<PodId, PodEntry>,
 }
 
 /// The time-series database.
@@ -65,21 +155,33 @@ impl TimeSeriesDb {
     /// Append a node sample.
     pub fn push_node(&self, node: NodeId, sample: GpuSample) {
         let mut g = self.inner.write();
-        let q = g.nodes.entry(node).or_default();
-        if q.len() == self.cfg.node_capacity {
-            q.pop_front();
+        let e = g.nodes.entry(node).or_default();
+        if e.q.len() == self.cfg.node_capacity {
+            if let Some(old) = e.q.pop_front() {
+                for (i, m) in Metric::ALL.iter().enumerate() {
+                    e.stats[i].evict(old.get(*m));
+                }
+            }
         }
-        q.push_back(sample);
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            e.stats[i].push(sample.get(*m));
+        }
+        e.q.push_back(sample);
     }
 
     /// Append a pod usage sample.
     pub fn push_pod(&self, pod: PodId, at: SimTime, usage: Usage) {
         let mut g = self.inner.write();
-        let q = g.pods.entry(pod).or_default();
-        if q.len() == self.cfg.pod_capacity {
-            q.pop_front();
+        let e = g.pods.entry(pod).or_default();
+        if e.q.len() == self.cfg.pod_capacity {
+            if let Some((_, old)) = e.q.pop_front() {
+                e.mem.evict(old.mem_mb);
+                e.sm.evict(old.sm_frac);
+            }
         }
-        q.push_back((at, usage));
+        e.mem.push(usage.mem_mb);
+        e.sm.push(usage.sm_frac);
+        e.q.push_back((at, usage));
     }
 
     /// Drop a pod's series (pod finished; keeps the store bounded over long
@@ -90,17 +192,34 @@ impl TimeSeriesDb {
 
     /// Number of samples currently retained for a node.
     pub fn node_len(&self, node: NodeId) -> usize {
-        self.inner.read().nodes.get(&node).map_or(0, |q| q.len())
+        self.inner.read().nodes.get(&node).map_or(0, |e| e.q.len())
     }
 
     /// Number of samples currently retained for a pod.
     pub fn pod_len(&self, pod: PodId) -> usize {
-        self.inner.read().pods.get(&pod).map_or(0, |q| q.len())
+        self.inner.read().pods.get(&pod).map_or(0, |e| e.q.len())
+    }
+
+    /// Rolling statistics of one node metric over the *retained ring* (not
+    /// the query window): maintained at push time, O(1), allocation-free.
+    pub fn node_stats(&self, node: NodeId, metric: Metric) -> Option<SeriesStats> {
+        let idx = Metric::ALL.iter().position(|m| *m == metric)?;
+        self.inner.read().nodes.get(&node).map(|e| e.stats[idx])
+    }
+
+    /// Rolling statistics of a pod's retained memory series.
+    pub fn pod_mem_stats(&self, pod: PodId) -> Option<SeriesStats> {
+        self.inner.read().pods.get(&pod).map(|e| e.mem)
+    }
+
+    /// Rolling statistics of a pod's retained SM-share series.
+    pub fn pod_sm_stats(&self, pod: PodId) -> Option<SeriesStats> {
+        self.inner.read().pods.get(&pod).map(|e| e.sm)
     }
 
     /// The most recent node sample, if any.
     pub fn latest_node(&self, node: NodeId) -> Option<GpuSample> {
-        self.inner.read().nodes.get(&node).and_then(|q| q.back().copied())
+        self.inner.read().nodes.get(&node).and_then(|e| e.q.back().copied())
     }
 
     /// Node samples within the trailing `window` ending at `now`, oldest
@@ -111,7 +230,7 @@ impl TimeSeriesDb {
             .read()
             .nodes
             .get(&node)
-            .map(|q| q.iter().filter(|s| s.at >= start && s.at <= now).copied().collect())
+            .map(|e| e.q.iter().filter(|s| s.at >= start && s.at <= now).copied().collect())
             .unwrap_or_default()
     }
 
@@ -123,7 +242,30 @@ impl TimeSeriesDb {
         now: SimTime,
         window: SimDuration,
     ) -> Vec<f64> {
-        self.node_window(node, now, window).iter().map(|s| s.get(metric)).collect()
+        let mut out = Vec::new();
+        self.node_series_into(node, metric, now, window, &mut out);
+        out
+    }
+
+    /// [`TimeSeriesDb::node_series`] into a caller-owned scratch buffer.
+    ///
+    /// Clears `out` and appends the window's values; returns the sample
+    /// count. Reusing one buffer across heartbeats keeps the decision loop
+    /// allocation-free once the buffer has grown to the window size.
+    pub fn node_series_into(
+        &self,
+        node: NodeId,
+        metric: Metric,
+        now: SimTime,
+        window: SimDuration,
+        out: &mut Vec<f64>,
+    ) -> usize {
+        out.clear();
+        let start = SimTime(now.0.saturating_sub(window.0));
+        if let Some(e) = self.inner.read().nodes.get(&node) {
+            out.extend(e.q.iter().filter(|s| s.at >= start && s.at <= now).map(|s| s.get(metric)));
+        }
+        out.len()
     }
 
     /// Pod usage samples within the trailing window, oldest first.
@@ -138,23 +280,58 @@ impl TimeSeriesDb {
             .read()
             .pods
             .get(&pod)
-            .map(|q| q.iter().filter(|(t, _)| *t >= start && *t <= now).copied().collect())
+            .map(|e| e.q.iter().filter(|(t, _)| *t >= start && *t <= now).copied().collect())
             .unwrap_or_default()
+    }
+
+    /// A pod's usage-derived series over the trailing window, into a
+    /// caller-owned scratch buffer. Clears `out`; returns the sample count.
+    fn pod_series_into(
+        &self,
+        pod: PodId,
+        now: SimTime,
+        window: SimDuration,
+        out: &mut Vec<f64>,
+        get: impl Fn(&Usage) -> f64,
+    ) -> usize {
+        out.clear();
+        let start = SimTime(now.0.saturating_sub(window.0));
+        if let Some(e) = self.inner.read().pods.get(&pod) {
+            out.extend(e.q.iter().filter(|(t, _)| *t >= start && *t <= now).map(|(_, u)| get(u)));
+        }
+        out.len()
     }
 
     /// A pod's memory series over the trailing window.
     pub fn pod_mem_series(&self, pod: PodId, now: SimTime, window: SimDuration) -> Vec<f64> {
-        self.pod_window(pod, now, window).iter().map(|(_, u)| u.mem_mb).collect()
+        let mut out = Vec::new();
+        self.pod_mem_series_into(pod, now, window, &mut out);
+        out
+    }
+
+    /// [`TimeSeriesDb::pod_mem_series`] into a caller-owned scratch buffer.
+    pub fn pod_mem_series_into(
+        &self,
+        pod: PodId,
+        now: SimTime,
+        window: SimDuration,
+        out: &mut Vec<f64>,
+    ) -> usize {
+        self.pod_series_into(pod, now, window, out, |u| u.mem_mb)
     }
 
     /// A pod's SM-share series over the trailing window.
     pub fn pod_sm_series(&self, pod: PodId, now: SimTime, window: SimDuration) -> Vec<f64> {
-        self.pod_window(pod, now, window).iter().map(|(_, u)| u.sm_frac).collect()
+        let mut out = Vec::new();
+        self.pod_series_into(pod, now, window, &mut out, |u| u.sm_frac);
+        out
     }
 
     /// A pod's total-bandwidth series over the trailing window.
     pub fn pod_bw_series(&self, pod: PodId, now: SimTime, window: SimDuration) -> Vec<f64> {
-        self.pod_window(pod, now, window).iter().map(|(_, u)| u.total_bw_mbps()).collect()
+        let mut out = Vec::new();
+        self.pod_series_into(pod, now, window, &mut out, |u| u.total_bw_mbps());
+        out
     }
 
     /// Clear everything (between experiment repetitions).
@@ -213,6 +390,99 @@ mod tests {
     }
 
     #[test]
+    fn series_into_matches_allocating_form_and_reuses_buffer() {
+        let db = TimeSeriesDb::default();
+        for i in 0..64 {
+            db.push_node(NodeId(0), sample(i * 10, (i as f64).sin()));
+            db.push_pod(
+                PodId(3),
+                SimTime::from_millis(i * 10),
+                Usage::new(0.1, 50.0 + i as f64, 1.0, 1.0),
+            );
+        }
+        let now = SimTime::from_millis(630);
+        let w = SimDuration::from_millis(300);
+        let mut buf = vec![99.0; 4]; // stale contents must be cleared
+        let n = db.node_series_into(NodeId(0), Metric::SmUtil, now, w, &mut buf);
+        assert_eq!(buf, db.node_series(NodeId(0), Metric::SmUtil, now, w));
+        assert_eq!(n, buf.len());
+        let cap_before = buf.capacity();
+        db.node_series_into(NodeId(0), Metric::SmUtil, now, w, &mut buf);
+        assert_eq!(buf.capacity(), cap_before, "steady state must not reallocate");
+        let mut pbuf = Vec::new();
+        db.pod_mem_series_into(PodId(3), now, w, &mut pbuf);
+        assert_eq!(pbuf, db.pod_mem_series(PodId(3), now, w));
+        // Missing keys leave the buffer cleared.
+        assert_eq!(db.node_series_into(NodeId(9), Metric::SmUtil, now, w, &mut buf), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn rolling_stats_track_the_retained_ring() {
+        // Capacity 8: pushes 0..50 keep only the last 8; the Welford
+        // summary (push + inverse-update eviction) must match a rescan.
+        let db = TimeSeriesDb::new(TsdbConfig { node_capacity: 8, pod_capacity: 8 });
+        for i in 0..50u64 {
+            db.push_node(NodeId(0), sample(i, i as f64 * 0.7));
+            db.push_pod(PodId(1), SimTime::from_millis(i), Usage::new(0.2, i as f64, 0.0, 0.0));
+        }
+        let retained: Vec<f64> = (42..50).map(|i| i as f64 * 0.7).collect();
+        let naive_mean = retained.iter().sum::<f64>() / retained.len() as f64;
+        let naive_var =
+            retained.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / retained.len() as f64;
+        let s = db.node_stats(NodeId(0), Metric::SmUtil).unwrap();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - naive_mean).abs() < 1e-9, "{} vs {naive_mean}", s.mean());
+        assert!((s.variance() - naive_var).abs() < 1e-9, "{} vs {naive_var}", s.variance());
+        let p = db.pod_mem_stats(PodId(1)).unwrap();
+        assert_eq!(p.count(), 8);
+        assert!((p.mean() - 45.5).abs() < 1e-9);
+        assert!(db.pod_sm_stats(PodId(1)).unwrap().count() == 8);
+    }
+
+    #[test]
+    fn rolling_stats_survive_long_evict_cycles() {
+        // Seeded-LCG fuzz: thousands of push/evict cycles with values of
+        // mixed magnitude must not drift the incremental summary off a
+        // fresh rescan of the retained window.
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 1000.0
+        };
+        let db = TimeSeriesDb::new(TsdbConfig { node_capacity: 32, pod_capacity: 32 });
+        let mut pushed = Vec::new();
+        for i in 0..5000u64 {
+            let v = lcg();
+            pushed.push(v);
+            db.push_node(NodeId(0), sample(i, v));
+        }
+        let tail = &pushed[pushed.len() - 32..];
+        let mean = tail.iter().sum::<f64>() / 32.0;
+        let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 32.0;
+        let s = db.node_stats(NodeId(0), Metric::SmUtil).unwrap();
+        assert!((s.mean() - mean).abs() / mean.abs() < 1e-6, "{} vs {mean}", s.mean());
+        assert!((s.variance() - var).abs() / var < 1e-6, "{} vs {var}", s.variance());
+    }
+
+    #[test]
+    fn stats_degenerate_cases() {
+        let mut s = SeriesStats::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        s.evict(1.0); // evicting from empty is a no-op
+        assert_eq!(s.count(), 0);
+        s.push(5.0);
+        assert_eq!(s.variance(), 0.0);
+        s.evict(5.0);
+        assert_eq!(s, SeriesStats::default());
+        let db = TimeSeriesDb::default();
+        assert!(db.node_stats(NodeId(0), Metric::SmUtil).is_none());
+        assert!(db.pod_mem_stats(PodId(0)).is_none());
+    }
+
+    #[test]
     fn pod_series_round_trip() {
         let db = TimeSeriesDb::default();
         for i in 0..10u64 {
@@ -230,6 +500,7 @@ mod tests {
         assert!(bw.iter().all(|&b| (b - 3.0).abs() < 1e-12));
         db.forget_pod(PodId(7));
         assert_eq!(db.pod_len(PodId(7)), 0);
+        assert!(db.pod_mem_stats(PodId(7)).is_none(), "forget drops the rolling stats too");
     }
 
     #[test]
@@ -250,6 +521,7 @@ mod tests {
         db.clear();
         assert_eq!(db.node_len(NodeId(0)), 0);
         assert_eq!(db.pod_len(PodId(0)), 0);
+        assert!(db.node_stats(NodeId(0), Metric::SmUtil).is_none());
     }
 
     #[test]

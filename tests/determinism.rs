@@ -37,6 +37,38 @@ fn same_seed_replays_bit_identically() {
 }
 
 #[test]
+fn parallel_sweep_matches_serial_sweep() {
+    // The figure sweeps fan independent scheduler/mix legs out onto a
+    // bounded thread pool; each leg is a pure function of its seed, so the
+    // per-leg reports must digest identically no matter how many workers
+    // ran them (and no matter which worker ran which leg).
+    use knots_bench::figures::fig06_09_cluster::ClusterStudy;
+    use knots_bench::figures::fig12_dnn::DnnStudy;
+    use knots_workloads::dnn::DnnWorkloadConfig;
+
+    let cfg = ExperimentConfig {
+        nodes: 10,
+        duration: SimDuration::from_secs(20),
+        seed: 42,
+        ..Default::default()
+    };
+    let serial = ClusterStudy::run_with_obs_threads(&cfg, &knots_obs::Obs::disabled(), 1);
+    let parallel = ClusterStudy::run_with_obs_threads(&cfg, &knots_obs::Obs::disabled(), 4);
+    let digests = |s: &ClusterStudy| -> Vec<u64> {
+        s.reports.iter().flatten().map(knots_analyzer::report_digest).collect()
+    };
+    assert_eq!(digests(&serial), digests(&parallel), "cluster sweep diverged across thread counts");
+
+    let workload = DnnWorkloadConfig::smoke();
+    let serial = DnnStudy::run_threads(&workload, 1);
+    let parallel = DnnStudy::run_threads(&workload, 4);
+    let digests = |s: &DnnStudy| -> Vec<u64> {
+        s.reports.iter().map(knots_analyzer::report_digest).collect()
+    };
+    assert_eq!(digests(&serial), digests(&parallel), "dnn sweep diverged across thread counts");
+}
+
+#[test]
 fn different_seeds_diverge() {
     // Digest sanity: if report_digest collapsed distinct runs the replay
     // test above would be vacuous.
