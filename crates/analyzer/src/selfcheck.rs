@@ -186,6 +186,7 @@ mod tests {
             skipped_actions: 0,
             skipped_breakdown: vec![],
             phase_timings: vec![],
+            faults: knots_core::FaultStats::default(),
         };
         let d0 = report_digest(&base);
 

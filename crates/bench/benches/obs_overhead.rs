@@ -108,6 +108,7 @@ fn bench_decide_with_recorder(c: &mut Criterion) {
             window: SimDuration::from_secs(5),
             recorder,
             cache: Default::default(),
+            freshness: None,
         };
         group.bench_with_input(BenchmarkId::new("cbp", label), &(), |b, _| {
             let mut s = Cbp::new();

@@ -103,6 +103,7 @@ fn bench_decide(c: &mut Criterion) {
             window: SimDuration::from_secs(5),
             recorder: None,
             cache: Default::default(),
+            freshness: None,
         };
         let label = format!("{nodes}n_{queue}q");
         group.bench_with_input(BenchmarkId::new("uniform", &label), &(), |b, _| {

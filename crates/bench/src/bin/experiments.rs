@@ -13,8 +13,9 @@
 //!   cluster   the ten-node study: Figs. 6, 7, 8, 9, 10a, 11a, 11b
 //!   fig10b    prediction accuracy vs heartbeat interval
 //!   dnn       the 256-GPU DL study: Fig. 12a, Fig. 12b, Table IV
+//!   chaos     fault-intensity sweep: QoS / throughput / crashes (DESIGN.md §10)
 //!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_3.json
-//!   all       everything above except perf
+//!   all       everything above except chaos and perf
 //! ```
 //!
 //! `--quick` shrinks run lengths for smoke testing; the defaults match the
@@ -39,7 +40,7 @@ use knots_workloads::dnn::DnnWorkloadConfig;
 use std::io::Write as _;
 
 const USAGE: &str =
-    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|ablation|perf|all> \
+    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|ablation|chaos|perf|all> \
      [--quick] [--seed N] [--secs N] [--json DIR] [--threads N] [--out FILE] \
      [--trace FILE.jsonl] [--metrics FILE.prom]";
 
@@ -251,6 +252,26 @@ fn run_ablations(opts: &Opts) {
     emit(opts, "ablations", &tables);
 }
 
+fn run_chaos(opts: &Opts) {
+    let mut cfg = cluster_cfg(opts);
+    if opts.secs.is_none() {
+        cfg.duration = SimDuration::from_secs(if opts.quick { 45 } else { 180 });
+    }
+    let intensities: &[f64] =
+        if opts.quick { &[0.0, 5.0, 20.0] } else { &[0.0, 2.0, 5.0, 10.0, 20.0] };
+    eprintln!(
+        "[chaos sweep: {} schedulers x {} intensities, {}s window each, {} thread(s) ...]",
+        chaos_sweep::CHAOS_SCHEDULERS.len(),
+        intensities.len(),
+        cfg.duration.as_secs_f64(),
+        opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    let rows = chaos_sweep::run(&cfg, intensities, opts.threads);
+    eprintln!("[chaos sweep done in {:.1?}]", t0.elapsed());
+    emit(opts, "chaos", &[chaos_sweep::table(&rows)]);
+}
+
 fn run_perf(opts: &Opts) {
     let cfg =
         knots_bench::perf::PerfConfig { quick: opts.quick, threads: opts.threads, seed: opts.seed };
@@ -297,6 +318,7 @@ fn main() {
         "fig10b" => run_fig10b(&opts),
         "dnn" | "fig12a" | "fig12b" | "table4" => run_dnn(&opts),
         "ablation" | "ablations" => run_ablations(&opts),
+        "chaos" => run_chaos(&opts),
         "perf" => run_perf(&opts),
         "all" => {
             run_fig1(&opts);

@@ -160,6 +160,7 @@ mod tests {
             skipped_actions: 0,
             skipped_breakdown: vec![],
             phase_timings: vec![],
+            faults: knots_core::FaultStats::default(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! One module per paper table/figure (the DESIGN.md experiment index).
 
 pub mod ablations;
+pub mod chaos_sweep;
 pub mod fig01_energy_efficiency;
 pub mod fig02_alibaba;
 pub mod fig03_rodinia;

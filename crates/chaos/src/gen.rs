@@ -1,0 +1,157 @@
+//! Seeded fault-plan generation.
+//!
+//! A plain LCG (same multiplier/increment family the rest of the workspace
+//! uses for deterministic fuzz) drives every choice, so a `(seed, nodes,
+//! duration, intensity)` tuple maps to exactly one plan on every platform
+//! and thread count. Intensity is expressed as faults per simulated minute,
+//! which is what the chaos sweep in `knots-bench` scales.
+
+use crate::plan::{CorruptionMode, FaultEvent, FaultKind, FaultPlan};
+use knots_sim::ids::NodeId;
+use knots_sim::time::{SimDuration, SimTime};
+
+/// Parameters of a generated plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenConfig {
+    /// Seed for the generator; the plan is a pure function of this config.
+    pub seed: u64,
+    /// Number of nodes faults may target.
+    pub nodes: usize,
+    /// Length of the run the plan covers.
+    pub duration: SimDuration,
+    /// Average injected faults per simulated minute (`0.0` yields the empty
+    /// plan).
+    pub faults_per_minute: f64,
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        // One scramble step so seed 0 does not start the stream at 0.
+        let mut l = Lcg(seed ^ 0x9e37_79b9_7f4a_7c15);
+        l.next();
+        l
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in `[0, 1)`, 53 bits of precision.
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; `n == 0` yields 0.
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            ((self.next() >> 33) as usize) % n
+        }
+    }
+
+    /// Uniform duration in `[lo, hi)` seconds.
+    fn secs_between(&mut self, lo: f64, hi: f64) -> SimDuration {
+        SimDuration::from_secs_f64(lo + (hi - lo) * self.f64())
+    }
+}
+
+/// Generate a fault plan. The kind mix is fixed: 30% node failures (mostly
+/// recovering), 20% GPU degradations, 20% probe dropouts, 20% sample
+/// corruptions, 10% heartbeat delays.
+pub fn generate(cfg: &GenConfig) -> FaultPlan {
+    if cfg.nodes == 0 || cfg.faults_per_minute <= 0.0 || cfg.duration.is_zero() {
+        return FaultPlan::empty();
+    }
+    let minutes = cfg.duration.as_secs_f64() / 60.0;
+    let count = (cfg.faults_per_minute * minutes).round() as usize;
+    let mut rng = Lcg::new(cfg.seed);
+    let dur_us = cfg.duration.as_micros();
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        let at = SimTime::from_micros((dur_us as f64 * rng.f64()) as u64);
+        let node = NodeId(rng.below(cfg.nodes));
+        let roll = rng.f64();
+        let kind = if roll < 0.30 {
+            let recover_after =
+                if rng.f64() < 0.8 { Some(rng.secs_between(5.0, 30.0)) } else { None };
+            FaultKind::NodeFail { node, recover_after }
+        } else if roll < 0.50 {
+            let frac = 0.1 + 0.6 * rng.f64();
+            let duration = if rng.f64() < 0.8 { Some(rng.secs_between(10.0, 60.0)) } else { None };
+            FaultKind::GpuDegrade { node, frac, duration }
+        } else if roll < 0.70 {
+            FaultKind::ProbeDropout { node, duration: rng.secs_between(1.0, 10.0) }
+        } else if roll < 0.90 {
+            let mode = match rng.below(3) {
+                0 => CorruptionMode::Nan,
+                1 => CorruptionMode::Inf,
+                _ => CorruptionMode::Spike { factor: 2.0 + 6.0 * rng.f64() },
+            };
+            FaultKind::SampleCorruption { node, duration: rng.secs_between(1.0, 10.0), mode }
+        } else {
+            FaultKind::HeartbeatDelay { delay: rng.secs_between(0.05, 0.5) }
+        };
+        events.push(FaultEvent { at, kind });
+    }
+    FaultPlan::from_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64, fpm: f64) -> GenConfig {
+        GenConfig { seed, nodes: 10, duration: SimDuration::from_secs(120), faults_per_minute: fpm }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = generate(&cfg(42, 5.0));
+        let b = generate(&cfg(42, 5.0));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10); // 5 per minute × 2 minutes
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&cfg(1, 5.0));
+        let b = generate(&cfg(2, 5.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_intensity_is_the_empty_plan() {
+        assert!(generate(&cfg(42, 0.0)).is_empty());
+        assert!(generate(&GenConfig { nodes: 0, ..cfg(42, 5.0) }).is_empty());
+    }
+
+    #[test]
+    fn events_are_in_bounds_and_sorted() {
+        let plan = generate(&cfg(7, 30.0));
+        assert_eq!(plan.len(), 60);
+        let mut last = SimTime::ZERO;
+        for e in &plan.events {
+            assert!(e.at >= last, "events must be time-sorted");
+            assert!(e.at <= SimTime::from_secs(120));
+            last = e.at;
+            match e.kind {
+                FaultKind::NodeFail { node, .. }
+                | FaultKind::GpuDegrade { node, .. }
+                | FaultKind::ProbeDropout { node, .. }
+                | FaultKind::SampleCorruption { node, .. } => assert!(node.0 < 10),
+                FaultKind::HeartbeatDelay { .. } => {}
+            }
+            if let FaultKind::GpuDegrade { frac, .. } = e.kind {
+                assert!((0.1..=0.7).contains(&frac));
+            }
+        }
+        // The mix includes more than one fault kind at this sample size.
+        let fails =
+            plan.events.iter().filter(|e| matches!(e.kind, FaultKind::NodeFail { .. })).count();
+        assert!(fails > 0 && fails < plan.len());
+    }
+}

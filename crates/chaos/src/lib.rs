@@ -1,0 +1,32 @@
+//! Deterministic fault injection for the Kube-Knots control loop.
+//!
+//! The paper's pitch is harvesting *safely*: QoS survives aggressive
+//! co-location because the control loop corrects its mistakes. That claim is
+//! only credible if the loop also survives the datacenter's ordinary
+//! ugliness — nodes dying, devices degrading, probes going quiet, samples
+//! arriving as garbage, heartbeats stalling. This crate scripts exactly that
+//! ugliness, reproducibly:
+//!
+//! * A [`FaultPlan`] is a list of timestamped [`FaultEvent`]s — hand-written,
+//!   deserialized from JSON, or generated from a seed (see [`gen`]). The
+//!   same seed always yields the same plan; the same plan always yields the
+//!   same run.
+//! * A [`ChaosEngine`] replays the plan against simulation time: it tells
+//!   the orchestrator which cluster-level actions are due each tick
+//!   ([`ChaosEngine::actions_due`]) and interposes on the telemetry probe
+//!   ([`ChaosEngine::probe_dropped`], [`ChaosEngine::corrupt_sample`]).
+//!
+//! The crate deliberately knows nothing about schedulers or orchestration
+//! policy: it only speaks the simulator's vocabulary (`NodeId`, `SimTime`,
+//! `GpuSample`), and the orchestrator does all the plumbing. An **empty plan
+//! is exactly a no-op**: the engine reports itself inert and the orchestrator
+//! skips every chaos code path, so fault-free runs are bit-identical to runs
+//! built without this crate.
+
+pub mod engine;
+pub mod gen;
+pub mod plan;
+
+pub use engine::{ChaosAction, ChaosEngine, FaultCounts};
+pub use gen::GenConfig;
+pub use plan::{CorruptionMode, FaultEvent, FaultKind, FaultPlan};

@@ -1,0 +1,154 @@
+//! Fault plans: what goes wrong, where, and when.
+
+use knots_sim::ids::NodeId;
+use knots_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How a corrupted probe reading mangles the sample it reports.
+///
+/// The first two model outright sensor failure (pyNVML returning garbage);
+/// the TSDB rejects such samples at the door and the series goes stale. The
+/// spike is nastier: a finite, plausible-looking wrong value that *is*
+/// stored — downstream consumers can only survive it statistically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CorruptionMode {
+    /// SM utilization reads as NaN.
+    Nan,
+    /// Memory usage reads as +Inf.
+    Inf,
+    /// Every utilization reading is multiplied by `factor`.
+    Spike { factor: f64 },
+}
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The whole node dies: resident pods crash, telemetry stops, placement
+    /// is refused. With `recover_after` set the node rejoins that much
+    /// later, empty and cold; `None` means it never comes back.
+    NodeFail { node: NodeId, recover_after: Option<SimDuration> },
+    /// The node's GPU loses `frac` of its memory capacity (ECC retirement,
+    /// thermal throttling of the memory controller). `duration: None` makes
+    /// the degradation permanent.
+    GpuDegrade { node: NodeId, frac: f64, duration: Option<SimDuration> },
+    /// The node's telemetry probe reports nothing for `duration`: its series
+    /// in the TSDB simply stops advancing.
+    ProbeDropout { node: NodeId, duration: SimDuration },
+    /// The node's probe reports *wrong* values for `duration`.
+    SampleCorruption { node: NodeId, duration: SimDuration, mode: CorruptionMode },
+    /// The head-node aggregator's next heartbeat slips by `delay` — the
+    /// scheduler keeps deciding on an aging snapshot in the meantime.
+    HeartbeatDelay { delay: SimDuration },
+}
+
+/// A fault scheduled at an absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A complete scripted fault schedule for one run.
+///
+/// Construction sorts events by time (stably, so same-instant events keep
+/// their authored order); the engine replays them in that order regardless
+/// of the simulation tick size.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults, ordered by [`FaultEvent::at`].
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan. Running with it is bit-identical to not running
+    /// chaos at all — the pinned self-check digests depend on this.
+    pub fn empty() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Build a plan from events in any order; they are sorted by time.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_events_sorts_stably() {
+        let e1 = FaultEvent {
+            at: SimTime::from_secs(5),
+            kind: FaultKind::NodeFail { node: NodeId(1), recover_after: None },
+        };
+        let e2 = FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::HeartbeatDelay { delay: SimDuration::from_millis(100) },
+        };
+        let e3 = FaultEvent {
+            at: SimTime::from_secs(5),
+            kind: FaultKind::ProbeDropout { node: NodeId(0), duration: SimDuration::from_secs(2) },
+        };
+        let plan = FaultPlan::from_events(vec![e1, e2, e3]);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.events[0], e2);
+        // Same-instant events keep their authored order.
+        assert_eq!(plan.events[1], e1);
+        assert_eq!(plan.events[2], e3);
+        assert!(FaultPlan::empty().is_empty());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(10),
+                kind: FaultKind::NodeFail {
+                    node: NodeId(3),
+                    recover_after: Some(SimDuration::from_secs(30)),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(12),
+                kind: FaultKind::GpuDegrade { node: NodeId(1), frac: 0.25, duration: None },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(20),
+                kind: FaultKind::SampleCorruption {
+                    node: NodeId(0),
+                    duration: SimDuration::from_secs(5),
+                    mode: CorruptionMode::Spike { factor: 4.0 },
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(21),
+                kind: FaultKind::SampleCorruption {
+                    node: NodeId(2),
+                    duration: SimDuration::from_secs(1),
+                    mode: CorruptionMode::Nan,
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(30),
+                kind: FaultKind::HeartbeatDelay { delay: SimDuration::from_millis(250) },
+            },
+        ]);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

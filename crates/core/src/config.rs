@@ -24,6 +24,12 @@ pub struct OrchestratorConfig {
     /// Keep running this long after the last arrival to let queued work
     /// drain before the report is cut.
     pub drain_grace: SimDuration,
+    /// Maximum telemetry age before schedulers treat a series as stale and
+    /// fall back to their Res-Ag-like baseline (CBP skips the correlation
+    /// veto, PP withholds the forecast override). `None` — the default,
+    /// which the pinned digests assume — trusts every series, correct for
+    /// a fault-free cluster where probes never miss a tick.
+    pub freshness: Option<SimDuration>,
 }
 
 impl Default for OrchestratorConfig {
@@ -34,6 +40,7 @@ impl Default for OrchestratorConfig {
             window: SimDuration::from_secs(5),
             metric_interval: SimDuration::from_millis(100),
             drain_grace: SimDuration::from_secs(180),
+            freshness: None,
         }
     }
 }
@@ -49,6 +56,7 @@ impl OrchestratorConfig {
             window: SimDuration::from_secs(5),
             metric_interval: SimDuration::from_secs(1),
             drain_grace: SimDuration::from_secs(600),
+            freshness: None,
         }
     }
 }

@@ -4,6 +4,7 @@
 use crate::config::OrchestratorConfig;
 use crate::metrics::RunReport;
 use crate::orchestrator::KubeKnots;
+use knots_chaos::{ChaosEngine, FaultPlan};
 use knots_sched::cbp::Cbp;
 use knots_sched::gandiva::Gandiva;
 use knots_sched::pp::CbpPp;
@@ -84,6 +85,19 @@ pub fn run_mix_with_obs(
     cfg: &ExperimentConfig,
     obs: knots_obs::Obs,
 ) -> RunReport {
+    run_mix_with_chaos(scheduler, mix, cfg, obs, FaultPlan::empty())
+}
+
+/// [`run_mix_with_obs`] with a fault plan replayed against the run. An
+/// empty plan is exactly `run_mix_with_obs`: the inert engine is dropped
+/// before the loop starts, so the reports are bit-identical.
+pub fn run_mix_with_chaos(
+    scheduler: Box<dyn Scheduler>,
+    mix: AppMix,
+    cfg: &ExperimentConfig,
+    obs: knots_obs::Obs,
+    plan: FaultPlan,
+) -> RunReport {
     let mut gen_cfg = LoadGenConfig::new(cfg.duration, cfg.seed);
     gen_cfg.rate_scale = cfg.rate_scale;
     gen_cfg.batch_scale = cfg.batch_scale;
@@ -92,7 +106,7 @@ pub fn run_mix_with_obs(
     // Long-lived inference services keep their images pre-pulled in
     // production; batch jobs still pay real cold starts.
     cluster_cfg.prewarm_images = mix.lc_services().iter().map(|s| s.image()).collect();
-    run_schedule_with_obs(scheduler, &schedule, cluster_cfg, cfg.orch, obs)
+    run_schedule_with_chaos(scheduler, &schedule, cluster_cfg, cfg.orch, obs, plan)
 }
 
 /// Run one scheduler over an explicit schedule and cluster topology.
@@ -113,7 +127,21 @@ pub fn run_schedule_with_obs(
     orch: OrchestratorConfig,
     obs: knots_obs::Obs,
 ) -> RunReport {
-    let mut k = KubeKnots::new(cluster_cfg, scheduler, orch).with_obs(obs);
+    run_schedule_with_chaos(scheduler, schedule, cluster_cfg, orch, obs, FaultPlan::empty())
+}
+
+/// [`run_schedule_with_obs`] with a fault plan replayed against the run.
+pub fn run_schedule_with_chaos(
+    scheduler: Box<dyn Scheduler>,
+    schedule: &[ScheduledPod],
+    cluster_cfg: ClusterConfig,
+    orch: OrchestratorConfig,
+    obs: knots_obs::Obs,
+    plan: FaultPlan,
+) -> RunReport {
+    let mut k = KubeKnots::new(cluster_cfg, scheduler, orch)
+        .with_obs(obs)
+        .with_chaos(ChaosEngine::new(plan));
     k.run_schedule(schedule)
 }
 

@@ -22,7 +22,7 @@ pub mod metrics;
 pub mod orchestrator;
 
 pub use config::OrchestratorConfig;
-pub use metrics::{JctStats, RunReport};
+pub use metrics::{FaultStats, JctStats, RunReport};
 pub use orchestrator::KubeKnots;
 
 /// Convenient re-exports for downstream binaries and examples.

@@ -87,6 +87,32 @@ pub struct SkippedAction {
     pub count: u64,
 }
 
+/// Fault-injection accounting for one run. All-zero (the default) when no
+/// chaos engine was attached or its plan was empty.
+///
+/// Deliberately *excluded* from the determinism digest
+/// (`knots_analyzer::selfcheck::report_digest`): the pinned digests predate
+/// fault injection, and a fault-free run must keep producing them.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Whole-node failures injected.
+    pub node_failures: u64,
+    /// GPU capacity degradations injected.
+    pub degradations: u64,
+    /// Probe-dropout windows opened.
+    pub probe_dropouts: u64,
+    /// Sample-corruption windows opened.
+    pub corruption_windows: u64,
+    /// Individual probe readings mangled inside those windows.
+    pub corrupted_samples: u64,
+    /// Heartbeat delays injected.
+    pub heartbeat_delays: u64,
+    /// Non-finite samples the TSDB refused to store.
+    pub rejected_samples: u64,
+    /// Pods abandoned after hitting the crash-loop cap.
+    pub gave_up: u64,
+}
+
 /// Everything measured over one orchestrated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -133,6 +159,8 @@ pub struct RunReport {
     /// Per-phase wall-clock percentiles of the control loop (snapshot,
     /// decide, apply, step, probe).
     pub phase_timings: Vec<PhaseTiming>,
+    /// Fault-injection accounting (all-zero without a chaos engine).
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -249,6 +277,7 @@ mod tests {
             skipped_actions: 0,
             skipped_breakdown: Vec::new(),
             phase_timings: Vec::new(),
+            faults: FaultStats::default(),
         }
     }
 

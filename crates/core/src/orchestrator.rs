@@ -13,7 +13,8 @@
 //!    and records experiment metrics at the configured interval.
 
 use crate::config::OrchestratorConfig;
-use crate::metrics::{JctStats, PhaseTiming, RunReport, SkippedAction};
+use crate::metrics::{FaultStats, JctStats, PhaseTiming, RunReport, SkippedAction};
+use knots_chaos::{ChaosAction, ChaosEngine};
 use knots_obs::{Event, Obs, PhaseTimers, Severity};
 use knots_sched::{Action, PendingPodView, SchedContext, Scheduler, SuspendedPodView};
 use knots_sim::cluster::{Cluster, ClusterConfig};
@@ -46,6 +47,7 @@ fn error_label(e: &SimError) -> &'static str {
         SimError::InvalidState { .. } => "invalid_state",
         SimError::ExceedsDevice { .. } => "exceeds_device",
         SimError::NodeAsleep(_) => "node_asleep",
+        SimError::NodeFailed(_) => "node_failed",
         SimError::InvalidResize { .. } => "invalid_resize",
     }
 }
@@ -59,6 +61,8 @@ pub struct KubeKnots {
     cfg: OrchestratorConfig,
     obs: Obs,
     timers: PhaseTimers,
+    chaos: Option<ChaosEngine>,
+    chaos_buf: Vec<ChaosAction>,
     skipped: usize,
     util_series: Vec<Vec<f64>>,
     active_util: Vec<f64>,
@@ -86,6 +90,8 @@ impl KubeKnots {
             cfg,
             obs: Obs::disabled(),
             timers: PhaseTimers::new(),
+            chaos: None,
+            chaos_buf: Vec::new(),
             skipped: 0,
             util_series: vec![Vec::new(); nodes],
             active_util: Vec::new(),
@@ -104,6 +110,19 @@ impl KubeKnots {
     /// The attached observability bundle.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Attach a fault-injection engine. An inert engine (empty plan) is
+    /// dropped on the spot, so fault-free runs take exactly the fault-free
+    /// code path and stay bit-identical to runs built without chaos.
+    pub fn with_chaos(mut self, engine: ChaosEngine) -> Self {
+        self.chaos = (!engine.is_inert()).then_some(engine);
+        self
+    }
+
+    /// Fault-injection totals so far, when an engine is attached.
+    pub fn fault_counts(&self) -> Option<knots_chaos::FaultCounts> {
+        self.chaos.as_ref().map(|e| e.counts())
     }
 
     /// The control loop's per-phase wall-clock timers.
@@ -142,6 +161,11 @@ impl KubeKnots {
                 self.cluster.submit(schedule[next].spec.clone(), schedule[next].at);
                 next += 1;
             }
+            // 1b. Injected faults due this tick (before the heartbeat, so
+            // the scheduler sees the post-fault world the same round).
+            if self.chaos.is_some() {
+                self.apply_chaos(now);
+            }
             // 2. Heartbeat: scheduling round.
             if self.aggregator.due(now) {
                 // knots-allow: D1 -- wall-clock heartbeat latency is an observability metric only; it never feeds back into simulation state
@@ -161,7 +185,28 @@ impl KubeKnots {
             // 4. Telemetry + metrics.
             {
                 let _span = self.timers.span("probe");
-                probe::sample_cluster(&self.cluster, &self.tsdb);
+                match self.chaos.as_mut() {
+                    None => probe::sample_cluster(&self.cluster, &self.tsdb),
+                    Some(engine) => {
+                        let now = self.cluster.now();
+                        let dropped =
+                            probe::sample_cluster_with(&self.cluster, &self.tsdb, |node, s| {
+                                if engine.probe_dropped(node, now) {
+                                    None
+                                } else {
+                                    Some(engine.corrupt_sample(node, now, s))
+                                }
+                            });
+                        if dropped > 0 {
+                            self.obs.metrics.add("knots_probe_dropped_total", &[], dropped);
+                        }
+                        self.obs.metrics.set_gauge(
+                            "knots_telemetry_rejected_samples_total",
+                            &[],
+                            self.tsdb.rejected_total() as f64,
+                        );
+                    }
+                }
             }
             self.collect_metrics();
             self.garbage_collect();
@@ -172,6 +217,50 @@ impl KubeKnots {
             }
         }
         self.report(schedule.len())
+    }
+
+    /// Replay every chaos action due at `now` against the cluster. Errors
+    /// (a plan targeting a node the topology doesn't have, a double fail)
+    /// are counted and skipped, never fatal: injected faults must not be
+    /// able to crash the control loop they are stressing.
+    fn apply_chaos(&mut self, now: SimTime) {
+        let mut actions = std::mem::take(&mut self.chaos_buf);
+        if let Some(engine) = self.chaos.as_mut() {
+            engine.actions_due(now, &mut actions);
+        }
+        let now_us = now.as_micros();
+        for a in &actions {
+            let (kind, res) = match *a {
+                ChaosAction::FailNode(n) => ("fail_node", self.cluster.fail_node(n).map(|_| ())),
+                ChaosAction::RecoverNode(n) => ("recover_node", self.cluster.recover_node(n)),
+                ChaosAction::DegradeNode { node, frac } => {
+                    ("degrade_node", self.cluster.degrade_node(node, frac))
+                }
+                ChaosAction::RestoreNode(n) => ("restore_node", self.cluster.degrade_node(n, 0.0)),
+                ChaosAction::DelayHeartbeat(d) => {
+                    self.aggregator.postpone(now, d);
+                    ("delay_heartbeat", Ok(()))
+                }
+            };
+            match res {
+                Ok(()) => {
+                    self.obs.metrics.inc("knots_chaos_actions_total", &[("kind", kind)]);
+                    self.obs.recorder.record(
+                        Event::new("chaos", "chaos.inject")
+                            .at(now_us)
+                            .severity(Severity::Warn)
+                            .str("kind", kind),
+                    );
+                }
+                Err(e) => {
+                    self.obs.metrics.inc(
+                        "knots_chaos_actions_skipped_total",
+                        &[("kind", kind), ("error", error_label(&e))],
+                    );
+                }
+            }
+        }
+        self.chaos_buf = actions;
     }
 
     /// One scheduling round: snapshot, contextualize, decide, apply.
@@ -229,6 +318,7 @@ impl KubeKnots {
                 window: self.cfg.window,
                 recorder: Some(&self.obs.recorder),
                 cache: knots_sched::StatsCache::new(),
+                freshness: self.cfg.freshness,
             };
             let actions = self.scheduler.decide(&ctx);
             // The cache dies with the round; fold its effectiveness into the
@@ -372,14 +462,27 @@ impl KubeKnots {
         let mut crashes = 0;
         let mut preemptions = 0;
         let mut migrations = 0;
+        let mut gave_up = 0;
         for e in self.cluster.events() {
             match e.kind {
                 EventKind::Crashed { .. } => crashes += 1,
                 EventKind::Preempted { .. } => preemptions += 1,
                 EventKind::Migrated { .. } => migrations += 1,
+                EventKind::GaveUp { .. } => gave_up += 1,
                 _ => {}
             }
         }
+        let fc = self.chaos.as_ref().map(|e| e.counts()).unwrap_or_default();
+        let faults = FaultStats {
+            node_failures: fc.node_failures,
+            degradations: fc.degradations,
+            probe_dropouts: fc.probe_dropouts,
+            corruption_windows: fc.corruption_windows,
+            corrupted_samples: fc.corrupted_samples,
+            heartbeat_delays: fc.heartbeat_delays,
+            rejected_samples: self.tsdb.rejected_total(),
+            gave_up,
+        };
 
         RunReport {
             scheduler: self.scheduler.name().to_string(),
@@ -416,6 +519,7 @@ impl KubeKnots {
                 })
                 .collect(),
             phase_timings: self.timers.stats().iter().map(PhaseTiming::from_stat).collect(),
+            faults,
         }
     }
 }
@@ -599,6 +703,45 @@ mod tests {
             k.obs().metrics.counter_value("knots_crashes_total", &[]),
             report.crashes as u64
         );
+    }
+
+    #[test]
+    fn chaos_node_failure_crashes_requeues_and_recovers() {
+        use knots_chaos::{FaultEvent, FaultKind, FaultPlan};
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::from_millis(500),
+            kind: FaultKind::NodeFail {
+                node: knots_sim::ids::NodeId(0),
+                recover_after: Some(SimDuration::from_secs(2)),
+            },
+        }]);
+        let mut k = KubeKnots::new(quiet(2), Box::new(ResAg::new()), OrchestratorConfig::default())
+            .with_chaos(ChaosEngine::new(plan));
+        let report = k.run_schedule(&tiny_schedule());
+        assert_eq!(report.faults.node_failures, 1);
+        assert!(report.crashes > 0, "residents of the failed node must crash");
+        assert_eq!(report.completed, 6, "victims requeue and finish elsewhere or after recovery");
+        let reasons: Vec<_> = k
+            .cluster()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Crashed { reason, .. } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert!(reasons.contains(&knots_sim::events::CrashReason::NodeFailure), "{reasons:?}");
+        assert!(
+            k.obs().metrics.counter_value("knots_chaos_actions_total", &[("kind", "fail_node")])
+                == 1
+        );
+    }
+
+    #[test]
+    fn inert_chaos_engine_is_dropped() {
+        let k = KubeKnots::new(quiet(1), Box::new(ResAg::new()), OrchestratorConfig::default())
+            .with_chaos(ChaosEngine::new(knots_chaos::FaultPlan::empty()));
+        assert!(k.fault_counts().is_none(), "empty plan must leave no chaos state behind");
     }
 
     #[test]

@@ -120,6 +120,34 @@ pub fn placement(
     );
 }
 
+/// A policy ignored a telemetry series because its newest sample was older
+/// than the configured freshness bound (probe dropout, node failure) and
+/// fell back to its baseline behavior instead of deciding on dead data.
+/// `series` names what went stale (`pod_mem`, `node_mem`).
+pub fn stale_fallback(
+    rec: &Recorder,
+    t_us: u64,
+    scheduler: &'static str,
+    series: &'static str,
+    pod: Option<u64>,
+    node: Option<u64>,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    let mut e = Event::new(scheduler, "sched.stale_fallback")
+        .at(t_us)
+        .severity(Severity::Warn)
+        .str("series", series);
+    if let Some(p) = pod {
+        e = e.pod(p);
+    }
+    if let Some(n) = node {
+        e = e.node(n);
+    }
+    rec.record(e);
+}
+
 /// A generic decision record for policies without richer structure
 /// (Gandiva packing moves, Tiresias preemptions, Res-Ag wake-ups).
 pub fn decision(
@@ -176,6 +204,19 @@ mod tests {
         placement(&rec, 0, "sched.uniform", 1, 2, 100.0, 200.0);
         binpack_reject(&rec, 0, "sched.resag", 1, 100.0, "no_feasible_bin");
         decision(&rec, 0, "sched.gandiva", "sched.migrate", Some(1), Some(2), "pack");
+        stale_fallback(&rec, 0, "CBP", "pod_mem", Some(1), Some(2));
         assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn stale_fallback_names_the_series() {
+        let rec = Recorder::bounded(8);
+        stale_fallback(&rec, 7, "CBP+PP", "node_mem", None, Some(3));
+        let e = &rec.events()[0];
+        assert_eq!(e.kind, "sched.stale_fallback");
+        assert_eq!(e.severity, Severity::Warn);
+        assert_eq!(e.field("series"), Some(&FieldValue::Str("node_mem".into())));
+        assert_eq!(e.node, Some(3));
+        assert_eq!(e.pod, None);
     }
 }

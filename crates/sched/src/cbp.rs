@@ -214,6 +214,23 @@ pub(crate) fn correlation_ok(
     // Worst (highest) coefficient seen, with the resident app it belongs to.
     let mut max_rho: Option<(f64, String)> = None;
     for pod in &node.pods {
+        if !ctx.pod_series_fresh(pod.id) {
+            // The resident's series stopped advancing (probe dropout, node
+            // churn): a correlation against it would compare the candidate
+            // with the past. Degrade to Res-Ag's optimistic co-location for
+            // this resident rather than veto on dead data.
+            if let Some(rec) = ctx.audit() {
+                knots_obs::audit::stale_fallback(
+                    rec,
+                    ctx.now.as_micros(),
+                    scheduler,
+                    "pod_mem",
+                    Some(pod.id.0),
+                    Some(node.id.0 as u64),
+                );
+            }
+            continue;
+        }
         let series = ctx.cache.pod_mem_series(ctx.tsdb, pod.id, ctx.now, ctx.window);
         let n = reference.len().min(series.len());
         if n < cfg.min_corr_samples {
@@ -469,6 +486,7 @@ mod tests {
             window: SimDuration::from_secs(5),
             recorder: Some(&rec),
             cache: Default::default(),
+            freshness: None,
         };
         let acts = s.decide(&c);
         // The audit trail must carry the rejecting Spearman coefficient.
@@ -481,6 +499,58 @@ mod tests {
             _ => None,
         });
         assert_eq!(place, Some(knots_sim::ids::NodeId(1)), "acts: {acts:?}");
+    }
+
+    #[test]
+    fn stale_resident_series_falls_back_to_co_location() {
+        // Same perfectly-correlated pair as above, but the resident's series
+        // stopped 1.6 s before the round and a 1 s freshness bound is set:
+        // the gate must skip the dead series (audited as a stale fallback)
+        // and co-locate on the most-free node 0 like Res-Ag would.
+        let mut nv0 = node_view(0, 1, false);
+        let resident_id = nv0.pods[0].id;
+        nv0.pods[0].name = "rampA-1".into();
+        nv0.free_measured_mb = 16_000.0;
+        nv0.free_provision_mb = 16_000.0;
+        let mut nv1 = node_view(1, 0, false);
+        nv1.free_measured_mb = 14_000.0;
+        nv1.free_provision_mb = 14_000.0;
+        let s0 = snap(vec![nv0, nv1]);
+        let db = TimeSeriesDb::default();
+        let ramp: Vec<f64> = (0..40).map(|i| 100.0 + 10.0 * i as f64).collect();
+        for (i, &m) in ramp.iter().enumerate() {
+            db.push_pod(
+                resident_id,
+                SimTime::from_millis(i as u64 * 10),
+                Usage::new(0.2, m, 0.0, 0.0),
+            );
+        }
+        let mut s = Cbp::new();
+        teach(&mut s, "rampB", &ramp);
+        let mut snapshot = s0;
+        snapshot.at = SimTime::from_secs(2);
+        let pend = vec![pending(1, "rampB-1", 500.0)];
+        let rec = knots_obs::Recorder::bounded(64);
+        let c = SchedContext {
+            now: snapshot.at,
+            snapshot: &snapshot,
+            pending: &pend,
+            suspended: &[],
+            tsdb: &db,
+            window: SimDuration::from_secs(5),
+            recorder: Some(&rec),
+            cache: Default::default(),
+            freshness: Some(SimDuration::from_secs(1)),
+        };
+        let acts = s.decide(&c);
+        let trace = rec.export_jsonl();
+        assert!(trace.contains("sched.stale_fallback"), "trace: {trace}");
+        assert!(trace.contains("pod_mem"), "trace: {trace}");
+        let place = acts.iter().find_map(|a| match a {
+            Action::Place { node, .. } => Some(*node),
+            _ => None,
+        });
+        assert_eq!(place, Some(NodeId(0)), "stale veto must not block node 0: {acts:?}");
     }
 
     #[test]
@@ -515,6 +585,7 @@ mod tests {
             window: SimDuration::from_secs(5),
             recorder: None,
             cache: Default::default(),
+            freshness: None,
         };
         let acts = s.decide(&c);
         assert!(

@@ -2,7 +2,7 @@
 
 use crate::cache::StatsCache;
 use knots_obs::Recorder;
-use knots_sim::ids::PodId;
+use knots_sim::ids::{NodeId, PodId};
 use knots_sim::pod::QosClass;
 use knots_sim::time::{SimDuration, SimTime};
 use knots_telemetry::{ClusterSnapshot, TimeSeriesDb};
@@ -77,12 +77,33 @@ pub struct SchedContext<'a> {
     /// Spearman ρ. Rebuilt with the context every heartbeat, so nothing in
     /// it can go stale (the TSDB is only written between rounds).
     pub cache: StatsCache,
+    /// Maximum telemetry age before a series is treated as stale. `None`
+    /// (the default) trusts every series — the behavior of a fault-free
+    /// cluster. With a bound set, policies that consume history (CBP's
+    /// correlation gate, PP's forecast) fall back to their Res-Ag-like
+    /// baseline instead of deciding on dead data after a probe dropout or
+    /// node failure.
+    pub freshness: Option<SimDuration>,
 }
 
 impl SchedContext<'_> {
     /// The audit recorder, when one is attached and enabled.
     pub fn audit(&self) -> Option<&Recorder> {
         self.recorder.filter(|r| r.enabled())
+    }
+
+    /// Whether `pod`'s telemetry series is fresh enough to trust. Always
+    /// true when no freshness bound is set; otherwise the series must
+    /// exist and its newest sample must be at most `freshness` old.
+    pub fn pod_series_fresh(&self, pod: PodId) -> bool {
+        let Some(max_age) = self.freshness else { return true };
+        self.tsdb.pod_last_at(pod).is_some_and(|at| self.now.saturating_since(at) <= max_age)
+    }
+
+    /// Node-series counterpart of [`Self::pod_series_fresh`].
+    pub fn node_series_fresh(&self, node: NodeId) -> bool {
+        let Some(max_age) = self.freshness else { return true };
+        self.tsdb.node_last_at(node).is_some_and(|at| self.now.saturating_since(at) <= max_age)
     }
 }
 
@@ -102,6 +123,28 @@ pub fn app_key(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn freshness_gates_series_trust() {
+        use crate::testutil::{ctx, snap};
+        use knots_sim::metrics::GpuSample;
+        use knots_telemetry::TimeSeriesDb;
+        let db = TimeSeriesDb::default();
+        db.push_node(NodeId(0), GpuSample { at: SimTime::from_secs(1), ..Default::default() });
+        let mut snapshot = snap(vec![]);
+        snapshot.at = SimTime::from_secs(3);
+        let mut c = ctx(&snapshot, &[], &[], &db);
+        // No bound: everything is trusted, even a series that never existed.
+        assert!(c.node_series_fresh(NodeId(0)));
+        assert!(c.pod_series_fresh(PodId(9)));
+        // 1 s bound: the 2 s-old node series and the absent pod series fail.
+        c.freshness = Some(SimDuration::from_secs(1));
+        assert!(!c.node_series_fresh(NodeId(0)));
+        assert!(!c.pod_series_fresh(PodId(9)));
+        // A 5 s bound readmits the node series.
+        c.freshness = Some(SimDuration::from_secs(5));
+        assert!(c.node_series_fresh(NodeId(0)));
+    }
 
     #[test]
     fn app_key_strips_instance_suffix() {

@@ -89,6 +89,22 @@ impl CbpPp {
         capacity_mb: f64,
         limit: f64,
     ) -> bool {
+        if !ctx.node_series_fresh(node) {
+            // The node's series stopped advancing: Algorithm 1's forecast
+            // would extrapolate dead data, so PP degrades to plain CBP —
+            // no forecast override for correlated pods on this node.
+            if let Some(rec) = ctx.audit() {
+                knots_obs::audit::stale_fallback(
+                    rec,
+                    ctx.now.as_micros(),
+                    "CBP+PP",
+                    "node_mem",
+                    None,
+                    Some(node.0 as u64),
+                );
+            }
+            return false;
+        }
         let series = ctx.cache.node_mem_series(ctx.tsdb, node, ctx.now, ctx.window);
         if series.len() < 8 {
             // "input time-series data is limited"
@@ -369,12 +385,51 @@ mod tests {
             window: SimDuration::from_secs(5),
             recorder: Some(&rec),
             cache: Default::default(),
+            freshness: None,
         };
         assert!(s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
         // Algorithm-1 branch taken must be in the audit trail.
         let trace = rec.export_jsonl();
         assert!(trace.contains("forecast_admit"), "trace: {trace}");
         assert!(trace.contains("forecast_peak_mb"), "trace: {trace}");
+    }
+
+    #[test]
+    fn stale_node_series_withholds_the_forecast_override() {
+        // The same draining node the admit test uses, but the series stopped
+        // 3.1 s before the round and a 1 s freshness bound is set: PP must
+        // refuse the override (degrading to plain CBP) and audit why.
+        let db = TimeSeriesDb::default();
+        for i in 0..50u64 {
+            db.push_node(
+                NodeId(0),
+                GpuSample {
+                    at: SimTime::from_millis(i * 100),
+                    mem_used_mb: 15_000.0 - 250.0 * i as f64,
+                    ..Default::default()
+                },
+            );
+        }
+        let s = CbpPp::new();
+        let mut snapshot = snap(vec![node_view(0, 0, false)]);
+        snapshot.at = SimTime::from_secs(8);
+        let pend = [pending(1, "x", 2_000.0)];
+        let rec = knots_obs::Recorder::bounded(16);
+        let c = SchedContext {
+            now: snapshot.at,
+            snapshot: &snapshot,
+            pending: &pend,
+            suspended: &[],
+            tsdb: &db,
+            window: SimDuration::from_secs(5),
+            recorder: Some(&rec),
+            cache: Default::default(),
+            freshness: Some(SimDuration::from_secs(1)),
+        };
+        assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
+        let trace = rec.export_jsonl();
+        assert!(trace.contains("sched.stale_fallback"), "trace: {trace}");
+        assert!(trace.contains("node_mem"), "trace: {trace}");
     }
 
     #[test]
@@ -407,6 +462,7 @@ mod tests {
             window: SimDuration::from_secs(5),
             recorder: None,
             cache: Default::default(),
+            freshness: None,
         };
         // Used is ~15.8 GB now and rising: a 2 GB pod must be refused.
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
@@ -428,6 +484,7 @@ mod tests {
             window: SimDuration::from_secs(5),
             recorder: Some(&rec),
             cache: Default::default(),
+            freshness: None,
         };
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 100.0), "no data: reject");
         assert!(rec.export_jsonl().contains("insufficient_history"));

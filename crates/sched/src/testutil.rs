@@ -78,6 +78,7 @@ pub fn ctx<'a>(
         window: SimDuration::from_secs(5),
         recorder: None,
         cache: Default::default(),
+        freshness: None,
     }
 }
 

@@ -134,6 +134,7 @@ proptest! {
             window: SimDuration::from_secs(5),
             recorder: None,
             cache: Default::default(),
+            freshness: None,
         };
         let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
             Box::new(Uniform::new()),

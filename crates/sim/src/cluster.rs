@@ -10,7 +10,7 @@
 
 use crate::config::Overheads;
 use crate::error::{SimError, SimResult};
-use crate::events::{Event, EventKind};
+use crate::events::{CrashReason, Event, EventKind};
 use crate::gpu::PState;
 use crate::ids::{ImageId, NodeId, PodId};
 use crate::metrics::GpuSample;
@@ -98,6 +98,7 @@ enum Loc {
     Suspended,
     Relaunching,
     Completed,
+    Failed,
 }
 
 /// The simulated GPU cluster.
@@ -114,6 +115,8 @@ pub struct Cluster {
     suspended: BTreeMap<PodId, Pod>,
     relaunching: Vec<(SimTime, PodId, Pod)>,
     completed: BTreeMap<PodId, Pod>,
+    /// Pods abandoned by the crash-loop cap (terminal, never relaunched).
+    failed: BTreeMap<PodId, Pod>,
     location: BTreeMap<PodId, Loc>,
     events: Vec<Event>,
 }
@@ -141,6 +144,7 @@ impl Cluster {
             suspended: BTreeMap::new(),
             relaunching: Vec::new(),
             completed: BTreeMap::new(),
+            failed: BTreeMap::new(),
             location: BTreeMap::new(),
             events: Vec::new(),
         }
@@ -180,6 +184,11 @@ impl Cluster {
         self.queue.len()
     }
 
+    /// Number of crashed pods waiting out their relaunch backoff.
+    pub fn relaunching_len(&self) -> usize {
+        self.relaunching.len()
+    }
+
     /// Look up any pod, wherever it lives.
     pub fn pod(&self, id: PodId) -> Option<&Pod> {
         match self.location.get(&id)? {
@@ -190,6 +199,7 @@ impl Cluster {
                 self.relaunching.iter().find(|(_, pid, _)| *pid == id).map(|(_, _, p)| p)
             }
             Loc::Completed => self.completed.get(&id),
+            Loc::Failed => self.failed.get(&id),
         }
     }
 
@@ -208,6 +218,16 @@ impl Cluster {
         self.completed.len()
     }
 
+    /// Pods abandoned by the crash-loop cap, in id order.
+    pub fn failed_pods(&self) -> impl Iterator<Item = (PodId, &Pod)> {
+        self.failed.iter().map(|(id, p)| (*id, p))
+    }
+
+    /// Number of crash-loop-abandoned pods.
+    pub fn failed_len(&self) -> usize {
+        self.failed.len()
+    }
+
     /// The full event log.
     pub fn events(&self) -> &[Event] {
         &self.events
@@ -223,7 +243,8 @@ impl Cluster {
         self.nodes.iter().map(|n| n.energy().joules()).sum()
     }
 
-    /// True when no pod remains anywhere but `completed`.
+    /// True when no pod remains anywhere but the terminal maps
+    /// (`completed`, and `failed` for crash-loop-abandoned pods).
     pub fn is_drained(&self) -> bool {
         self.queue.is_empty()
             && self.suspended.is_empty()
@@ -263,11 +284,14 @@ impl Cluster {
             return Err(SimError::InvalidState { pod: id, op: "place", state: format!("{loc:?}") });
         }
         let n = self.nodes.get(node.0).ok_or(SimError::UnknownNode(node))?;
+        if n.is_failed() {
+            return Err(SimError::NodeFailed(node));
+        }
         if !n.is_available() {
             return Err(SimError::NodeAsleep(node));
         }
         let pod = self.pending.get(&id).ok_or(Self::desync(id, "place"))?;
-        let cap = n.gpu().spec().mem_mb;
+        let cap = n.gpu().capacity_mb();
         if pod.limit_mb() > cap {
             return Err(SimError::ExceedsDevice {
                 pod: id,
@@ -365,6 +389,9 @@ impl Cluster {
             });
         }
         let n = self.nodes.get(node.0).ok_or(SimError::UnknownNode(node))?;
+        if n.is_failed() {
+            return Err(SimError::NodeFailed(node));
+        }
         if !n.is_available() {
             return Err(SimError::NodeAsleep(node));
         }
@@ -390,6 +417,9 @@ impl Cluster {
             return Ok(());
         }
         let n = self.nodes.get(to.0).ok_or(SimError::UnknownNode(to))?;
+        if n.is_failed() {
+            return Err(SimError::NodeFailed(to));
+        }
         if !n.is_available() {
             return Err(SimError::NodeAsleep(to));
         }
@@ -430,6 +460,80 @@ impl Cluster {
             self.events.push(Event::node(now, EventKind::NodeWoken { node: id }));
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (driven by the chaos layer; see crates/chaos).
+    // ------------------------------------------------------------------
+
+    /// Fail a node outright: every resident pod crashes with
+    /// [`CrashReason::NodeFailure`] and re-enters the relaunch pipeline
+    /// (subject to backoff and the crash-loop cap), the node stops executing
+    /// and reporting, and placement on it is rejected until
+    /// [`Cluster::recover_node`]. Idempotent: failing an already-failed node
+    /// is a no-op that returns an empty victim list.
+    pub fn fail_node(&mut self, id: NodeId) -> SimResult<Vec<PodId>> {
+        let n = self.nodes.get_mut(id.0).ok_or(SimError::UnknownNode(id))?;
+        if n.is_failed() {
+            return Ok(Vec::new());
+        }
+        let victims = n.fail();
+        self.events.push(Event::node(self.now, EventKind::NodeFailed { node: id }));
+        let mut ids = Vec::with_capacity(victims.len());
+        for (pid, pod) in victims {
+            ids.push(pid);
+            self.crash_pod(pid, pod, id, CrashReason::NodeFailure);
+        }
+        Ok(ids)
+    }
+
+    /// Bring a failed node back into service, awake and empty; pods it lost
+    /// come back through the normal relaunch queue. No-op on healthy nodes.
+    pub fn recover_node(&mut self, id: NodeId) -> SimResult<()> {
+        let now = self.now;
+        let n = self.nodes.get_mut(id.0).ok_or(SimError::UnknownNode(id))?;
+        if n.is_failed() {
+            n.recover(now);
+            self.events.push(Event::node(now, EventKind::NodeRecovered { node: id }));
+        }
+        Ok(())
+    }
+
+    /// Set the fraction of a node's GPU memory lost to an injected hardware
+    /// fault; `0.0` restores full capacity. Non-finite fractions are treated
+    /// as `0.0` and finite ones are clamped into `[0.0, 0.99]` so the device
+    /// never reaches zero capacity.
+    pub fn degrade_node(&mut self, id: NodeId, frac: f64) -> SimResult<()> {
+        let frac = if frac.is_finite() { frac.clamp(0.0, 0.99) } else { 0.0 };
+        let now = self.now;
+        let n = self.nodes.get_mut(id.0).ok_or(SimError::UnknownNode(id))?;
+        n.set_degraded_frac(frac);
+        let capacity_mb = n.gpu().capacity_mb();
+        self.events.push(Event::node(now, EventKind::GpuDegraded { node: id, capacity_mb }));
+        Ok(())
+    }
+
+    /// Common crash handling: schedule a relaunch with the backoff schedule,
+    /// or abandon the pod as terminally `Failed` once the crash-loop cap is
+    /// reached (Kubernetes gives up on crash-looping containers too — ours
+    /// is a hard cap rather than an ever-growing backoff).
+    fn crash_pod(&mut self, id: PodId, mut pod: Pod, node: NodeId, reason: CrashReason) {
+        let delay = self.cfg.overheads.relaunch_delay_for(pod.crashes());
+        let relaunch_at = self.now + delay;
+        pod.crash(relaunch_at);
+        pod.set_node(None);
+        self.events.push(Event::pod(self.now, id, EventKind::Crashed { node, reason }));
+        let cap = self.cfg.overheads.crash_loop_cap;
+        if cap > 0 && pod.crashes() >= cap {
+            let crashes = pod.crashes();
+            pod.fail(self.now);
+            self.events.push(Event::pod(self.now, id, EventKind::GaveUp { node, crashes }));
+            self.failed.insert(id, pod);
+            self.location.insert(id, Loc::Failed);
+        } else {
+            self.relaunching.push((relaunch_at, id, pod));
+            self.location.insert(id, Loc::Relaunching);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -479,13 +583,8 @@ impl Cluster {
                 self.completed.insert(id, pod);
                 self.location.insert(id, Loc::Completed);
             }
-            for (id, mut pod, reason) in out.crashed {
-                let relaunch_at = self.now + self.cfg.overheads.relaunch_delay;
-                pod.crash(relaunch_at);
-                pod.set_node(None);
-                self.events.push(Event::pod(self.now, id, EventKind::Crashed { node, reason }));
-                self.relaunching.push((relaunch_at, id, pod));
-                self.location.insert(id, Loc::Relaunching);
+            for (id, pod, reason) in out.crashed {
+                self.crash_pod(id, pod, node, reason);
             }
         }
 
@@ -780,6 +879,106 @@ mod tests {
         // The earmark was suppressed: measured usage tracks the profile.
         c.step(SimDuration::from_millis(10));
         assert!((c.node(NodeId(0)).unwrap().last_sample().mem_used_mb - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn node_failure_crashes_residents_and_blocks_placement() {
+        let mut cfg = quiet_cfg(2);
+        cfg.overheads.relaunch_delay = SimDuration::from_millis(50);
+        let mut c = Cluster::new(cfg);
+        let a = c.submit(spec(0.5, 1000.0, 10.0), SimTime::ZERO);
+        c.place(a, NodeId(0)).unwrap();
+        c.step(SimDuration::from_millis(10));
+        let victims = c.fail_node(NodeId(0)).unwrap();
+        assert_eq!(victims, vec![a]);
+        assert!(c.node(NodeId(0)).unwrap().is_failed());
+        assert!(c.events().iter().any(|e| matches!(e.kind, EventKind::NodeFailed { .. })));
+        assert!(c.events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::Crashed { reason: CrashReason::NodeFailure, .. }
+        )));
+        // The dead node reports a zero sample and rejects placement.
+        c.step(SimDuration::from_millis(10));
+        assert_eq!(c.node(NodeId(0)).unwrap().last_sample().power_watts, 0.0);
+        for _ in 0..6 {
+            c.step(SimDuration::from_millis(10));
+        }
+        assert_eq!(c.pending_len(), 1);
+        assert_eq!(c.pod(a).unwrap().crashes(), 1);
+        assert!(matches!(c.place(a, NodeId(0)), Err(SimError::NodeFailed(_))));
+        // Re-failing is a no-op; recovery makes the node placeable again.
+        assert!(c.fail_node(NodeId(0)).unwrap().is_empty());
+        c.recover_node(NodeId(0)).unwrap();
+        assert!(c.events().iter().any(|e| matches!(e.kind, EventKind::NodeRecovered { .. })));
+        c.place(a, NodeId(0)).unwrap();
+    }
+
+    #[test]
+    fn relaunch_backoff_doubles_between_crashes() {
+        let mut cfg = quiet_cfg(2);
+        cfg.overheads.relaunch_delay = SimDuration::from_millis(40);
+        cfg.overheads.relaunch_backoff = 2.0;
+        let mut c = Cluster::new(cfg);
+        let id = c.submit(spec(0.5, 1000.0, 100.0), SimTime::ZERO);
+
+        c.place(id, NodeId(0)).unwrap();
+        c.fail_node(NodeId(0)).unwrap();
+        let crash1 = c.now();
+        while c.pending_len() == 0 {
+            c.step(SimDuration::from_millis(10));
+        }
+        assert_eq!(c.now().saturating_since(crash1), SimDuration::from_millis(40));
+
+        c.place(id, NodeId(1)).unwrap();
+        c.fail_node(NodeId(1)).unwrap();
+        let crash2 = c.now();
+        while c.pending_len() == 0 {
+            c.step(SimDuration::from_millis(10));
+        }
+        assert_eq!(c.now().saturating_since(crash2), SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn crash_loop_cap_abandons_pod() {
+        let mut cfg = quiet_cfg(1);
+        cfg.overheads.relaunch_delay = SimDuration::from_millis(20);
+        cfg.overheads.crash_loop_cap = 3;
+        let mut c = Cluster::new(cfg);
+        // Two pods whose combined footprint overflows the device: every
+        // co-residency produces a capacity-violation crash.
+        let a = c.submit(spec(0.2, 10_000.0, 50.0), SimTime::ZERO);
+        let b = c.submit(spec(0.2, 10_000.0, 50.0), SimTime::ZERO);
+        while c.failed_len() == 0 && c.now() < SimTime::from_secs(10) {
+            let pending: Vec<_> = c.pending_queue().collect();
+            for id in pending {
+                let _ = c.place(id, NodeId(0));
+            }
+            c.step(SimDuration::from_millis(10));
+        }
+        assert_eq!(c.failed_len(), 1);
+        let (victim, p) = c.failed_pods().next().unwrap();
+        assert!(victim == a || victim == b);
+        assert!(p.state().is_failed());
+        assert_eq!(p.crashes(), 3);
+        assert!(p.node().is_none());
+        assert!(c.events().iter().any(|e| matches!(e.kind, EventKind::GaveUp { crashes: 3, .. })));
+        // The abandoned pod is terminal: never requeued, lookup still works.
+        assert!(c.pod(victim).unwrap().state().is_failed());
+        assert!(c.pending_queue().all(|q| q != victim));
+    }
+
+    #[test]
+    fn degrade_emits_event_and_tightens_capacity() {
+        let mut c = Cluster::new(quiet_cfg(1));
+        c.degrade_node(NodeId(0), 0.5).unwrap();
+        assert!(c.events().iter().any(
+            |e| matches!(e.kind, EventKind::GpuDegraded { capacity_mb, .. } if capacity_mb == 8192.0)
+        ));
+        let id = c.submit(spec(0.2, 100.0, 1.0).with_request_mb(10_000.0), SimTime::ZERO);
+        assert!(matches!(c.place(id, NodeId(0)), Err(SimError::ExceedsDevice { .. })));
+        // Restoring health re-admits the pod.
+        c.degrade_node(NodeId(0), 0.0).unwrap();
+        c.place(id, NodeId(0)).unwrap();
     }
 
     #[test]

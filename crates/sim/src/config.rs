@@ -28,8 +28,17 @@ pub const QOS_DEADLINE: SimDuration = SimDuration(150_000);
 pub struct Overheads {
     /// Cold-start image pull duration.
     pub cold_start_pull: SimDuration,
-    /// Delay between an OOM crash and re-entering the pending queue.
+    /// Base delay between a crash and re-entering the pending queue.
     pub relaunch_delay: SimDuration,
+    /// Multiplier applied to [`Overheads::relaunch_delay`] per *prior* crash
+    /// of the same pod (Kubernetes `CrashLoopBackOff` semantics). `1.0`
+    /// (default) reproduces the historical fixed delay bit-for-bit.
+    pub relaunch_backoff: f64,
+    /// Upper bound on the backed-off relaunch delay.
+    pub relaunch_delay_max: SimDuration,
+    /// After this many crashes a pod is abandoned (terminal `Failed` state)
+    /// instead of relaunched. `0` (default) disables the cap.
+    pub crash_loop_cap: u32,
     /// Deep-sleep wake-up latency.
     pub wake_delay: SimDuration,
     /// Suspend cost paid when a pod is resumed after preemption
@@ -44,10 +53,32 @@ impl Default for Overheads {
         Overheads {
             cold_start_pull: SimDuration::from_secs(2),
             relaunch_delay: SimDuration::from_secs(4),
-            wake_delay: SimDuration::from_millis(500),
-            resume_overhead: SimDuration::from_millis(250),
+            relaunch_backoff: 1.0,
+            relaunch_delay_max: SimDuration::from_secs(300),
+            crash_loop_cap: 0,
             migration_delay: SimDuration::from_secs(3),
+            resume_overhead: SimDuration::from_millis(250),
+            wake_delay: SimDuration::from_millis(500),
         }
+    }
+}
+
+impl Overheads {
+    /// Relaunch delay for a pod that has already crashed `prior_crashes`
+    /// times: `relaunch_delay * backoff^prior_crashes`, capped at
+    /// [`Overheads::relaunch_delay_max`].
+    ///
+    /// With the default `relaunch_backoff == 1.0` this returns
+    /// `relaunch_delay` unchanged — no float round-trip — so historical
+    /// digests are preserved exactly.
+    pub fn relaunch_delay_for(&self, prior_crashes: u32) -> SimDuration {
+        if self.relaunch_backoff == 1.0 || prior_crashes == 0 {
+            return self.relaunch_delay;
+        }
+        let factor = self.relaunch_backoff.powi(prior_crashes.min(i32::MAX as u32) as i32);
+        let us = (self.relaunch_delay.as_micros() as f64 * factor).round();
+        let capped = if us.is_finite() { us as u64 } else { u64::MAX };
+        SimDuration::from_micros(capped.min(self.relaunch_delay_max.as_micros()))
     }
 }
 
@@ -68,5 +99,30 @@ mod tests {
         assert!(o.cold_start_pull >= SimDuration::from_secs(1));
         assert!(o.relaunch_delay >= SimDuration::from_secs(1));
         assert!(o.migration_delay >= o.resume_overhead);
+    }
+
+    #[test]
+    fn default_backoff_is_the_historical_fixed_delay() {
+        let o = Overheads::default();
+        for crashes in 0..16 {
+            assert_eq!(o.relaunch_delay_for(crashes), o.relaunch_delay);
+        }
+        assert_eq!(o.crash_loop_cap, 0);
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let o = Overheads {
+            relaunch_backoff: 2.0,
+            relaunch_delay_max: SimDuration::from_secs(20),
+            ..Overheads::default()
+        };
+        assert_eq!(o.relaunch_delay_for(0), SimDuration::from_secs(4));
+        assert_eq!(o.relaunch_delay_for(1), SimDuration::from_secs(8));
+        assert_eq!(o.relaunch_delay_for(2), SimDuration::from_secs(16));
+        // 32 s exceeds the 20 s cap.
+        assert_eq!(o.relaunch_delay_for(3), SimDuration::from_secs(20));
+        // Huge exponents saturate at the cap instead of overflowing.
+        assert_eq!(o.relaunch_delay_for(4000), SimDuration::from_secs(20));
     }
 }

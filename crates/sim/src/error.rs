@@ -43,6 +43,8 @@ pub enum SimError {
     },
     /// The target node is in deep sleep; it must be woken before placement.
     NodeAsleep(NodeId),
+    /// The target node has failed and is not accepting work until recovery.
+    NodeFailed(NodeId),
     /// A resize request was invalid (negative or non-finite).
     InvalidResize {
         /// Offending pod.
@@ -65,6 +67,7 @@ impl fmt::Display for SimError {
                 "{pod} provision {limit_mb:.0} MB exceeds {node} capacity {capacity_mb:.0} MB"
             ),
             SimError::NodeAsleep(n) => write!(f, "{n} is in deep sleep"),
+            SimError::NodeFailed(n) => write!(f, "{n} has failed"),
             SimError::InvalidResize { pod, limit_mb } => {
                 write!(f, "invalid resize of {pod} to {limit_mb} MB")
             }

@@ -15,6 +15,9 @@ pub enum CrashReason {
     /// was chosen as the victim (§IV-C: "capacity violations ... lead to
     /// container crashing and relaunching").
     MemoryCapacityViolation,
+    /// The node the pod was running on failed (injected whole-node fault);
+    /// every resident is crashed and requeued for relaunch elsewhere.
+    NodeFailure,
 }
 
 /// What happened.
@@ -81,6 +84,32 @@ pub enum EventKind {
     NodeWoken {
         /// The node.
         node: NodeId,
+    },
+    /// Node failed (whole-machine fault): residents crash, the node stops
+    /// sampling and refuses placements until recovery.
+    NodeFailed {
+        /// The node.
+        node: NodeId,
+    },
+    /// Failed node came back: empty, image cache cold, accepting placements.
+    NodeRecovered {
+        /// The node.
+        node: NodeId,
+    },
+    /// The node's GPU lost (or regained) memory capacity.
+    GpuDegraded {
+        /// The node.
+        node: NodeId,
+        /// Effective capacity after the change, MB.
+        capacity_mb: f64,
+    },
+    /// Pod hit the crash-loop cap and was abandoned (CrashLoopBackOff
+    /// semantics: after too many relaunches the pod goes terminal-failed).
+    GaveUp {
+        /// Node of the final crash.
+        node: NodeId,
+        /// Total crash count at abandonment.
+        crashes: u32,
     },
 }
 

@@ -21,17 +21,35 @@ pub enum PState {
 pub struct GpuDevice {
     spec: GpuSpec,
     pstate: PState,
+    /// Fraction of memory capacity lost to an injected hardware fault
+    /// (0.0 = healthy). See `Cluster::degrade_node`.
+    degraded_frac: f64,
 }
 
 impl GpuDevice {
     /// A new, awake device of the given model.
     pub fn new(model: GpuModel) -> Self {
-        GpuDevice { spec: model.spec(), pstate: PState::Active }
+        GpuDevice { spec: model.spec(), pstate: PState::Active, degraded_frac: 0.0 }
     }
 
     /// Hardware specification.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Effective memory capacity in MB: the spec capacity less any injected
+    /// degradation. Bit-identical to `spec.mem_mb` while healthy.
+    pub fn capacity_mb(&self) -> f64 {
+        if self.degraded_frac == 0.0 {
+            self.spec.mem_mb
+        } else {
+            self.spec.mem_mb * (1.0 - self.degraded_frac)
+        }
+    }
+
+    /// Fraction of memory capacity currently lost to degradation.
+    pub fn degraded_frac(&self) -> f64 {
+        self.degraded_frac
     }
 
     /// Current power state.
@@ -47,6 +65,11 @@ impl GpuDevice {
     pub(crate) fn set_pstate(&mut self, p: PState) {
         self.pstate = p;
     }
+
+    pub(crate) fn set_degraded_frac(&mut self, frac: f64) {
+        debug_assert!((0.0..1.0).contains(&frac) || frac == 0.0);
+        self.degraded_frac = frac;
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +82,17 @@ mod tests {
         assert_eq!(g.pstate(), PState::Active);
         assert!(!g.is_asleep());
         assert_eq!(g.spec().mem_mb, 16_384.0);
+    }
+
+    #[test]
+    fn degradation_scales_capacity() {
+        let mut g = GpuDevice::new(GpuModel::P100);
+        assert_eq!(g.capacity_mb(), 16_384.0);
+        g.set_degraded_frac(0.25);
+        assert_eq!(g.capacity_mb(), 16_384.0 * 0.75);
+        g.set_degraded_frac(0.0);
+        // Healthy path must be the raw spec value, not a multiply.
+        assert_eq!(g.capacity_mb().to_bits(), 16_384.0f64.to_bits());
     }
 
     #[test]

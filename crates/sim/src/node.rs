@@ -60,6 +60,9 @@ pub struct Node {
     waking_until: Option<SimTime>,
     /// Last instant the node had at least one resident pod.
     last_busy: SimTime,
+    /// Whole-machine failure flag (injected fault): the node runs nothing,
+    /// reports nothing and refuses placements until recovery.
+    failed: bool,
 }
 
 impl Node {
@@ -74,6 +77,7 @@ impl Node {
             energy: EnergyMeter::new(),
             waking_until: None,
             last_busy: SimTime::ZERO,
+            failed: false,
         }
     }
 
@@ -110,13 +114,13 @@ impl Node {
 
     /// Free memory according to provisions.
     pub fn free_provision_mb(&self) -> f64 {
-        (self.gpu.spec().mem_mb - self.provisioned_mb()).max(0.0)
+        (self.gpu.capacity_mb() - self.provisioned_mb()).max(0.0)
     }
 
     /// Free memory according to the last *measured* usage — what Knots'
     /// real-time metrics expose and GPU-agnostic schedulers cannot see.
     pub fn free_measured_mb(&self) -> f64 {
-        (self.gpu.spec().mem_mb - self.last_sample.mem_used_mb).max(0.0)
+        (self.gpu.capacity_mb() - self.last_sample.mem_used_mb).max(0.0)
     }
 
     /// The most recent metrics sample.
@@ -141,7 +145,12 @@ impl Node {
 
     /// Whether the node can accept placements right now.
     pub fn is_available(&self) -> bool {
-        !self.gpu.is_asleep()
+        !self.gpu.is_asleep() && !self.failed
+    }
+
+    /// Whether the node is down with an injected whole-machine fault.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// Last time the node hosted any pod.
@@ -187,7 +196,7 @@ impl Node {
             .iter()
             .map(|(_, p)| p.earmark_mb().unwrap_or(0.0).max(p.last_usage().mem_mb))
             .sum();
-        (self.gpu.spec().mem_mb - used).max(0.0)
+        (self.gpu.capacity_mb() - used).max(0.0)
     }
 
     /// Re-attach a suspended pod (resume or migration), paying `delay`
@@ -223,6 +232,35 @@ impl Node {
         self.gpu.set_pstate(p);
     }
 
+    /// Take the node down (whole-machine fault), returning every resident
+    /// pod. Runtime memory is cleared and the image cache is lost — the
+    /// replacement machine boots cold.
+    pub(crate) fn fail(&mut self) -> Vec<(PodId, Pod)> {
+        self.failed = true;
+        self.waking_until = None;
+        self.image_cache.clear();
+        self.last_sample = GpuSample::default();
+        let mut victims = std::mem::take(&mut self.residents);
+        for (_, pod) in victims.iter_mut() {
+            pod.clear_runtime_memory();
+        }
+        victims
+    }
+
+    /// Bring a failed node back into service, empty and cold.
+    pub(crate) fn recover(&mut self, now: SimTime) {
+        self.failed = false;
+        self.gpu.set_pstate(PState::Active);
+        // Reset the idle clock so auto-sleep does not immediately re-park
+        // the machine before the scheduler can use it.
+        self.last_busy = now;
+    }
+
+    /// Apply a GPU memory-capacity degradation (0.0 restores full health).
+    pub(crate) fn set_degraded_frac(&mut self, frac: f64) {
+        self.gpu.set_degraded_frac(frac);
+    }
+
     pub(crate) fn begin_wake(&mut self, until: SimTime) {
         self.gpu.set_pstate(PState::Active);
         self.waking_until = Some(until);
@@ -242,6 +280,19 @@ impl Node {
         let mut out = StepOutcome::default();
         let spec = *self.gpu.spec();
 
+        if self.failed {
+            // A dead machine reports nothing and draws nothing from the GPU
+            // power budget; residents were already crashed off at failure.
+            self.last_sample = GpuSample {
+                at: now + dt,
+                sm_util: 0.0,
+                mem_used_mb: 0.0,
+                power_watts: 0.0,
+                tx_mbps: 0.0,
+                rx_mbps: 0.0,
+            };
+            return out;
+        }
         if self.gpu.is_asleep() {
             self.last_sample = GpuSample {
                 at: now + dt,
@@ -349,7 +400,7 @@ impl Node {
         self.last_sample = GpuSample {
             at: now + dt,
             sm_util,
-            mem_used_mb: mem_used.min(spec.mem_mb),
+            mem_used_mb: mem_used.min(self.gpu.capacity_mb()),
             power_watts: power,
             tx_mbps: granted_tx,
             rx_mbps: granted_rx,
@@ -363,7 +414,7 @@ impl Node {
 
     /// Find and evict OOM victims until total usage fits in device memory.
     fn detect_crashes(&mut self, out: &mut StepOutcome) {
-        let capacity = self.gpu.spec().mem_mb;
+        let capacity = self.gpu.capacity_mb();
 
         // (a) A greedy pod whose real demand outgrew its startup earmark
         // crashes on its own (framework OOM), independent of node pressure.
@@ -645,6 +696,38 @@ mod tests {
         assert!(v100 < p100 && p100 < k80, "v100 {v100} p100 {p100} k80 {k80}");
         // Ratios match the compute scales within tick quantization.
         assert!((k80 as f64 / p100 as f64 - 1.0 / 0.35).abs() < 0.2);
+    }
+
+    #[test]
+    fn failed_node_runs_nothing_and_reports_nothing() {
+        let mut n = Node::new(NodeId(0), GpuModel::P100);
+        n.admit(PodId(1), batch_pod(0.5, 100.0, 5.0), SimTime::ZERO, SimDuration::ZERO);
+        let victims = n.fail();
+        assert_eq!(victims.len(), 1);
+        assert!(n.is_failed());
+        assert!(!n.is_available());
+        assert!(!n.has_image(victims[0].1.spec().image), "image cache lost on failure");
+        let mut now = SimTime::ZERO;
+        tick(&mut n, &mut now, 1000);
+        assert_eq!(n.last_sample().power_watts, 0.0);
+        assert_eq!(n.energy().joules(), 0.0);
+        n.recover(now);
+        assert!(n.is_available());
+        assert_eq!(n.resident_count(), 0);
+    }
+
+    #[test]
+    fn degraded_capacity_triggers_violation_earlier() {
+        let mut n = Node::new(NodeId(0), GpuModel::P100);
+        // 10 GB of usage fits a healthy 16 GB device...
+        n.admit(PodId(1), batch_pod(0.2, 10_000.0, 5.0), SimTime::ZERO, SimDuration::ZERO);
+        let mut now = SimTime::ZERO;
+        assert!(tick(&mut n, &mut now, 10).crashed.is_empty());
+        // ... but not one that lost half its memory.
+        n.set_degraded_frac(0.5);
+        let out = tick(&mut n, &mut now, 10);
+        assert_eq!(out.crashed.len(), 1);
+        assert!(n.free_measured_mb() <= 16_384.0 * 0.5);
     }
 
     #[test]

@@ -164,6 +164,12 @@ pub enum PodState {
         /// Completion instant.
         at: SimTime,
     },
+    /// Abandoned after hitting the crash-loop cap (CrashLoopBackOff): the
+    /// pod will never be relaunched.
+    Failed {
+        /// Abandonment instant.
+        at: SimTime,
+    },
 }
 
 impl PodState {
@@ -172,9 +178,14 @@ impl PodState {
         matches!(self, PodState::Completed { .. })
     }
 
+    /// True for `Failed` (crash-loop abandonment).
+    pub fn is_failed(self) -> bool {
+        matches!(self, PodState::Failed { .. })
+    }
+
     /// True when the pod will never run again.
     pub fn is_terminal(self) -> bool {
-        self.is_completed()
+        self.is_completed() || self.is_failed()
     }
 
     /// True while the pod occupies GPU memory on a node (pulling counts: the
@@ -294,7 +305,7 @@ impl Pod {
         self.completed
     }
 
-    /// Number of capacity-violation crashes suffered.
+    /// Number of crashes suffered (capacity violations and node failures).
     pub fn crashes(&self) -> u32 {
         self.crashes
     }
@@ -398,6 +409,12 @@ impl Pod {
     pub(crate) fn reenqueue(&mut self) {
         debug_assert!(matches!(self.state, PodState::Relaunching { .. }));
         self.state = PodState::Pending;
+    }
+
+    /// Abandon the pod after its final crash (crash-loop cap reached).
+    pub(crate) fn fail(&mut self, now: SimTime) {
+        self.state = PodState::Failed { at: now };
+        self.node = None;
     }
 
     pub(crate) fn suspend(&mut self) {
@@ -541,6 +558,67 @@ mod tests {
         p.bind(NodeId(0), SimTime::ZERO, None);
         p.complete(SimTime::from_secs(1));
         assert_eq!(p.met_deadline(), None);
+    }
+
+    // Satellite invariant for the checkpoint-fraction path: across any
+    // number of crash/relaunch cycles a pod never *gains* progress from a
+    // crash and never ends up owing more work than it was submitted with.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 128,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        #[test]
+        fn checkpointing_never_gains_progress_across_crashes(
+            // Percent, so both endpoints (no checkpointing / full
+            // checkpointing) are exercised.
+            fraction_pct in 0u32..=100,
+            total_work in 1.0f64..500.0,
+            cycles in proptest::collection::vec(0.0f64..50.0, 1..16),
+        ) {
+            let fraction = f64::from(fraction_pct) / 100.0;
+            let spec = PodSpec::batch(
+                "ckpt",
+                ResourceProfile::constant(0.5, 1000.0, total_work),
+            )
+            .with_checkpointing(fraction);
+            let mut p = Pod::new(spec, SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            for (i, advance_by) in cycles.iter().enumerate() {
+                p.bind(NodeId(0), now, None);
+                // A node never advances a pod past its remaining work.
+                p.advance(advance_by.min(p.remaining_work()), *advance_by);
+                let before = p.progress();
+                now += SimDuration::from_secs(1);
+                p.crash(now + SimDuration::from_secs(4));
+                let after = p.progress();
+                proptest::prop_assert!(
+                    after <= before + 1e-12,
+                    "crash must not add progress: {before} -> {after}"
+                );
+                proptest::prop_assert!(after >= 0.0);
+                proptest::prop_assert!(
+                    p.remaining_work() <= total_work + 1e-12,
+                    "remaining work {} exceeds original {total_work}",
+                    p.remaining_work()
+                );
+                proptest::prop_assert_eq!(p.crashes(), (i + 1) as u32);
+                p.reenqueue();
+            }
+        }
+    }
+
+    #[test]
+    fn fail_is_terminal() {
+        let mut p = Pod::new(spec(), SimTime::ZERO);
+        p.bind(NodeId(0), SimTime::ZERO, None);
+        p.crash(SimTime::from_secs(2));
+        p.fail(SimTime::from_secs(2));
+        assert!(p.state().is_failed());
+        assert!(p.state().is_terminal());
+        assert!(!p.state().holds_gpu());
+        assert_eq!(p.node(), None);
     }
 
     #[test]

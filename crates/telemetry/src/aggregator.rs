@@ -67,14 +67,28 @@ impl UtilizationAggregator {
             None
         }
     }
+
+    /// Push the next heartbeat back by `by` (an injected head-node /
+    /// network stall). The scheduler simply decides on an older snapshot
+    /// for a while — delayed telemetry degrades decision quality, it must
+    /// not corrupt it.
+    pub fn postpone(&mut self, now: SimTime, by: SimDuration) {
+        let base = self.next_due.unwrap_or(now);
+        self.next_due = Some(base + by);
+    }
 }
 
 /// Assemble a [`ClusterSnapshot`] from the cluster's current state.
+///
+/// Failed nodes are omitted entirely — exactly what a real head node sees
+/// when a worker stops answering. Schedulers therefore never place onto a
+/// dead node without needing any fault awareness of their own.
 pub fn snapshot_of(cluster: &Cluster) -> ClusterSnapshot {
     let now = cluster.now();
     let nodes = cluster
         .nodes()
         .iter()
+        .filter(|n| !n.is_failed())
         .map(|n| {
             let pods = n
                 .residents()
@@ -92,7 +106,7 @@ pub fn snapshot_of(cluster: &Cluster) -> ClusterSnapshot {
             NodeView {
                 id: n.id(),
                 model: n.gpu().spec().model,
-                capacity_mb: n.gpu().spec().mem_mb,
+                capacity_mb: n.gpu().capacity_mb(),
                 free_measured_mb: n.free_measured_mb(),
                 free_provision_mb: n.free_provision_mb(),
                 sample: n.last_sample(),
@@ -181,6 +195,48 @@ mod tests {
         assert!((n1.free_measured_mb - (16384.0 - 3000.0)).abs() < 1e-9);
         assert!(snap.node(NodeId(2)).unwrap().asleep);
         assert_eq!(snap.active_nodes().count(), 2);
+    }
+
+    #[test]
+    fn failed_nodes_vanish_from_snapshots() {
+        let mut c = cluster();
+        c.fail_node(NodeId(1)).unwrap();
+        let snap = snapshot_of(&c);
+        assert_eq!(snap.nodes.len(), 2);
+        assert!(snap.node(NodeId(1)).is_none());
+        c.recover_node(NodeId(1)).unwrap();
+        assert_eq!(snapshot_of(&c).nodes.len(), 3);
+    }
+
+    #[test]
+    fn degraded_capacity_is_visible_to_schedulers() {
+        let mut c = cluster();
+        c.degrade_node(NodeId(0), 0.5).unwrap();
+        let snap = snapshot_of(&c);
+        assert!((snap.node(NodeId(0)).unwrap().capacity_mb - 8192.0).abs() < 1e-9);
+        assert_eq!(snap.node(NodeId(1)).unwrap().capacity_mb, 16_384.0);
+    }
+
+    #[test]
+    fn postpone_delays_the_next_heartbeat() {
+        let mut c = cluster();
+        let mut agg =
+            UtilizationAggregator::new(SimDuration::from_millis(100), SimDuration::from_secs(5));
+        agg.query(&c); // next due at 100 ms
+        agg.postpone(c.now(), SimDuration::from_millis(150));
+        for _ in 0..25 {
+            c.step(SimDuration::from_millis(10));
+            if c.now() < SimTime::from_millis(250) {
+                assert!(agg.query_if_due(&c).is_none(), "due too early at {:?}", c.now());
+            }
+        }
+        assert!(agg.query_if_due(&c).is_some());
+        // Postponing before the first heartbeat anchors on `now`.
+        let mut fresh =
+            UtilizationAggregator::new(SimDuration::from_millis(100), SimDuration::from_secs(5));
+        fresh.postpone(SimTime::ZERO, SimDuration::from_millis(50));
+        assert!(!fresh.due(SimTime::from_millis(40)));
+        assert!(fresh.due(SimTime::from_millis(50)));
     }
 
     #[test]

@@ -7,20 +7,49 @@
 
 use crate::tsdb::TimeSeriesDb;
 use knots_sim::cluster::Cluster;
+use knots_sim::ids::NodeId;
+use knots_sim::metrics::GpuSample;
 use knots_sim::pod::PodState;
 
 /// Sample every node (and resident pod) of the cluster into the store.
 ///
-/// Call once per heartbeat, after `Cluster::step`.
+/// Call once per heartbeat, after `Cluster::step`. Failed nodes are skipped
+/// entirely: a dead agent reports nothing, so its series simply goes stale
+/// rather than filling with fabricated zeros.
 pub fn sample_cluster(cluster: &Cluster, db: &TimeSeriesDb) {
+    sample_cluster_with(cluster, db, |_, s| Some(s));
+}
+
+/// [`sample_cluster`] with a per-node interposition hook — the seam the
+/// chaos layer uses to model probe dropouts and sample corruption without
+/// the telemetry crate knowing about fault plans.
+///
+/// For each live node the hook receives the would-be sample and returns
+/// `Some(sample)` to record it (possibly altered) or `None` to drop this
+/// heartbeat's readings for the node (its resident pods are dropped too:
+/// a dead probe reports neither). Returns the number of dropped nodes.
+pub fn sample_cluster_with(
+    cluster: &Cluster,
+    db: &TimeSeriesDb,
+    mut hook: impl FnMut(NodeId, GpuSample) -> Option<GpuSample>,
+) -> u64 {
+    let mut dropped = 0;
     for node in cluster.nodes() {
-        db.push_node(node.id(), node.last_sample());
+        if node.is_failed() {
+            continue;
+        }
+        let Some(sample) = hook(node.id(), node.last_sample()) else {
+            dropped += 1;
+            continue;
+        };
+        db.push_node(node.id(), sample);
         for (pod_id, pod) in node.residents() {
             if matches!(pod.state(), PodState::Running) {
-                db.push_pod(pod_id, node.last_sample().at, pod.last_usage());
+                db.push_pod(pod_id, sample.at, pod.last_usage());
             }
         }
     }
+    dropped
 }
 
 #[cfg(test)]
@@ -57,5 +86,46 @@ mod tests {
         let latest = db.latest_node(NodeId(0)).unwrap();
         assert!((latest.sm_util - 0.5).abs() < 1e-9);
         assert_eq!(db.latest_node(NodeId(1)).unwrap().sm_util, 0.0);
+    }
+
+    #[test]
+    fn hook_can_drop_and_corrupt() {
+        let mut cfg = ClusterConfig::homogeneous(2, GpuModel::P100);
+        cfg.overheads.cold_start_pull = SimDuration::ZERO;
+        let mut cluster = Cluster::new(cfg);
+        let db = TimeSeriesDb::default();
+        for _ in 0..5 {
+            cluster.step(SimDuration::from_millis(10));
+            // Drop node 0; corrupt node 1 with NaN (the TSDB rejects it).
+            let dropped = sample_cluster_with(&cluster, &db, |id, mut s| {
+                if id == NodeId(0) {
+                    None
+                } else {
+                    s.sm_util = f64::NAN;
+                    Some(s)
+                }
+            });
+            assert_eq!(dropped, 1);
+        }
+        assert_eq!(db.node_len(NodeId(0)), 0);
+        assert_eq!(db.node_len(NodeId(1)), 0);
+        assert_eq!(db.node_rejected(NodeId(1)), 5);
+        assert_eq!(db.rejected_total(), 5);
+    }
+
+    #[test]
+    fn failed_nodes_report_nothing() {
+        let mut cfg = ClusterConfig::homogeneous(2, GpuModel::P100);
+        cfg.overheads.cold_start_pull = SimDuration::ZERO;
+        let mut cluster = Cluster::new(cfg);
+        let db = TimeSeriesDb::default();
+        cluster.fail_node(NodeId(0)).unwrap();
+        for _ in 0..3 {
+            cluster.step(SimDuration::from_millis(10));
+            sample_cluster(&cluster, &db);
+        }
+        assert_eq!(db.node_len(NodeId(0)), 0, "dead agents must not fabricate samples");
+        assert_eq!(db.node_len(NodeId(1)), 3);
+        assert_eq!(db.node_last_at(NodeId(0)), None);
     }
 }

@@ -109,6 +109,8 @@ impl SeriesStats {
 struct NodeEntry {
     q: VecDeque<GpuSample>,
     stats: [SeriesStats; Metric::ALL.len()],
+    /// Samples skipped because a metric value was NaN/Inf.
+    rejected: u64,
 }
 
 /// One pod's ring buffer plus rolling memory/SM stats.
@@ -117,10 +119,15 @@ struct PodEntry {
     q: VecDeque<(SimTime, Usage)>,
     mem: SeriesStats,
     sm: SeriesStats,
+    /// Samples skipped because a usage value was NaN/Inf.
+    rejected: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
+    /// Running total of rejected samples across every series (node + pod),
+    /// maintained on push so surfacing it never iterates the maps.
+    rejected_total: u64,
     // Both maps are accessed exclusively by key (get/entry/remove/clear) —
     // iteration order can never leak into scheduling decisions, so O(1)
     // hashed lookups are safe and worth it on the hot sampling path.
@@ -152,9 +159,18 @@ impl TimeSeriesDb {
         TimeSeriesDb { cfg, inner: RwLock::new(Inner::default()) }
     }
 
-    /// Append a node sample.
-    pub fn push_node(&self, node: NodeId, sample: GpuSample) {
+    /// Append a node sample. A sample carrying any non-finite metric value
+    /// (NaN/Inf — e.g. a corrupted probe read) is *rejected*, not stored:
+    /// storing it would poison the rolling Welford summary and every
+    /// window statistic derived from the series. Returns whether the sample
+    /// was accepted; rejections are counted per series and in total.
+    pub fn push_node(&self, node: NodeId, sample: GpuSample) -> bool {
         let mut g = self.inner.write();
+        if Metric::ALL.iter().any(|m| !sample.get(*m).is_finite()) {
+            g.nodes.entry(node).or_default().rejected += 1;
+            g.rejected_total += 1;
+            return false;
+        }
         let e = g.nodes.entry(node).or_default();
         if e.q.len() == self.cfg.node_capacity {
             if let Some(old) = e.q.pop_front() {
@@ -167,11 +183,21 @@ impl TimeSeriesDb {
             e.stats[i].push(sample.get(*m));
         }
         e.q.push_back(sample);
+        true
     }
 
-    /// Append a pod usage sample.
-    pub fn push_pod(&self, pod: PodId, at: SimTime, usage: Usage) {
+    /// Append a pod usage sample, with the same non-finite rejection rule
+    /// as [`TimeSeriesDb::push_node`].
+    pub fn push_pod(&self, pod: PodId, at: SimTime, usage: Usage) -> bool {
         let mut g = self.inner.write();
+        if !usage.mem_mb.is_finite()
+            || !usage.sm_frac.is_finite()
+            || !usage.total_bw_mbps().is_finite()
+        {
+            g.pods.entry(pod).or_default().rejected += 1;
+            g.rejected_total += 1;
+            return false;
+        }
         let e = g.pods.entry(pod).or_default();
         if e.q.len() == self.cfg.pod_capacity {
             if let Some((_, old)) = e.q.pop_front() {
@@ -182,6 +208,33 @@ impl TimeSeriesDb {
         e.mem.push(usage.mem_mb);
         e.sm.push(usage.sm_frac);
         e.q.push_back((at, usage));
+        true
+    }
+
+    /// Rejected (non-finite) samples for one node series.
+    pub fn node_rejected(&self, node: NodeId) -> u64 {
+        self.inner.read().nodes.get(&node).map_or(0, |e| e.rejected)
+    }
+
+    /// Rejected (non-finite) samples for one pod series.
+    pub fn pod_rejected(&self, pod: PodId) -> u64 {
+        self.inner.read().pods.get(&pod).map_or(0, |e| e.rejected)
+    }
+
+    /// Total rejected samples across every series since creation/`clear`.
+    pub fn rejected_total(&self) -> u64 {
+        self.inner.read().rejected_total
+    }
+
+    /// Timestamp of the most recent *accepted* sample of a node series —
+    /// the freshness signal consumers use to spot probe dropouts.
+    pub fn node_last_at(&self, node: NodeId) -> Option<SimTime> {
+        self.inner.read().nodes.get(&node).and_then(|e| e.q.back().map(|s| s.at))
+    }
+
+    /// Timestamp of the most recent *accepted* sample of a pod series.
+    pub fn pod_last_at(&self, pod: PodId) -> Option<SimTime> {
+        self.inner.read().pods.get(&pod).and_then(|e| e.q.back().map(|(t, _)| *t))
     }
 
     /// Drop a pod's series (pod finished; keeps the store bounded over long
@@ -339,6 +392,7 @@ impl TimeSeriesDb {
         let mut g = self.inner.write();
         g.nodes.clear();
         g.pods.clear();
+        g.rejected_total = 0;
     }
 }
 
@@ -501,6 +555,45 @@ mod tests {
         db.forget_pod(PodId(7));
         assert_eq!(db.pod_len(PodId(7)), 0);
         assert!(db.pod_mem_stats(PodId(7)).is_none(), "forget drops the rolling stats too");
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_and_counted() {
+        let db = TimeSeriesDb::default();
+        assert!(db.push_node(NodeId(0), sample(0, 0.4)));
+        assert!(!db.push_node(NodeId(0), sample(1, f64::NAN)));
+        assert!(!db.push_node(NodeId(0), sample(2, f64::INFINITY)));
+        assert!(db.push_node(NodeId(0), sample(3, 0.6)));
+        // Only the two finite samples are retained; stats stay finite.
+        assert_eq!(db.node_len(NodeId(0)), 2);
+        assert_eq!(db.node_rejected(NodeId(0)), 2);
+        let s = db.node_stats(NodeId(0), Metric::SmUtil).unwrap();
+        assert!((s.mean() - 0.5).abs() < 1e-12);
+        // Freshness reflects the last *accepted* sample.
+        assert_eq!(db.node_last_at(NodeId(0)), Some(SimTime::from_millis(3)));
+
+        assert!(!db.push_pod(PodId(1), SimTime::ZERO, Usage::new(0.1, f64::NAN, 0.0, 0.0)));
+        assert!(!db.push_pod(
+            PodId(1),
+            SimTime::ZERO,
+            Usage::new(f64::NEG_INFINITY, 1.0, 0.0, 0.0)
+        ));
+        assert!(db.push_pod(PodId(1), SimTime::from_millis(5), Usage::new(0.1, 10.0, 0.0, 0.0)));
+        assert_eq!(db.pod_len(PodId(1)), 1);
+        assert_eq!(db.pod_rejected(PodId(1)), 2);
+        assert_eq!(db.pod_last_at(PodId(1)), Some(SimTime::from_millis(5)));
+        assert_eq!(db.rejected_total(), 4);
+        db.clear();
+        assert_eq!(db.rejected_total(), 0);
+    }
+
+    #[test]
+    fn freshness_of_missing_series_is_none() {
+        let db = TimeSeriesDb::default();
+        assert_eq!(db.node_last_at(NodeId(7)), None);
+        assert_eq!(db.pod_last_at(PodId(7)), None);
+        assert_eq!(db.node_rejected(NodeId(7)), 0);
+        assert_eq!(db.rejected_total(), 0);
     }
 
     #[test]

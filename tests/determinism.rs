@@ -69,6 +69,57 @@ fn parallel_sweep_matches_serial_sweep() {
 }
 
 #[test]
+fn empty_fault_plan_reproduces_the_pinned_digests() {
+    // The analyzer self-check pins these digests (BENCH_3.json). A run
+    // carrying an *empty* fault plan must drop its inert chaos engine and
+    // take the fault-free code path bit for bit — chaos support may not
+    // move a single decision in a run with no faults.
+    use knots_chaos::FaultPlan;
+    use knots_core::experiment::run_mix_with_chaos;
+    const PINNED: [(&str, u64); 3] = [
+        ("CBP+PP", 0x3dd6_2b08_c803_b70c),
+        ("Tiresias", 0x3f35_b90a_739d_908c),
+        ("Gandiva", 0x3528_4ac8_9ffc_37ac),
+    ];
+    for (name, want) in PINNED {
+        let r = run_mix_with_chaos(
+            scheduler_by_name(name).unwrap(),
+            AppMix::Mix2,
+            &cfg(42),
+            knots_obs::Obs::disabled(),
+            FaultPlan::empty(),
+        );
+        assert_eq!(
+            knots_analyzer::report_digest(&r),
+            want,
+            "{name}: zero-fault digest moved off the pinned value"
+        );
+    }
+}
+
+#[test]
+fn chaos_sweep_is_byte_identical_across_thread_counts() {
+    // Fault injection must not loosen the parallel-sweep guarantee: the
+    // same (seed, plan) pair replays identically no matter how many
+    // workers ran the legs, down to the serialized row bytes.
+    use knots_bench::figures::chaos_sweep;
+    let cfg = ExperimentConfig {
+        nodes: 10,
+        duration: SimDuration::from_secs(20),
+        seed: 42,
+        ..Default::default()
+    };
+    let intensities = [0.0, 10.0, 30.0];
+    let serial = chaos_sweep::run(&cfg, &intensities, 1);
+    let parallel = chaos_sweep::run(&cfg, &intensities, 4);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "chaos sweep diverged across thread counts"
+    );
+}
+
+#[test]
 fn different_seeds_diverge() {
     // Digest sanity: if report_digest collapsed distinct runs the replay
     // test above would be vacuous.

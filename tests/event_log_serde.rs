@@ -1,0 +1,108 @@
+//! Serde round-trips for the cluster event log. The log is the raw
+//! material for every derived metric and for offline analysis of chaos
+//! runs, so each [`EventKind`] variant — including the fault-injection
+//! ones (`NodeFailed`, `NodeRecovered`, `GpuDegraded`, `GaveUp`, and
+//! `CrashReason::NodeFailure`) — must survive JSON and come back equal.
+
+use knots_chaos::{ChaosEngine, FaultEvent, FaultKind, FaultPlan};
+use knots_core::{KubeKnots, OrchestratorConfig};
+use knots_sim::cluster::ClusterConfig;
+use knots_sim::events::{CrashReason, Event, EventKind};
+use knots_sim::ids::{NodeId, PodId};
+use knots_sim::time::{SimDuration, SimTime};
+
+/// One event per [`EventKind`] variant, exercising both [`CrashReason`]s
+/// and both pod-scoped and node-scoped constructors.
+fn one_of_each() -> Vec<Event> {
+    let t = SimTime::from_millis(1234);
+    let p = PodId(7);
+    let n = NodeId(3);
+    vec![
+        Event::pod(t, p, EventKind::Submitted),
+        Event::pod(t, p, EventKind::Placed { node: n, cold_start: true }),
+        Event::pod(t, p, EventKind::Started { node: n }),
+        Event::pod(t, p, EventKind::Completed { node: n }),
+        Event::pod(
+            t,
+            p,
+            EventKind::Crashed { node: n, reason: CrashReason::MemoryCapacityViolation },
+        ),
+        Event::pod(t, p, EventKind::Crashed { node: n, reason: CrashReason::NodeFailure }),
+        Event::pod(t, p, EventKind::Requeued),
+        Event::pod(t, p, EventKind::Preempted { node: n }),
+        Event::pod(t, p, EventKind::Resumed { node: n }),
+        Event::pod(t, p, EventKind::Migrated { from: n, to: NodeId(4) }),
+        Event::pod(t, p, EventKind::Resized { from_mb: 2048.0, to_mb: 1024.0 }),
+        Event::node(t, EventKind::NodeSlept { node: n }),
+        Event::node(t, EventKind::NodeWoken { node: n }),
+        Event::node(t, EventKind::NodeFailed { node: n }),
+        Event::node(t, EventKind::NodeRecovered { node: n }),
+        Event::node(t, EventKind::GpuDegraded { node: n, capacity_mb: 8192.5 }),
+        Event::pod(t, p, EventKind::GaveUp { node: n, crashes: 5 }),
+    ]
+}
+
+#[test]
+fn every_event_kind_round_trips() {
+    for e in one_of_each() {
+        let json = serde_json::to_string(&e).expect("serialize");
+        let back: Event = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(e, back, "round-trip mangled {json}");
+    }
+}
+
+#[test]
+fn the_log_round_trips_as_a_whole() {
+    let log = one_of_each();
+    let json = serde_json::to_string(&log).unwrap();
+    let back: Vec<Event> = serde_json::from_str(&json).unwrap();
+    assert_eq!(log, back);
+}
+
+#[test]
+fn crash_reasons_serialize_distinctly() {
+    // The chaos sweep separates OOM crashes from node-failure casualties by
+    // reason; the two must not collapse to the same wire form.
+    let oom = serde_json::to_string(&CrashReason::MemoryCapacityViolation).unwrap();
+    let nf = serde_json::to_string(&CrashReason::NodeFailure).unwrap();
+    assert_ne!(oom, nf);
+    assert_eq!(serde_json::from_str::<CrashReason>(&nf).unwrap(), CrashReason::NodeFailure);
+}
+
+#[test]
+fn a_real_chaos_run_log_round_trips() {
+    // Not just hand-built literals: the log of an actual run with a node
+    // failure (crash + requeue + recovery traffic included) must survive
+    // JSON intact, ready for offline analysis.
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        at: SimTime::from_millis(500),
+        kind: FaultKind::NodeFail {
+            node: NodeId(0),
+            recover_after: Some(SimDuration::from_secs(2)),
+        },
+    }]);
+    let spec = knots_sim::pod::PodSpec::batch(
+        "bench",
+        knots_sim::profile::ResourceProfile::constant(0.4, 1500.0, 4.0),
+    );
+    let schedule: Vec<knots_workloads::loadgen::ScheduledPod> = (0..4)
+        .map(|i| knots_workloads::loadgen::ScheduledPod {
+            at: SimTime::from_millis(i * 50),
+            spec: spec.clone(),
+        })
+        .collect();
+    let cluster = ClusterConfig::homogeneous(2, knots_sim::config::TESTBED_GPU);
+    let sched = knots_core::experiment::scheduler_by_name("Res-Ag").unwrap();
+    let mut k = KubeKnots::new(cluster, sched, OrchestratorConfig::default())
+        .with_chaos(ChaosEngine::new(plan));
+    k.run_schedule(&schedule);
+    let log = k.cluster().events().to_vec();
+    assert!(log.iter().any(|e| matches!(e.kind, EventKind::NodeFailed { .. })));
+    assert!(log.iter().any(|e| matches!(e.kind, EventKind::NodeRecovered { .. })));
+    assert!(log
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::Crashed { reason: CrashReason::NodeFailure, .. })));
+    let json = serde_json::to_string(&log).unwrap();
+    let back: Vec<Event> = serde_json::from_str(&json).unwrap();
+    assert_eq!(log, back);
+}
