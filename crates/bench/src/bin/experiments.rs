@@ -14,7 +14,7 @@
 //!   fig10b    prediction accuracy vs heartbeat interval
 //!   dnn       the 256-GPU DL study: Fig. 12a, Fig. 12b, Table IV
 //!   chaos     fault-intensity sweep: QoS / throughput / crashes (DESIGN.md §10)
-//!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_3.json
+//!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_4.json
 //!   all       everything above except chaos and perf
 //! ```
 //!
@@ -276,7 +276,7 @@ fn run_perf(opts: &Opts) {
     let cfg =
         knots_bench::perf::PerfConfig { quick: opts.quick, threads: opts.threads, seed: opts.seed };
     let report = knots_bench::perf::run(&cfg);
-    let path = opts.out.as_deref().unwrap_or("BENCH_3.json");
+    let path = opts.out.as_deref().unwrap_or("BENCH_4.json");
     let payload = serde_json::to_string_pretty(&report).expect("serialize perf report");
     std::fs::write(path, payload).expect("write perf report");
     eprintln!("[wrote {path}]");

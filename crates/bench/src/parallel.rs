@@ -1,91 +1,9 @@
-//! A dependency-free bounded work pool for the figure sweeps.
+//! Bounded work pool for the figure sweeps.
 //!
-//! The sweeps are embarrassingly parallel (independent scheduler/mix legs,
-//! each leg fully deterministic from its seed), so all the harness needs is
-//! scoped threads pulling jobs off a shared queue and writing results into
-//! *by-index slots* — output order is the submission order no matter which
-//! worker finishes first, which keeps `BENCH_*.json` and the rendered
-//! tables byte-stable across thread counts.
+//! The implementation moved to [`knots_sim::pool`] so the simulator's
+//! per-tick node fan-out and the harness share one set of primitives
+//! (scoped `run_jobs` for borrowed sweep legs, a persistent
+//! [`knots_sim::pool::WorkerPool`] for owned per-tick work). This module
+//! re-exports the sweep-facing pieces to keep existing call sites stable.
 
-use std::sync::Mutex;
-
-/// Worker count to use when the user does not pass `--threads`: the host's
-/// available parallelism, falling back to 1 when it cannot be queried.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Run `jobs` on at most `threads` scoped worker threads and return their
-/// results in submission order.
-///
-/// `threads` is clamped to `1..=jobs.len()`; `threads == 1` degenerates to
-/// a plain serial loop on the calling thread (the baseline the perf harness
-/// times against). A panicking job propagates out of the scope, as the
-/// previous spawn-per-job code did.
-pub fn run_jobs<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let n = jobs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads == 1 {
-        return jobs.into_iter().map(|f| f()).collect();
-    }
-    // Indexed job queue; workers drain it and fill the slot matching each
-    // job's original position.
-    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("queue poisoned").pop();
-                let Some((i, f)) = job else { break };
-                let out = f();
-                *slots[i].lock().expect("slot poisoned") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("slot poisoned").expect("job completed"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_keep_submission_order() {
-        // Stagger job durations so completion order differs from submission
-        // order; the result vector must not care.
-        let expected: Vec<usize> = (0..16).map(|i| i * i).collect();
-        for threads in [1, 2, 4, 32] {
-            let jobs: Vec<_> = (0..16usize)
-                .map(|i| {
-                    move || {
-                        std::thread::sleep(std::time::Duration::from_millis(((16 - i) % 5) as u64));
-                        i * i
-                    }
-                })
-                .collect();
-            assert_eq!(run_jobs(jobs, threads), expected, "threads {threads}");
-        }
-    }
-
-    #[test]
-    fn empty_and_degenerate_inputs() {
-        let none: Vec<fn() -> i32> = Vec::new();
-        assert_eq!(run_jobs(none, 4), Vec::<i32>::new());
-        assert_eq!(run_jobs(vec![|| 7], 0), vec![7], "threads clamp to 1");
-    }
-
-    #[test]
-    fn default_threads_is_positive() {
-        assert!(default_threads() >= 1);
-    }
-}
+pub use knots_sim::pool::{default_threads, run_jobs};

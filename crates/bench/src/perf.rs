@@ -83,6 +83,30 @@ pub struct SweepTiming {
     pub speedup_vs_serial: Option<f64>,
 }
 
+/// Event-calendar A/B: the same run with the calendar jumping multi-tick
+/// spans versus `naive_ticking` forcing one control-loop iteration per
+/// tick. The digests must agree bit for bit — the speedup is only real if
+/// the decisions are unchanged.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalendarBench {
+    /// Leg label (scheduler + timing shape).
+    pub name: String,
+    /// Wall time with `naive_ticking: true`, milliseconds.
+    pub naive_wall_ms: f64,
+    /// Wall time with the event calendar on, milliseconds.
+    pub calendar_wall_ms: f64,
+    /// `naive_wall_ms / calendar_wall_ms`.
+    pub speedup: f64,
+    /// Control-loop iterations the calendar took (the "step" phase count).
+    pub steps_taken: u64,
+    /// Ticks simulated (the "probe" phase count; identical in both modes).
+    pub ticks_total: u64,
+    /// Dead iterations the calendar never ran: `ticks_total - steps_taken`.
+    pub ticks_skipped: u64,
+    /// The calendar and naive report digests agreed bit for bit.
+    pub digests_match: bool,
+}
+
 /// One analyzer self-check leg with its digests rendered as hex.
 #[derive(Debug, Clone, Serialize)]
 pub struct SelfCheckLeg {
@@ -113,6 +137,8 @@ pub struct PerfReport {
     pub sweeps: Vec<SweepTiming>,
     /// Whether every sweep's parallel digest matched its serial digest.
     pub sweep_digests_match: bool,
+    /// Event-calendar vs naive-tick A/B legs.
+    pub calendar: Vec<CalendarBench>,
     /// Analyzer self-check legs.
     pub self_check: Vec<SelfCheckLeg>,
 }
@@ -120,7 +146,9 @@ pub struct PerfReport {
 impl PerfReport {
     /// Did every determinism assertion in the report hold?
     pub fn ok(&self) -> bool {
-        self.sweep_digests_match && self.self_check.iter().all(|l| l.ok)
+        self.sweep_digests_match
+            && self.calendar.iter().all(|c| c.digests_match)
+            && self.self_check.iter().all(|l| l.ok)
     }
 }
 
@@ -338,6 +366,54 @@ fn sweep_benches(cfg: &PerfConfig) -> (Vec<SweepTiming>, bool) {
     (sweeps, all_match)
 }
 
+fn calendar_benches(cfg: &PerfConfig) -> Vec<CalendarBench> {
+    // Heartbeat at 5× the tick: between scheduling rounds every tick is
+    // dead at the orchestrator level — the calendar's best case, and the
+    // shape where a correctness bug (a span jumping over a trigger) would
+    // immediately shift decisions and split the digests.
+    let mut run_cfg = ExperimentConfig {
+        duration: SimDuration::from_secs(if cfg.quick { 20 } else { 60 }),
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    run_cfg.orch.heartbeat = SimDuration::from_millis(50);
+    let mut naive_cfg = run_cfg;
+    naive_cfg.orch.naive_ticking = true;
+    let phase_count = |r: &knots_core::metrics::RunReport, phase: &str| {
+        r.phase_timings.iter().find(|t| t.phase == phase).map(|t| t.count).unwrap_or(0)
+    };
+    let mut out = Vec::new();
+    for name in ["Res-Ag", "CBP+PP"] {
+        let t0 = Instant::now();
+        let cal = knots_core::experiment::run_mix(
+            scheduler_by_name(name).expect("known scheduler"),
+            AppMix::Mix2,
+            &run_cfg,
+        );
+        let cal_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let naive = knots_core::experiment::run_mix(
+            scheduler_by_name(name).expect("known scheduler"),
+            AppMix::Mix2,
+            &naive_cfg,
+        );
+        let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let steps_taken = phase_count(&cal, "step");
+        let ticks_total = phase_count(&cal, "probe");
+        out.push(CalendarBench {
+            name: format!("{name}_mix2_hb50ms"),
+            naive_wall_ms: naive_ms,
+            calendar_wall_ms: cal_ms,
+            speedup: naive_ms / cal_ms.max(1e-9),
+            steps_taken,
+            ticks_total,
+            ticks_skipped: ticks_total.saturating_sub(steps_taken),
+            digests_match: report_digest(&cal) == report_digest(&naive),
+        });
+    }
+    out
+}
+
 fn self_check_legs() -> Vec<SelfCheckLeg> {
     selfcheck::run()
         .into_iter()
@@ -357,6 +433,8 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
     let micro = micro_benches(cfg);
     eprintln!("[perf: figure sweeps at 1 and {} thread(s) ...]", cfg.threads);
     let (sweeps, sweep_digests_match) = sweep_benches(cfg);
+    eprintln!("[perf: event-calendar vs naive-tick A/B ...]");
+    let calendar = calendar_benches(cfg);
     eprintln!("[perf: analyzer self-check legs ...]");
     let self_check = self_check_legs();
     PerfReport {
@@ -366,6 +444,7 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         micro,
         sweeps,
         sweep_digests_match,
+        calendar,
         self_check,
     }
 }
@@ -384,6 +463,25 @@ mod tests {
         // Serial and parallel legs of the same sweep share a digest string.
         assert_eq!(sweeps[0].digest, sweeps[1].digest);
         assert_eq!(sweeps[2].digest, sweeps[3].digest);
+    }
+
+    #[test]
+    fn calendar_legs_skip_ticks_and_keep_digests() {
+        let cfg = PerfConfig { quick: true, threads: 1, seed: 42 };
+        let legs = calendar_benches(&cfg);
+        assert_eq!(legs.len(), 2);
+        for leg in &legs {
+            assert!(leg.digests_match, "{}: calendar diverged from naive ticking", leg.name);
+            assert!(
+                leg.ticks_skipped > 0,
+                "{}: a 50 ms heartbeat over a 10 ms tick must skip dead iterations \
+                 ({} steps over {} ticks)",
+                leg.name,
+                leg.steps_taken,
+                leg.ticks_total
+            );
+            assert!(leg.naive_wall_ms > 0.0 && leg.calendar_wall_ms > 0.0);
+        }
     }
 
     #[test]

@@ -162,6 +162,22 @@ impl ChaosEngine {
         self.corruptions.retain(|_, (until, _)| *until > now);
     }
 
+    /// Earliest future instant at which a new action can fire: the next
+    /// unconsumed plan event (the list is sorted) or the nearest scheduled
+    /// follow-up, whichever comes first. Active dropout/corruption windows
+    /// don't appear here — probe interposition is a pure function of `now`
+    /// and is evaluated on every tick regardless of how the orchestrator
+    /// batches them. Feeds the orchestrator's event calendar; `None` means
+    /// the plan is exhausted and chaos can never act again.
+    pub fn next_due(&self) -> Option<SimTime> {
+        let next_event = self.events.get(self.cursor).map(|e| e.at);
+        let next_deferred = self.deferred.iter().map(|(t, _)| *t).min();
+        match (next_event, next_deferred) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Whether the node's probe is inside a dropout window at `now`.
     pub fn probe_dropped(&self, node: NodeId, now: SimTime) -> bool {
         self.dropouts.get(&node).is_some_and(|until| now < *until)

@@ -30,6 +30,11 @@ pub struct OrchestratorConfig {
     /// which the pinned digests assume — trusts every series, correct for
     /// a fault-free cluster where probes never miss a tick.
     pub freshness: Option<SimDuration>,
+    /// Force the control loop to advance one tick at a time instead of
+    /// jumping to the next calendar event. The event calendar is
+    /// bit-identical to naive ticking by construction; this switch exists
+    /// so tests (and the bench harness) can prove it on every run.
+    pub naive_ticking: bool,
 }
 
 impl Default for OrchestratorConfig {
@@ -41,6 +46,7 @@ impl Default for OrchestratorConfig {
             metric_interval: SimDuration::from_millis(100),
             drain_grace: SimDuration::from_secs(180),
             freshness: None,
+            naive_ticking: false,
         }
     }
 }
@@ -57,6 +63,7 @@ impl OrchestratorConfig {
             metric_interval: SimDuration::from_secs(1),
             drain_grace: SimDuration::from_secs(600),
             freshness: None,
+            naive_ticking: false,
         }
     }
 }

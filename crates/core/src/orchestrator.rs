@@ -20,10 +20,10 @@ use knots_sched::{Action, PendingPodView, SchedContext, Scheduler, SuspendedPodV
 use knots_sim::cluster::{Cluster, ClusterConfig};
 use knots_sim::error::SimError;
 use knots_sim::events::EventKind;
-use knots_sim::pod::QosClass;
+use knots_sim::pod::{PodState, QosClass};
 use knots_sim::time::SimTime;
 use knots_telemetry::{probe, TimeSeriesDb, UtilizationAggregator};
-use knots_workloads::ScheduledPod;
+use knots_workloads::{next_arrival, ScheduledPod};
 
 /// Stable label for an action's kind, used in metrics and audit events.
 fn action_kind(a: &Action) -> &'static str {
@@ -177,16 +177,22 @@ impl KubeKnots {
                     t0.elapsed().as_secs_f64() * 1e6,
                 );
             }
-            // 3. Advance.
-            {
-                let _span = self.timers.span("step");
-                self.cluster.step(self.cfg.tick);
-            }
-            // 4. Telemetry + metrics.
-            {
+            // 3+4. Advance and probe. The event calendar asks every layer
+            // for its next due instant and jumps there in one span; a span
+            // of one tick takes the plain path below, which is also what
+            // `naive_ticking` forces for the A/B determinism harness.
+            let k = self.span_ticks(schedule, next, deadline);
+            let arrivals_done = next >= schedule.len();
+            if k <= 1 {
+                {
+                    let _span = self.timers.span("step");
+                    self.cluster.step(self.cfg.tick);
+                }
                 let _span = self.timers.span("probe");
                 match self.chaos.as_mut() {
-                    None => probe::sample_cluster(&self.cluster, &self.tsdb),
+                    None => {
+                        probe::sample_cluster(&self.cluster, &self.tsdb);
+                    }
                     Some(engine) => {
                         let now = self.cluster.now();
                         let dropped =
@@ -207,16 +213,133 @@ impl KubeKnots {
                         );
                     }
                 }
+            } else {
+                self.advance_span(k, arrivals_done);
             }
             self.collect_metrics();
             self.garbage_collect();
 
-            let done = next >= schedule.len() && self.cluster.is_drained();
+            let done = arrivals_done && self.cluster.is_drained();
             if done || self.cluster.now() >= deadline {
                 break;
             }
         }
         self.report(schedule.len())
+    }
+
+    /// How many ticks the loop may advance before the next instant at which
+    /// any layer can act: the armed heartbeat, the metric grid, the next
+    /// workload arrival, the next chaos action, a cluster-level event
+    /// (relaunch expiry, auto-sleep deadline, pod completion/phase hint) or
+    /// the drain deadline. Everything due *at or before* now clamps to a
+    /// single tick, as does an unarmed heartbeat/metric grid, so the
+    /// calendar can never jump over a trigger — jumping *to* one is exact
+    /// because in-between ticks are provably inert at the orchestrator
+    /// level.
+    fn span_ticks(&self, schedule: &[ScheduledPod], next: usize, deadline: SimTime) -> u64 {
+        if self.cfg.naive_ticking {
+            return 1;
+        }
+        let Some(heartbeat) = self.aggregator.next_due() else { return 1 };
+        let Some(metric) = self.next_metric else { return 1 };
+        let now_us = self.cluster.now().as_micros();
+        let tick_us = self.cfg.tick.as_micros().max(1);
+        let ticks_until = |t: SimTime| -> u64 {
+            let t_us = t.as_micros();
+            if t_us <= now_us {
+                1
+            } else {
+                (t_us - now_us).div_ceil(tick_us)
+            }
+        };
+        let mut k = ticks_until(heartbeat).min(ticks_until(metric)).min(ticks_until(deadline));
+        if let Some(at) = next_arrival(schedule, next) {
+            k = k.min(ticks_until(at));
+        }
+        if let Some(engine) = self.chaos.as_ref() {
+            if let Some(t) = engine.next_due() {
+                k = k.min(ticks_until(t));
+            }
+        }
+        if let Some(t) = self.cluster.next_due(self.cfg.tick) {
+            k = k.min(ticks_until(t));
+        }
+        k.max(1)
+    }
+
+    /// Advance `k` ticks in one cluster span, probing after every tick so
+    /// the TSDB ends up byte-identical to `k` single steps. Quiet nodes
+    /// (failed or hosting nothing) skip per-tick stepping and have their
+    /// constant samples backfilled through the ordinary push path after the
+    /// span; under a chaos plan probe behaviour can differ per node per
+    /// tick, so batching is disabled and every node steps normally. The
+    /// span stops on the exact tick the cluster drains (`on_tick` → false)
+    /// so the reported duration matches naive ticking. The "step" timer
+    /// covers the whole span including the in-span probes; the nested
+    /// "probe" spans still account them separately.
+    fn advance_span(&mut self, k: u64, arrivals_done: bool) {
+        let tick = self.cfg.tick;
+        let start = self.cluster.now();
+        let quiet: Vec<bool> = if self.chaos.is_some() {
+            Vec::new()
+        } else {
+            self.cluster.nodes().iter().map(|n| n.is_failed() || n.resident_count() == 0).collect()
+        };
+        let mut dropped_total = 0u64;
+        let executed = {
+            let timers = &self.timers;
+            let tsdb = &self.tsdb;
+            let quiet_ref = &quiet;
+            let mut engine = self.chaos.as_mut();
+            let dropped = &mut dropped_total;
+            let _span = timers.span("step");
+            self.cluster.step_span(tick, k, quiet_ref, |c, activity| {
+                let _probe = timers.span("probe");
+                let now = c.now();
+                let mut w = tsdb.writer();
+                for (i, node) in c.nodes().iter().enumerate() {
+                    if node.is_failed() || quiet_ref.get(i).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let sample = match engine.as_deref_mut() {
+                        None => node.last_sample(),
+                        Some(e) => {
+                            if e.probe_dropped(node.id(), now) {
+                                *dropped += 1;
+                                continue;
+                            }
+                            e.corrupt_sample(node.id(), now, node.last_sample())
+                        }
+                    };
+                    w.push_node(node.id(), sample);
+                    for (pod_id, pod) in node.residents() {
+                        if matches!(pod.state(), PodState::Running) {
+                            w.push_pod(pod_id, sample.at, pod.last_usage());
+                        }
+                    }
+                }
+                drop(w);
+                !(arrivals_done && activity && c.is_drained())
+            })
+        };
+        if !quiet.is_empty() && executed > 0 {
+            let mut w = self.tsdb.writer();
+            for (i, node) in self.cluster.nodes().iter().enumerate() {
+                if quiet[i] && !node.is_failed() {
+                    w.push_node_span(node.id(), node.last_sample(), start, tick, executed);
+                }
+            }
+        }
+        if dropped_total > 0 {
+            self.obs.metrics.add("knots_probe_dropped_total", &[], dropped_total);
+        }
+        if self.chaos.is_some() {
+            self.obs.metrics.set_gauge(
+                "knots_telemetry_rejected_samples_total",
+                &[],
+                self.tsdb.rejected_total() as f64,
+            );
+        }
     }
 
     /// Replay every chaos action due at `now` against the cluster. Errors

@@ -16,6 +16,7 @@ use crate::ids::{ImageId, NodeId, PodId};
 use crate::metrics::GpuSample;
 use crate::node::{Node, StepOutcome};
 use crate::pod::{Pod, PodSpec};
+use crate::pool::{default_threads, WorkerPool};
 use crate::resources::GpuModel;
 use crate::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -33,6 +34,11 @@ pub struct ClusterConfig {
     pub auto_sleep_after: Option<SimDuration>,
     /// Node count at or above which `step` uses a parallel fan-out.
     pub parallel_threshold: usize,
+    /// Worker threads for the parallel fan-out. `None` resolves to the
+    /// host's available parallelism once at construction; a resolved count
+    /// of 1 disables the fan-out entirely (single-core hosts pay thread
+    /// coordination without any gain).
+    pub workers: Option<usize>,
     /// Container images pre-pulled on every node at cluster creation
     /// (production registries mirror hot images; pre-warmed services skip
     /// the cold start).
@@ -47,6 +53,7 @@ impl ClusterConfig {
             overheads: Overheads::default(),
             auto_sleep_after: None,
             parallel_threshold: 64,
+            workers: None,
             prewarm_images: Vec::new(),
         }
     }
@@ -73,6 +80,7 @@ impl ClusterConfig {
             overheads: Overheads::default(),
             auto_sleep_after: None,
             parallel_threshold: 64,
+            workers: None,
             prewarm_images: Vec::new(),
         }
     }
@@ -113,12 +121,26 @@ pub struct Cluster {
     queue: VecDeque<PodId>,
     pending: BTreeMap<PodId, Pod>,
     suspended: BTreeMap<PodId, Pod>,
-    relaunching: Vec<(SimTime, PodId, Pod)>,
+    /// Crashed pods waiting out their relaunch backoff, min-ordered by due
+    /// time. The `u64` is a monotonic insertion sequence: same-tick expiries
+    /// requeue in crash order (§IV-C queue-tail semantics) and distinct due
+    /// times never collide on the key.
+    relaunching: BTreeMap<(SimTime, u64), (PodId, Pod)>,
+    relaunch_seq: u64,
     completed: BTreeMap<PodId, Pod>,
     /// Pods abandoned by the crash-loop cap (terminal, never relaunched).
     failed: BTreeMap<PodId, Pod>,
     location: BTreeMap<PodId, Loc>,
     events: Vec<Event>,
+    /// Earliest instant the auto-sleep pass could transition a node, or
+    /// `None` when cluster state changed and it must rescan. Lets quiet
+    /// ticks skip the all-nodes idle scan.
+    sleep_scan_due: Option<SimTime>,
+    /// Worker count for the parallel fan-out, resolved once at build time.
+    workers: usize,
+    /// Persistent worker pool, built lazily on the first parallel step so
+    /// serial clusters never spawn threads.
+    pool: Option<WorkerPool>,
 }
 
 impl Cluster {
@@ -134,6 +156,7 @@ impl Cluster {
                 n
             })
             .collect();
+        let workers = cfg.workers.unwrap_or_else(default_threads).max(1);
         Cluster {
             cfg,
             nodes,
@@ -142,11 +165,15 @@ impl Cluster {
             queue: VecDeque::new(),
             pending: BTreeMap::new(),
             suspended: BTreeMap::new(),
-            relaunching: Vec::new(),
+            relaunching: BTreeMap::new(),
+            relaunch_seq: 0,
             completed: BTreeMap::new(),
             failed: BTreeMap::new(),
             location: BTreeMap::new(),
             events: Vec::new(),
+            sleep_scan_due: None,
+            workers,
+            pool: None,
         }
     }
 
@@ -196,7 +223,7 @@ impl Cluster {
             Loc::OnNode(n) => self.nodes[n.0].resident(id),
             Loc::Suspended => self.suspended.get(&id),
             Loc::Relaunching => {
-                self.relaunching.iter().find(|(_, pid, _)| *pid == id).map(|(_, _, p)| p)
+                self.relaunching.values().find(|(pid, _)| *pid == id).map(|(_, p)| p)
             }
             Loc::Completed => self.completed.get(&id),
             Loc::Failed => self.failed.get(&id),
@@ -370,6 +397,8 @@ impl Cluster {
             });
         };
         let mut pod = self.nodes[node.0].evict(id).ok_or(Self::desync(id, "preempt"))?;
+        // The node may now be idle; the auto-sleep cache must rescan.
+        self.sleep_scan_due = None;
         pod.suspend();
         pod.set_node(None);
         self.suspended.insert(id, pod);
@@ -424,6 +453,8 @@ impl Cluster {
             return Err(SimError::NodeAsleep(to));
         }
         let mut pod = self.nodes[from.0].evict(id).ok_or(Self::desync(id, "migrate"))?;
+        // The source node may now be idle; the auto-sleep cache must rescan.
+        self.sleep_scan_due = None;
         pod.suspend();
         pod.record_migration();
         self.nodes[to.0].reattach(id, pod, self.now, self.cfg.overheads.migration_delay);
@@ -457,6 +488,8 @@ impl Cluster {
         let n = self.nodes.get_mut(id.0).ok_or(SimError::UnknownNode(id))?;
         if n.gpu().is_asleep() {
             n.begin_wake(now + wake);
+            // A fresh empty-awake candidate appears; rescan for auto-sleep.
+            self.sleep_scan_due = None;
             self.events.push(Event::node(now, EventKind::NodeWoken { node: id }));
         }
         Ok(())
@@ -478,6 +511,8 @@ impl Cluster {
             return Ok(Vec::new());
         }
         let victims = n.fail();
+        // The node just lost its residents; the auto-sleep cache must rescan.
+        self.sleep_scan_due = None;
         self.events.push(Event::node(self.now, EventKind::NodeFailed { node: id }));
         let mut ids = Vec::with_capacity(victims.len());
         for (pid, pod) in victims {
@@ -494,6 +529,8 @@ impl Cluster {
         let n = self.nodes.get_mut(id.0).ok_or(SimError::UnknownNode(id))?;
         if n.is_failed() {
             n.recover(now);
+            // A fresh empty-awake candidate appears; rescan for auto-sleep.
+            self.sleep_scan_due = None;
             self.events.push(Event::node(now, EventKind::NodeRecovered { node: id }));
         }
         Ok(())
@@ -531,7 +568,8 @@ impl Cluster {
             self.failed.insert(id, pod);
             self.location.insert(id, Loc::Failed);
         } else {
-            self.relaunching.push((relaunch_at, id, pod));
+            self.relaunching.insert((relaunch_at, self.relaunch_seq), (id, pod));
+            self.relaunch_seq += 1;
             self.location.insert(id, Loc::Relaunching);
         }
     }
@@ -542,85 +580,229 @@ impl Cluster {
 
     /// Advance the cluster by `dt`.
     pub fn step(&mut self, dt: SimDuration) {
+        self.tick_once(dt, None);
+    }
+
+    /// One tick of size `dt`. `quiet` optionally marks nodes (by index)
+    /// whose stepping is deferred to a closed-form replay at span end —
+    /// see [`Cluster::step_span`]; `None` steps everything.
+    fn tick_once(&mut self, dt: SimDuration, quiet: Option<&[bool]>) {
         assert!(!dt.is_zero(), "step needs a positive dt");
         let now = self.now;
-
-        // 1. Step every node. Above the parallel threshold, fan out with
-        //    scoped threads; outcomes are consumed in node order either way,
-        //    so results are deterministic.
-        let outcomes: Vec<StepOutcome> = if self.nodes.len() >= self.cfg.parallel_threshold {
-            let chunk = self.nodes.len().div_ceil(num_threads());
-            std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .nodes
-                    .chunks_mut(chunk)
-                    .map(|nodes| {
-                        s.spawn(move || {
-                            nodes.iter_mut().map(|n| n.step(now, dt)).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    // knots-allow: P1 -- re-raising a worker-thread panic is the std idiom; there is no recovery
-                    .flat_map(|h| h.join().expect("node step panicked"))
-                    .collect()
-            })
-        } else {
-            self.nodes.iter_mut().map(|n| n.step(now, dt)).collect()
-        };
-
         self.now = now + dt;
 
-        // 2. Fold outcomes into cluster state.
-        for (i, out) in outcomes.into_iter().enumerate() {
-            let node = NodeId(i);
-            for id in out.started {
-                self.events.push(Event::pod(self.now, id, EventKind::Started { node }));
-            }
-            for (id, pod) in out.completed {
-                self.events.push(Event::pod(self.now, id, EventKind::Completed { node }));
-                self.completed.insert(id, pod);
-                self.location.insert(id, Loc::Completed);
-            }
-            for (id, pod, reason) in out.crashed {
-                self.crash_pod(id, pod, node, reason);
+        // 1. Step the nodes. Above the parallel threshold (and with more
+        //    than one resolved worker) fan out on the persistent pool;
+        //    outcomes are folded in node order either way, so results are
+        //    deterministic and identical across both paths.
+        if quiet.is_none() && self.workers > 1 && self.nodes.len() >= self.cfg.parallel_threshold {
+            self.step_nodes_pooled(now, dt);
+        } else {
+            for i in 0..self.nodes.len() {
+                if quiet.is_some_and(|q| q.get(i).copied().unwrap_or(false)) {
+                    continue;
+                }
+                let out = self.nodes[i].step(now, dt);
+                self.fold_outcome(NodeId(i), out);
             }
         }
 
-        // 3. Relaunches whose delay expired re-enter the queue tail (§IV-C:
-        //    relaunched tasks "cannot be prioritized over tasks ... already
-        //    ahead on the queue").
-        let mut requeued = Vec::new();
-        let mut i = 0;
-        while i < self.relaunching.len() {
-            if self.relaunching[i].0 <= self.now {
-                let (_, id, mut pod) = self.relaunching.remove(i);
-                pod.reenqueue();
-                requeued.push((id, pod));
-            } else {
-                i += 1;
-            }
+        // 2. Relaunches whose delay expired re-enter the queue tail.
+        self.requeue_due_relaunches();
+
+        // 3. Auto-sleep long-idle nodes.
+        self.auto_sleep_pass();
+    }
+
+    /// Fan node stepping out over the persistent worker pool. The node
+    /// vector is split into per-worker chunks that are *moved* to the pool
+    /// (no borrows cross threads) and reassembled in index order, then all
+    /// outcomes fold in node order — bit-identical to the serial path.
+    fn step_nodes_pooled(&mut self, now: SimTime, dt: SimDuration) {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.workers));
         }
-        for (id, pod) in requeued {
+        let Some(pool) = self.pool.as_ref() else { return };
+        let chunk = self.nodes.len().div_ceil(self.workers).max(1);
+        let mut chunks: Vec<Vec<Node>> = Vec::with_capacity(self.workers);
+        let mut rest = std::mem::take(&mut self.nodes);
+        while rest.len() > chunk {
+            let tail = rest.split_off(chunk);
+            chunks.push(rest);
+            rest = tail;
+        }
+        chunks.push(rest);
+        let results = pool.run(chunks, move |mut nodes: Vec<Node>| {
+            let outs: Vec<StepOutcome> = nodes.iter_mut().map(|n| n.step(now, dt)).collect();
+            (nodes, outs)
+        });
+        let mut outcomes = Vec::with_capacity(self.cfg.node_models.len());
+        for (nodes, outs) in results {
+            self.nodes.extend(nodes);
+            outcomes.extend(outs);
+        }
+        for (i, out) in outcomes.into_iter().enumerate() {
+            self.fold_outcome(NodeId(i), out);
+        }
+    }
+
+    /// Fold one node's tick outcome into cluster state. Called in node
+    /// order whether stepping ran serial or pooled.
+    fn fold_outcome(&mut self, node: NodeId, out: StepOutcome) {
+        if !out.completed.is_empty() || !out.crashed.is_empty() {
+            // The node may just have gone empty; any cached auto-sleep
+            // deadline could now be too late.
+            self.sleep_scan_due = None;
+        }
+        for id in out.started {
+            self.events.push(Event::pod(self.now, id, EventKind::Started { node }));
+        }
+        for (id, pod) in out.completed {
+            self.events.push(Event::pod(self.now, id, EventKind::Completed { node }));
+            self.completed.insert(id, pod);
+            self.location.insert(id, Loc::Completed);
+        }
+        for (id, pod, reason) in out.crashed {
+            self.crash_pod(id, pod, node, reason);
+        }
+    }
+
+    /// Relaunches whose delay expired re-enter the queue tail (§IV-C:
+    /// relaunched tasks "cannot be prioritized over tasks ... already
+    /// ahead on the queue"). Entries pop from the min-ordered map, and the
+    /// due batch re-sorts by insertion sequence so same-tick expiries
+    /// requeue in their original crash order — exactly what the old
+    /// linear scan produced, without its O(n²) `remove(i)` loop.
+    fn requeue_due_relaunches(&mut self) {
+        match self.relaunching.first_key_value() {
+            Some((&(at, _), _)) if at <= self.now => {}
+            _ => return,
+        }
+        let mut due: Vec<(u64, PodId, Pod)> = Vec::new();
+        loop {
+            match self.relaunching.first_key_value() {
+                Some((&(at, _), _)) if at <= self.now => {}
+                _ => break,
+            }
+            let Some(((_, seq), (id, mut pod))) = self.relaunching.pop_first() else { break };
+            pod.reenqueue();
+            due.push((seq, id, pod));
+        }
+        due.sort_by_key(|(seq, _, _)| *seq);
+        for (_, id, pod) in due {
             self.events.push(Event::pod(self.now, id, EventKind::Requeued));
             self.pending.insert(id, pod);
             self.queue.push_back(id);
             self.location.insert(id, Loc::Pending);
         }
+    }
 
-        // 4. Auto-sleep long-idle nodes.
-        if let Some(idle) = self.cfg.auto_sleep_after {
-            for i in 0..self.nodes.len() {
-                let n = &self.nodes[i];
-                let idle_for = self.now.saturating_since(n.last_busy());
-                if !n.gpu().is_asleep() && n.resident_count() == 0 && idle_for >= idle {
-                    let id = n.id();
-                    self.nodes[i].set_pstate(PState::DeepSleep);
-                    self.events.push(Event::node(self.now, EventKind::NodeSlept { node: id }));
+    /// Auto-sleep long-idle nodes. The full scan only runs when the cached
+    /// deadline has been reached (or invalidated by a state change); quiet
+    /// ticks in between cost one comparison. Transitions fire on exactly
+    /// the same ticks, in the same node order, as the old per-step scan.
+    fn auto_sleep_pass(&mut self) {
+        let Some(idle) = self.cfg.auto_sleep_after else { return };
+        if self.sleep_scan_due.is_some_and(|due| self.now < due) {
+            return;
+        }
+        let mut next_due = SimTime(u64::MAX);
+        for i in 0..self.nodes.len() {
+            let n = &self.nodes[i];
+            if n.gpu().is_asleep() || n.resident_count() > 0 {
+                // Residents can only leave through events that invalidate
+                // the cache, and sleepers only wake through `wake_node`;
+                // neither bounds the next scan.
+                continue;
+            }
+            let due = n.last_busy() + idle;
+            if self.now >= due {
+                let id = n.id();
+                self.nodes[i].set_pstate(PState::DeepSleep);
+                self.events.push(Event::node(self.now, EventKind::NodeSlept { node: id }));
+            } else {
+                next_due = next_due.min(due);
+            }
+        }
+        self.sleep_scan_due = Some(next_due);
+    }
+
+    /// Earliest future instant at which this layer can act on its own:
+    /// a relaunch backoff expiring, the cached auto-sleep deadline, or a
+    /// node-level event (wake/pull finishing, a running pod hitting a
+    /// completion or profile phase boundary). `None` when nothing is
+    /// pending. Purely an event-calendar *hint*: spans sub-step active
+    /// nodes at tick granularity regardless, so a conservative bound costs
+    /// speed, never correctness.
+    pub fn next_due(&self, dt: SimDuration) -> Option<SimTime> {
+        let mut due: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            due = Some(match due {
+                Some(d) if d <= t => d,
+                _ => t,
+            });
+        };
+        if let Some((&(at, _), _)) = self.relaunching.first_key_value() {
+            consider(at);
+        }
+        if self.cfg.auto_sleep_after.is_some() {
+            // A dirty cache means "scan on the very next tick".
+            consider(self.sleep_scan_due.unwrap_or(self.now));
+        }
+        for n in &self.nodes {
+            if let Some(t) = n.next_due(self.now, dt) {
+                consider(t);
+            }
+        }
+        due
+    }
+
+    /// Advance the cluster `k` ticks of size `dt` in one call.
+    ///
+    /// Behaviour is bit-identical to calling [`Cluster::step`] `k` times:
+    /// every node that can make progress still sub-steps at tick
+    /// granularity, and relaunch/auto-sleep processing runs every tick.
+    /// The only batching is for *quiet* nodes — failed, asleep or empty
+    /// ones whose per-tick work reduces to a constant sample and a fixed
+    /// power draw; `quiet[i]` marks them and their side effects are
+    /// replayed in closed form after the loop. Pass an empty slice to
+    /// disable batching (e.g. while fault injection can flip node state
+    /// mid-span).
+    ///
+    /// After each executed tick, `on_tick(&cluster, activity)` runs with
+    /// `activity` true when that tick changed pod state (completions,
+    /// crashes, requeues — anything that appends events); returning
+    /// `false` stops the span early, which the orchestrator uses to halt
+    /// on the exact tick the cluster drains. Returns the number of ticks
+    /// executed.
+    pub fn step_span(
+        &mut self,
+        dt: SimDuration,
+        k: u64,
+        quiet: &[bool],
+        mut on_tick: impl FnMut(&Cluster, bool) -> bool,
+    ) -> u64 {
+        let batching = !quiet.is_empty();
+        assert!(!batching || quiet.len() == self.nodes.len(), "quiet mask length mismatch");
+        let start = self.now;
+        let mut executed = 0;
+        while executed < k {
+            let events_before = self.events.len();
+            self.tick_once(dt, if batching { Some(quiet) } else { None });
+            executed += 1;
+            let activity = self.events.len() > events_before;
+            if !on_tick(self, activity) {
+                break;
+            }
+        }
+        if batching && executed > 0 {
+            for (i, &q) in quiet.iter().enumerate() {
+                if q {
+                    self.nodes[i].finish_quiet_span(start, dt, executed);
                 }
             }
         }
+        executed
     }
 
     /// Run until `deadline`, stepping by `dt`, invoking `hook` before every
@@ -636,11 +818,6 @@ impl Cluster {
             self.step(dt);
         }
     }
-}
-
-/// Worker thread count for parallel node stepping.
-fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 16)
 }
 
 #[cfg(test)]
@@ -848,6 +1025,9 @@ mod tests {
         let build = |threshold: usize| {
             let mut cfg = quiet_cfg(80);
             cfg.parallel_threshold = threshold;
+            // Force two workers so the pooled path engages even on a
+            // single-core host (where the resolved default is 1 -> serial).
+            cfg.workers = Some(2);
             let mut c = Cluster::new(cfg);
             for i in 0..80 {
                 let id = c.submit(spec(0.3 + (i % 5) as f64 / 10.0, 500.0, 0.8), SimTime::ZERO);

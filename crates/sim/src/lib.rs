@@ -53,6 +53,7 @@ pub mod ids;
 pub mod metrics;
 pub mod node;
 pub mod pod;
+pub mod pool;
 pub mod power;
 pub mod profile;
 pub mod resources;

@@ -275,6 +275,118 @@ impl Node {
         matches!(self.waking_until, Some(u) if u > now)
     }
 
+    /// Earliest future instant this node can change state on its own: a
+    /// wake or image pull finishing, or a running pod reaching a
+    /// completion / profile phase boundary. `None` for failed, asleep and
+    /// idle nodes (nothing is in flight). This is an event-calendar
+    /// *hint*: active nodes still sub-step at tick granularity inside a
+    /// span, so an estimate that is too early only shortens spans — the
+    /// completion bound therefore keeps a one-tick safety margin and
+    /// assumes the current contention level persists.
+    pub fn next_due(&self, now: SimTime, dt: SimDuration) -> Option<SimTime> {
+        if self.failed || self.gpu.is_asleep() {
+            return None;
+        }
+        let mut due: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            due = Some(match due {
+                Some(d) if d <= t => d,
+                _ => t,
+            });
+        };
+        if let Some(u) = self.waking_until {
+            if u > now {
+                consider(u);
+            }
+        }
+        if self.residents.is_empty() {
+            return due;
+        }
+        // Replicate the contention math of `step` Phase 2 to estimate how
+        // many whole ticks fit before the nearest boundary.
+        let spec = self.gpu.spec();
+        let dt_secs = dt.as_secs_f64();
+        let mut total_sm = 0.0;
+        let mut total_bw = 0.0;
+        for (_, pod) in &self.residents {
+            if matches!(pod.state(), PodState::Running) {
+                let d = pod.current_demand();
+                total_sm += d.sm_frac;
+                total_bw += d.total_bw_mbps();
+            }
+        }
+        let sm_speed = if total_sm > 1.0 { 1.0 / total_sm } else { 1.0 };
+        let bw_speed = if total_bw > spec.pcie_mbps { spec.pcie_mbps / total_bw } else { 1.0 };
+        let speed = sm_speed.min(bw_speed);
+        let per_tick = dt_secs * speed * spec.compute_scale;
+        for (_, pod) in &self.residents {
+            match pod.state() {
+                PodState::Pulling { until } => consider(until.max(now)),
+                PodState::Running => {
+                    let mut dist = pod.remaining_work();
+                    if let Some(b) = pod.next_phase_boundary() {
+                        dist = dist.min((b - pod.progress()).max(0.0));
+                    }
+                    if per_tick <= 0.0 || !per_tick.is_finite() {
+                        // Degenerate demand; re-evaluate next tick.
+                        consider(now);
+                        continue;
+                    }
+                    let ticks = (dist / per_tick).floor();
+                    let ticks =
+                        if ticks.is_finite() && ticks >= 2.0 { (ticks as u64) - 1 } else { 1 };
+                    consider(now + dt * ticks);
+                }
+                _ => {}
+            }
+        }
+        due
+    }
+
+    /// Replay `ticks` quiet ticks in closed form for a node that spent a
+    /// whole span failed or without residents: one constant sample moved
+    /// to the span end, and the per-tick energy accruals replicated
+    /// one-by-one so float rounding matches the naive path bit for bit.
+    pub(crate) fn finish_quiet_span(&mut self, start: SimTime, dt: SimDuration, ticks: u64) {
+        debug_assert!(self.residents.is_empty());
+        let end = start + dt * ticks;
+        if self.failed {
+            self.last_sample = GpuSample {
+                at: end,
+                sm_util: 0.0,
+                mem_used_mb: 0.0,
+                power_watts: 0.0,
+                tx_mbps: 0.0,
+                rx_mbps: 0.0,
+            };
+            return;
+        }
+        let spec = *self.gpu.spec();
+        // An empty node draws sleep power whether asleep or merely idle,
+        // so one closed form covers both p-states — and a mid-span
+        // auto-sleep transition changes neither samples nor energy.
+        self.last_sample = GpuSample {
+            at: end,
+            sm_util: 0.0,
+            mem_used_mb: 0.0,
+            power_watts: spec.sleep_watts,
+            tx_mbps: 0.0,
+            rx_mbps: 0.0,
+        };
+        for _ in 0..ticks {
+            self.energy.add(spec.sleep_watts, dt);
+        }
+        if !self.gpu.is_asleep() && ticks > 0 {
+            if let Some(u) = self.waking_until {
+                // The per-tick path clears the flag on the first tick whose
+                // pre-advance time has reached it.
+                if u.0 <= end.0 - dt.0 {
+                    self.waking_until = None;
+                }
+            }
+        }
+    }
+
     /// Advance the node by one tick.
     pub(crate) fn step(&mut self, now: SimTime, dt: SimDuration) -> StepOutcome {
         let mut out = StepOutcome::default();
@@ -390,7 +502,12 @@ impl Node {
         // downclock to `p_state 12` when idle, §VI-C) — consolidation thus
         // translates directly into power savings without explicit p-state
         // management.
-        let mem_used: f64 = self.residents.iter().map(|(_, p)| p.last_usage().mem_mb).sum();
+        // Fold from +0.0 (`Iterator::sum` starts at -0.0, whose sign would
+        // leak into an empty node's sample and break bit-parity with the
+        // asleep path and the quiet-span closed form; adding +0.0 first
+        // changes no non-empty sum's bits).
+        let mem_used: f64 =
+            self.residents.iter().map(|(_, p)| p.last_usage().mem_mb).fold(0.0, |a, b| a + b);
         let sm_util = granted_sm.min(1.0);
         let power = if self.residents.is_empty() {
             spec.sleep_watts

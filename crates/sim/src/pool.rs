@@ -1,0 +1,222 @@
+//! Shared worker-thread utilities: a one-shot scoped fan-out for borrowed
+//! jobs and a persistent [`WorkerPool`] for owned work.
+//!
+//! Both live here in `knots-sim` — the workspace's root crate — so the
+//! cluster's per-tick node fan-out and the bench harness's figure sweeps
+//! reuse the same primitives instead of growing private copies. Results are
+//! always returned in submission order no matter which worker finishes
+//! first, which keeps every consumer deterministic across thread counts.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Worker count to use when the caller does not specify one: the host's
+/// available parallelism, falling back to 1 when it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `jobs` on at most `threads` scoped worker threads and return their
+/// results in submission order.
+///
+/// `threads` is clamped to `1..=jobs.len()`; `threads == 1` degenerates to
+/// a plain serial loop on the calling thread (the baseline the perf harness
+/// times against). Jobs may borrow from the caller's stack — the threads
+/// are scoped — and a panicking job propagates out of the scope.
+pub fn run_jobs<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    // Indexed job queue; workers drain it and fill the slot matching each
+    // job's original position.
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap_or_else(PoisonError::into_inner).pop();
+                let Some((i, f)) = job else { break };
+                let out = f();
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            // knots-allow: P1 -- every queue entry is popped exactly once, so each slot is filled unless a job panicked (which already propagated)
+            s.into_inner().unwrap_or_else(PoisonError::into_inner).expect("job completed")
+        })
+        .collect()
+}
+
+/// A boxed unit of work shipped to a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent bounded worker pool: `threads` parked OS threads pulling
+/// boxed jobs off one shared channel.
+///
+/// Building the pool pays the thread-spawn cost once; every subsequent
+/// [`WorkerPool::run`] reuses the same threads. That is what makes
+/// per-tick fan-outs affordable — the previous scope-and-spawn-per-step
+/// pattern re-created threads thousands of times per simulated run.
+/// Dropping the pool closes the channel and joins every worker.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+                    match job {
+                        Ok(job) => job(),
+                        // The pool was dropped and the channel closed.
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Map `f` over `inputs` on the pool, returning outputs in input order.
+    ///
+    /// Inputs are moved into the jobs and outputs shipped back over a
+    /// results channel, so no borrows cross the thread boundary and the
+    /// pool stays free of `unsafe`. Blocks until every job finished.
+    pub fn run<T, R, F>(&self, inputs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let (rtx, rrx) = channel::<(usize, R)>();
+        // knots-allow: P1 -- the sender lives until drop; a closed channel means every worker died, which only a panicking job can cause
+        let tx = self.tx.as_ref().expect("pool sender alive until drop");
+        for (i, input) in inputs.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let rtx = rtx.clone();
+            let job: Job = Box::new(move || {
+                let out = f(input);
+                // The receiver only disappears if `run` itself panicked.
+                let _ = rtx.send((i, out));
+            });
+            // knots-allow: P1 -- see above: send only fails when all workers are gone
+            tx.send(job).expect("worker pool hung up");
+        }
+        drop(rtx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            // knots-allow: P1 -- re-raising a worker-side panic is the std idiom; there is no recovery
+            let (i, out) = rrx.recv().expect("a pool job panicked");
+            slots[i] = Some(out);
+        }
+        // knots-allow: P1 -- each index was sent exactly once, so every slot is filled
+        slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker with a RecvError.
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order() {
+        // Stagger job durations so completion order differs from submission
+        // order; the result vector must not care.
+        let expected: Vec<usize> = (0..16).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 32] {
+            let jobs: Vec<_> = (0..16usize)
+                .map(|i| {
+                    move || {
+                        std::thread::sleep(std::time::Duration::from_millis(((16 - i) % 5) as u64));
+                        i * i
+                    }
+                })
+                .collect();
+            assert_eq!(run_jobs(jobs, threads), expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let none: Vec<fn() -> i32> = Vec::new();
+        assert_eq!(run_jobs(none, 4), Vec::<i32>::new());
+        assert_eq!(run_jobs(vec![|| 7], 0), vec![7], "threads clamp to 1");
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_keeps_submission_order_across_runs() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        for round in 0..3u64 {
+            let inputs: Vec<u64> = (0..32).collect();
+            let out = pool.run(inputs, move |i| {
+                std::thread::sleep(std::time::Duration::from_millis((32 - i) % 3));
+                i * 10 + round
+            });
+            let expected: Vec<u64> = (0..32).map(|i| i * 10 + round).collect();
+            assert_eq!(out, expected, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_input_and_single_worker() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(pool.run(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(vec![5], |x: i32| x * 2), vec![10]);
+    }
+}

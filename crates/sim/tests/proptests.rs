@@ -127,4 +127,82 @@ proptest! {
             prop_assert!((progress - expected).abs() < 0.011, "sm {sm}: {progress} vs {expected}");
         }
     }
+
+    /// The event-calendar contract: advancing `k` ticks in one
+    /// `step_span` call — quiet nodes batched in closed form — leaves the
+    /// cluster in exactly the state `k` unit `step` calls produce, down to
+    /// the float bits of every sample, pod progress and the energy meter.
+    #[test]
+    fn span_stepping_is_bit_identical_to_unit_steps(
+        pods in proptest::collection::vec(
+            (0.05f64..1.0, 200.0f64..6_000.0, 0.05f64..2.0), 0..6),
+        nodes in 2usize..5,
+        k in 1u64..60,
+        auto_sleep_ms in (any::<bool>(), 1u64..1_000u64).prop_map(|(on, ms)| on.then_some(ms)),
+        fail_idle in any::<bool>(),
+    ) {
+        let build = || {
+            let mut cfg = ClusterConfig::homogeneous(nodes, GpuModel::P100);
+            cfg.overheads.cold_start_pull = SimDuration::from_millis(40);
+            cfg.auto_sleep_after = auto_sleep_ms.map(SimDuration::from_millis);
+            let mut c = Cluster::new(cfg);
+            for (i, (sm, mem, work)) in pods.iter().enumerate() {
+                let id = c.submit(
+                    PodSpec::batch(format!("p{i}"), ResourceProfile::constant(*sm, *mem, *work)),
+                    SimTime::ZERO,
+                );
+                // Node 0 stays idle (quiet); rejected placements stay
+                // pending, identically on both sides.
+                let _ = c.place(id, NodeId(1 + i % (nodes - 1)));
+            }
+            if fail_idle {
+                c.fail_node(NodeId(0)).unwrap();
+            }
+            c
+        };
+        let dt = SimDuration::from_millis(10);
+        let mut naive = build();
+        let mut span = build();
+        for _ in 0..k {
+            naive.step(dt);
+        }
+        let quiet: Vec<bool> =
+            span.nodes().iter().map(|n| n.is_failed() || n.resident_count() == 0).collect();
+        let executed = span.step_span(dt, k, &quiet, |_, _| true);
+        prop_assert_eq!(executed, k);
+        prop_assert_eq!(naive.now(), span.now());
+        prop_assert_eq!(
+            naive.total_energy_joules().to_bits(),
+            span.total_energy_joules().to_bits(),
+            "energy"
+        );
+        prop_assert_eq!(naive.events().len(), span.events().len(), "events");
+        prop_assert_eq!(naive.completed_len(), span.completed_len(), "completed");
+        prop_assert_eq!(naive.pending_len(), span.pending_len(), "pending");
+        for (a, b) in naive.nodes().iter().zip(span.nodes().iter()) {
+            let (sa, sb) = (a.last_sample(), b.last_sample());
+            prop_assert_eq!(sa.at, sb.at, "sample time on {:?}", a.id());
+            prop_assert_eq!(sa.sm_util.to_bits(), sb.sm_util.to_bits(), "sm on {:?}", a.id());
+            prop_assert_eq!(
+                sa.mem_used_mb.to_bits(),
+                sb.mem_used_mb.to_bits(),
+                "mem on {:?}",
+                a.id()
+            );
+            prop_assert_eq!(
+                sa.power_watts.to_bits(),
+                sb.power_watts.to_bits(),
+                "power on {:?}",
+                a.id()
+            );
+            prop_assert_eq!(sa.tx_mbps.to_bits(), sb.tx_mbps.to_bits(), "tx on {:?}", a.id());
+            prop_assert_eq!(sa.rx_mbps.to_bits(), sb.rx_mbps.to_bits(), "rx on {:?}", a.id());
+            prop_assert_eq!(a.resident_count(), b.resident_count(), "residents on {:?}", a.id());
+            prop_assert_eq!(a.gpu().is_asleep(), b.gpu().is_asleep(), "pstate on {:?}", a.id());
+            for ((ida, pa), (idb, pb)) in a.residents().zip(b.residents()) {
+                prop_assert_eq!(ida, idb);
+                prop_assert_eq!(pa.progress().to_bits(), pb.progress().to_bits(), "progress");
+            }
+        }
+    }
 }

@@ -46,6 +46,13 @@ impl UtilizationAggregator {
         self.next_due.is_none_or(|t| now >= t)
     }
 
+    /// The next scheduled heartbeat instant, if one has been armed by a
+    /// previous query. `None` means "due immediately" (before the first
+    /// query). Feeds the orchestrator's event calendar.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.next_due
+    }
+
     /// Build a snapshot (unconditionally) and schedule the next due time.
     /// The next due time snaps to the heartbeat grid (anchored at t=0)
     /// instead of `now + heartbeat`: when the simulation tick doesn't divide

@@ -33,6 +33,9 @@ pub fn sample_cluster_with(
     db: &TimeSeriesDb,
     mut hook: impl FnMut(NodeId, GpuSample) -> Option<GpuSample>,
 ) -> u64 {
+    // One batched writer per probe round: a single lock acquisition covers
+    // every node and pod push of this tick.
+    let mut w = db.writer();
     let mut dropped = 0;
     for node in cluster.nodes() {
         if node.is_failed() {
@@ -42,10 +45,10 @@ pub fn sample_cluster_with(
             dropped += 1;
             continue;
         };
-        db.push_node(node.id(), sample);
+        w.push_node(node.id(), sample);
         for (pod_id, pod) in node.residents() {
             if matches!(pod.state(), PodState::Running) {
-                db.push_pod(pod_id, sample.at, pod.last_usage());
+                w.push_pod(pod_id, sample.at, pod.last_usage());
             }
         }
     }

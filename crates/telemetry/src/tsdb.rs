@@ -137,6 +137,127 @@ struct Inner {
     pods: HashMap<PodId, PodEntry>,
 }
 
+impl Inner {
+    /// Shared push logic behind both the one-shot and the batched writers.
+    fn push_node(&mut self, cfg: &TsdbConfig, node: NodeId, sample: GpuSample) -> bool {
+        if Metric::ALL.iter().any(|m| !sample.get(*m).is_finite()) {
+            self.nodes.entry(node).or_default().rejected += 1;
+            self.rejected_total += 1;
+            return false;
+        }
+        let e = self.nodes.entry(node).or_default();
+        if e.q.len() == cfg.node_capacity {
+            if let Some(old) = e.q.pop_front() {
+                for (i, m) in Metric::ALL.iter().enumerate() {
+                    e.stats[i].evict(old.get(*m));
+                }
+            }
+        }
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            e.stats[i].push(sample.get(*m));
+        }
+        e.q.push_back(sample);
+        true
+    }
+
+    /// Shared push logic behind both the one-shot and the batched writers.
+    fn push_pod(&mut self, cfg: &TsdbConfig, pod: PodId, at: SimTime, usage: Usage) -> bool {
+        if !usage.mem_mb.is_finite()
+            || !usage.sm_frac.is_finite()
+            || !usage.total_bw_mbps().is_finite()
+        {
+            self.pods.entry(pod).or_default().rejected += 1;
+            self.rejected_total += 1;
+            return false;
+        }
+        let e = self.pods.entry(pod).or_default();
+        if e.q.len() == cfg.pod_capacity {
+            if let Some((_, old)) = e.q.pop_front() {
+                e.mem.evict(old.mem_mb);
+                e.sm.evict(old.sm_frac);
+            }
+        }
+        e.mem.push(usage.mem_mb);
+        e.sm.push(usage.sm_frac);
+        e.q.push_back((at, usage));
+        true
+    }
+}
+
+/// Half-open index range `[j, i)` of the samples with `start <= at <= now`.
+///
+/// Series timestamps are pushed in non-decreasing order (the probe stamps
+/// each sample with the advancing simulation clock), so the query window is
+/// always a contiguous run that ends at or near the back of the ring. A
+/// backwards scan from the newest sample costs O(window), not O(ring) —
+/// with an 8192-sample ring and a 5 s window this is the difference that
+/// keeps per-tick probing flat as a run grows.
+fn window_range<T>(
+    q: &VecDeque<T>,
+    at: impl Fn(&T) -> SimTime,
+    start: SimTime,
+    now: SimTime,
+) -> (usize, usize) {
+    let mut i = q.len();
+    while i > 0 && at(&q[i - 1]) > now {
+        i -= 1;
+    }
+    let mut j = i;
+    while j > 0 && at(&q[j - 1]) >= start {
+        j -= 1;
+    }
+    (j, i)
+}
+
+/// A batched write handle holding the store's write lock.
+///
+/// Per-tick probing pushes one sample per node and one per running pod;
+/// taking the lock once per tick instead of once per push removes the
+/// dominant constant cost of the probe phase. Values written through the
+/// writer are bit-identical to the one-shot [`TimeSeriesDb::push_node`] /
+/// [`TimeSeriesDb::push_pod`] calls. Drop the writer to release the lock.
+#[derive(Debug)]
+pub struct TsdbWriter<'a> {
+    cfg: TsdbConfig,
+    guard: std::sync::RwLockWriteGuard<'a, Inner>,
+}
+
+impl TsdbWriter<'_> {
+    /// Append a node sample; same semantics as [`TimeSeriesDb::push_node`].
+    pub fn push_node(&mut self, node: NodeId, sample: GpuSample) -> bool {
+        self.guard.push_node(&self.cfg, node, sample)
+    }
+
+    /// Append a pod usage sample; same semantics as
+    /// [`TimeSeriesDb::push_pod`].
+    pub fn push_pod(&mut self, pod: PodId, at: SimTime, usage: Usage) -> bool {
+        self.guard.push_pod(&self.cfg, pod, at, usage)
+    }
+
+    /// Backfill `ticks` constant samples for a quiet node: the same metric
+    /// values at `start + dt`, `start + 2·dt`, …, `start + ticks·dt`.
+    /// Each sample goes through the ordinary push path (Welford update,
+    /// eviction, rejection counting), so the series ends up bit-identical
+    /// to per-tick probing of an idle node. Returns accepted samples.
+    pub fn push_node_span(
+        &mut self,
+        node: NodeId,
+        sample: GpuSample,
+        start: SimTime,
+        dt: SimDuration,
+        ticks: u64,
+    ) -> u64 {
+        let mut accepted = 0;
+        for i in 1..=ticks {
+            let at = SimTime(start.0 + dt.0 * i);
+            if self.guard.push_node(&self.cfg, node, GpuSample { at, ..sample }) {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+}
+
 /// The time-series database.
 ///
 /// Thread-safe: writers (node samplers) and readers (the head-node
@@ -165,50 +286,20 @@ impl TimeSeriesDb {
     /// window statistic derived from the series. Returns whether the sample
     /// was accepted; rejections are counted per series and in total.
     pub fn push_node(&self, node: NodeId, sample: GpuSample) -> bool {
-        let mut g = self.inner.write();
-        if Metric::ALL.iter().any(|m| !sample.get(*m).is_finite()) {
-            g.nodes.entry(node).or_default().rejected += 1;
-            g.rejected_total += 1;
-            return false;
-        }
-        let e = g.nodes.entry(node).or_default();
-        if e.q.len() == self.cfg.node_capacity {
-            if let Some(old) = e.q.pop_front() {
-                for (i, m) in Metric::ALL.iter().enumerate() {
-                    e.stats[i].evict(old.get(*m));
-                }
-            }
-        }
-        for (i, m) in Metric::ALL.iter().enumerate() {
-            e.stats[i].push(sample.get(*m));
-        }
-        e.q.push_back(sample);
-        true
+        self.inner.write().push_node(&self.cfg, node, sample)
     }
 
     /// Append a pod usage sample, with the same non-finite rejection rule
     /// as [`TimeSeriesDb::push_node`].
     pub fn push_pod(&self, pod: PodId, at: SimTime, usage: Usage) -> bool {
-        let mut g = self.inner.write();
-        if !usage.mem_mb.is_finite()
-            || !usage.sm_frac.is_finite()
-            || !usage.total_bw_mbps().is_finite()
-        {
-            g.pods.entry(pod).or_default().rejected += 1;
-            g.rejected_total += 1;
-            return false;
-        }
-        let e = g.pods.entry(pod).or_default();
-        if e.q.len() == self.cfg.pod_capacity {
-            if let Some((_, old)) = e.q.pop_front() {
-                e.mem.evict(old.mem_mb);
-                e.sm.evict(old.sm_frac);
-            }
-        }
-        e.mem.push(usage.mem_mb);
-        e.sm.push(usage.sm_frac);
-        e.q.push_back((at, usage));
-        true
+        self.inner.write().push_pod(&self.cfg, pod, at, usage)
+    }
+
+    /// Open a batched write handle that holds the write lock until dropped.
+    /// Use for per-tick probe bursts: one lock acquisition per tick instead
+    /// of one per sample.
+    pub fn writer(&self) -> TsdbWriter<'_> {
+        TsdbWriter { cfg: self.cfg, guard: self.inner.write() }
     }
 
     /// Rejected (non-finite) samples for one node series.
@@ -283,7 +374,10 @@ impl TimeSeriesDb {
             .read()
             .nodes
             .get(&node)
-            .map(|e| e.q.iter().filter(|s| s.at >= start && s.at <= now).copied().collect())
+            .map(|e| {
+                let (j, i) = window_range(&e.q, |s| s.at, start, now);
+                e.q.range(j..i).copied().collect()
+            })
             .unwrap_or_default()
     }
 
@@ -316,7 +410,8 @@ impl TimeSeriesDb {
         out.clear();
         let start = SimTime(now.0.saturating_sub(window.0));
         if let Some(e) = self.inner.read().nodes.get(&node) {
-            out.extend(e.q.iter().filter(|s| s.at >= start && s.at <= now).map(|s| s.get(metric)));
+            let (j, i) = window_range(&e.q, |s| s.at, start, now);
+            out.extend(e.q.range(j..i).map(|s| s.get(metric)));
         }
         out.len()
     }
@@ -333,7 +428,10 @@ impl TimeSeriesDb {
             .read()
             .pods
             .get(&pod)
-            .map(|e| e.q.iter().filter(|(t, _)| *t >= start && *t <= now).copied().collect())
+            .map(|e| {
+                let (j, i) = window_range(&e.q, |(t, _)| *t, start, now);
+                e.q.range(j..i).copied().collect()
+            })
             .unwrap_or_default()
     }
 
@@ -350,7 +448,8 @@ impl TimeSeriesDb {
         out.clear();
         let start = SimTime(now.0.saturating_sub(window.0));
         if let Some(e) = self.inner.read().pods.get(&pod) {
-            out.extend(e.q.iter().filter(|(t, _)| *t >= start && *t <= now).map(|(_, u)| get(u)));
+            let (j, i) = window_range(&e.q, |(t, _)| *t, start, now);
+            out.extend(e.q.range(j..i).map(|(_, u)| get(u)));
         }
         out.len()
     }
@@ -615,6 +714,75 @@ mod tests {
         assert_eq!(db.node_len(NodeId(0)), 0);
         assert_eq!(db.pod_len(PodId(0)), 0);
         assert!(db.node_stats(NodeId(0), Metric::SmUtil).is_none());
+    }
+
+    #[test]
+    fn batched_writer_matches_one_shot_pushes() {
+        let a = TimeSeriesDb::new(TsdbConfig { node_capacity: 16, pod_capacity: 16 });
+        let b = TimeSeriesDb::new(TsdbConfig { node_capacity: 16, pod_capacity: 16 });
+        {
+            let mut w = a.writer();
+            for i in 0..40u64 {
+                w.push_node(NodeId(0), sample(i, (i as f64).cos()));
+                w.push_pod(PodId(1), SimTime::from_millis(i), Usage::new(0.3, i as f64, 1.0, 0.0));
+            }
+            assert!(!w.push_node(NodeId(0), sample(40, f64::NAN)), "rejection rule preserved");
+        }
+        for i in 0..40u64 {
+            b.push_node(NodeId(0), sample(i, (i as f64).cos()));
+            b.push_pod(PodId(1), SimTime::from_millis(i), Usage::new(0.3, i as f64, 1.0, 0.0));
+        }
+        b.push_node(NodeId(0), sample(40, f64::NAN));
+        let now = SimTime::from_millis(39);
+        let w = SimDuration::from_secs(1);
+        assert_eq!(
+            a.node_series(NodeId(0), Metric::SmUtil, now, w),
+            b.node_series(NodeId(0), Metric::SmUtil, now, w)
+        );
+        assert_eq!(
+            a.node_stats(NodeId(0), Metric::SmUtil),
+            b.node_stats(NodeId(0), Metric::SmUtil)
+        );
+        assert_eq!(a.node_rejected(NodeId(0)), b.node_rejected(NodeId(0)));
+        assert_eq!(a.pod_mem_series(PodId(1), now, w), b.pod_mem_series(PodId(1), now, w));
+    }
+
+    #[test]
+    fn span_backfill_matches_per_tick_pushes() {
+        // 12 quiet ticks through push_node_span must equal 12 individual
+        // pushes of the same constant sample with advancing timestamps —
+        // including ring eviction and Welford state.
+        let a = TimeSeriesDb::new(TsdbConfig { node_capacity: 8, pod_capacity: 8 });
+        let b = TimeSeriesDb::new(TsdbConfig { node_capacity: 8, pod_capacity: 8 });
+        let dt = SimDuration::from_millis(10);
+        let start = SimTime::from_millis(100);
+        let quiet = GpuSample {
+            at: start,
+            sm_util: 0.0,
+            mem_used_mb: 0.0,
+            power_watts: 9.0,
+            tx_mbps: 0.0,
+            rx_mbps: 0.0,
+        };
+        let accepted = a.writer().push_node_span(NodeId(3), quiet, start, dt, 12);
+        assert_eq!(accepted, 12);
+        for i in 1..=12u64 {
+            b.push_node(NodeId(3), GpuSample { at: start + dt * i, ..quiet });
+        }
+        let now = start + dt * 12;
+        let w = SimDuration::from_secs(5);
+        let wa = a.node_window(NodeId(3), now, w);
+        let wb = b.node_window(NodeId(3), now, w);
+        assert_eq!(wa.len(), wb.len());
+        for (x, y) in wa.iter().zip(wb.iter()) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.power_watts, y.power_watts);
+        }
+        assert_eq!(
+            a.node_stats(NodeId(3), Metric::PowerWatts),
+            b.node_stats(NodeId(3), Metric::PowerWatts)
+        );
+        assert_eq!(a.node_last_at(NodeId(3)), b.node_last_at(NodeId(3)));
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod loadgen;
 pub mod rodinia;
 
 pub use appmix::{AppMix, CovClass, LoadLevel};
-pub use loadgen::{LoadGenerator, ScheduledPod};
+pub use loadgen::{next_arrival, LoadGenerator, ScheduledPod};

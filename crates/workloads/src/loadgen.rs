@@ -61,6 +61,14 @@ impl LoadGenConfig {
     }
 }
 
+/// The arrival instant of the next unsubmitted pod, given how many have
+/// already been consumed from the (sorted) schedule. Feeds the
+/// orchestrator's event calendar: between arrivals the workload layer
+/// never needs the loop to wake on its account.
+pub fn next_arrival(schedule: &[ScheduledPod], next: usize) -> Option<SimTime> {
+    schedule.get(next).map(|s| s.at)
+}
+
 /// The load generator.
 #[derive(Debug)]
 pub struct LoadGenerator;

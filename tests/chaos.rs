@@ -55,10 +55,8 @@ fn pods_are_conserved_under_an_aggressive_fault_plan() {
     assert!(!plan.is_empty());
     let schedule = LoadGenerator::generate(AppMix::Mix2, &LoadGenConfig::new(duration, 7));
     let cluster_cfg = ClusterConfig::homogeneous(10, knots_sim::config::TESTBED_GPU);
-    let orch = OrchestratorConfig {
-        freshness: Some(SimDuration::from_secs(2)),
-        ..Default::default()
-    };
+    let orch =
+        OrchestratorConfig { freshness: Some(SimDuration::from_secs(2)), ..Default::default() };
     let mut k = KubeKnots::new(cluster_cfg, scheduler_by_name("CBP+PP").unwrap(), orch)
         .with_chaos(ChaosEngine::new(plan));
     let report = k.run_schedule(&schedule);

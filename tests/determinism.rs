@@ -120,6 +120,64 @@ fn chaos_sweep_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn event_calendar_matches_naive_ticking() {
+    // Heartbeat at 5× the tick: between scheduling rounds the calendar
+    // jumps multi-tick spans (quiet nodes in closed form, active nodes
+    // sub-stepped). Forcing `naive_ticking` must not move a single bit of
+    // the report for any scheduler.
+    for name in DNN_SCHEDULERS {
+        let mut c = cfg(42);
+        c.duration = SimDuration::from_secs(60);
+        c.orch.heartbeat = SimDuration::from_millis(50);
+        let calendar = run_mix(scheduler_by_name(name).unwrap(), AppMix::Mix2, &c);
+        c.orch.naive_ticking = true;
+        let naive = run_mix(scheduler_by_name(name).unwrap(), AppMix::Mix2, &c);
+        assert_eq!(
+            knots_analyzer::report_digest(&calendar),
+            knots_analyzer::report_digest(&naive),
+            "{name}: event calendar diverged from naive ticking"
+        );
+    }
+}
+
+#[test]
+fn event_calendar_matches_naive_ticking_under_chaos() {
+    // Same A/B with a seeded fault plan: node failures, degradations,
+    // probe dropouts, sample corruption and heartbeat delays all land on
+    // the same ticks whether the loop crawls or jumps.
+    use knots_chaos::{gen, GenConfig};
+    use knots_core::experiment::run_mix_with_chaos;
+    let duration = SimDuration::from_secs(60);
+    let plan =
+        || gen::generate(&GenConfig { seed: 9, nodes: 10, duration, faults_per_minute: 20.0 });
+    for name in DNN_SCHEDULERS {
+        let mut c = cfg(42);
+        c.duration = duration;
+        c.orch.heartbeat = SimDuration::from_millis(50);
+        let calendar = run_mix_with_chaos(
+            scheduler_by_name(name).unwrap(),
+            AppMix::Mix2,
+            &c,
+            knots_obs::Obs::disabled(),
+            plan(),
+        );
+        c.orch.naive_ticking = true;
+        let naive = run_mix_with_chaos(
+            scheduler_by_name(name).unwrap(),
+            AppMix::Mix2,
+            &c,
+            knots_obs::Obs::disabled(),
+            plan(),
+        );
+        assert_eq!(
+            knots_analyzer::report_digest(&calendar),
+            knots_analyzer::report_digest(&naive),
+            "{name}: event calendar diverged from naive ticking under chaos"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_diverge() {
     // Digest sanity: if report_digest collapsed distinct runs the replay
     // test above would be vacuous.
