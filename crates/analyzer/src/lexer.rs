@@ -16,7 +16,9 @@ pub enum TokKind {
     /// Identifier or keyword (raw identifiers are unescaped: `r#fn` → `fn`).
     Ident(String),
     /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
-    Str,
+    /// Carries the inner text between the quotes, escapes left raw — enough
+    /// for rules that pattern-match literal metric/span names (M1).
+    Str(String),
     /// Character or byte literal: `'x'`, `b'\n'`.
     Char,
     /// Numeric literal.
@@ -96,8 +98,8 @@ impl Lexer<'_> {
                 b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
                 b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
                 b'"' => {
-                    self.string();
-                    self.push(TokKind::Str, line, col);
+                    let s = self.string();
+                    self.push(TokKind::Str(s), line, col);
                 }
                 b'\'' => self.quote(line, col),
                 b'0'..=b'9' => {
@@ -161,9 +163,11 @@ impl Lexer<'_> {
         }
     }
 
-    /// A plain `"…"` string with escape handling; cursor on the opening `"`.
-    fn string(&mut self) {
+    /// A plain `"…"` string with escape handling; cursor on the opening
+    /// `"`. Returns the inner text (escapes left raw).
+    fn string(&mut self) -> String {
         self.bump();
+        let start = self.i;
         while self.i < self.b.len() {
             match self.b[self.i] {
                 b'\\' => {
@@ -173,18 +177,21 @@ impl Lexer<'_> {
                     }
                 }
                 b'"' => {
+                    let inner = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
                     self.bump();
-                    return;
+                    return inner;
                 }
                 _ => self.bump(),
             }
         }
+        String::from_utf8_lossy(&self.b[start..self.i]).into_owned()
     }
 
     /// A raw string `r"…"` / `r#"…"#` with `hashes` leading `#`s; cursor on
-    /// the opening quote.
-    fn raw_string(&mut self, hashes: usize) {
+    /// the opening quote. Returns the inner text.
+    fn raw_string(&mut self, hashes: usize) -> String {
         self.bump(); // opening quote
+        let start = self.i;
         while self.i < self.b.len() {
             if self.b[self.i] == b'"' {
                 let mut ok = true;
@@ -195,14 +202,16 @@ impl Lexer<'_> {
                     }
                 }
                 if ok {
+                    let inner = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
                     for _ in 0..=hashes {
                         self.bump();
                     }
-                    return;
+                    return inner;
                 }
             }
             self.bump();
         }
+        String::from_utf8_lossy(&self.b[start..self.i]).into_owned()
     }
 
     /// `'` starts either a lifetime (`'a`, `'static`) or a char literal
@@ -276,12 +285,12 @@ impl Lexer<'_> {
         let is_byte_prefix = matches!(word, b"b");
         match next {
             Some(b'"') if is_raw_prefix => {
-                self.raw_string(0);
-                self.push(TokKind::Str, line, col);
+                let s = self.raw_string(0);
+                self.push(TokKind::Str(s), line, col);
             }
             Some(b'"') if is_byte_prefix => {
-                self.string();
-                self.push(TokKind::Str, line, col);
+                let s = self.string();
+                self.push(TokKind::Str(s), line, col);
             }
             Some(b'\'') if is_byte_prefix => {
                 self.quote(line, col);
@@ -299,8 +308,8 @@ impl Lexer<'_> {
                         for _ in 0..h {
                             self.bump();
                         }
-                        self.raw_string(h);
-                        self.push(TokKind::Str, line, col);
+                        let s = self.raw_string(h);
+                        self.push(TokKind::Str(s), line, col);
                     }
                     Some(c) if word == b"r" && (c == b'_' || c.is_ascii_alphabetic()) => {
                         self.bump(); // #
@@ -337,7 +346,15 @@ mod tests {
     fn strings_hide_rule_text() {
         let l = lex(r#"let s = "HashMap::new() and unwrap()"; other();"#);
         assert!(!idents(r#"let s = "HashMap::new()";"#).contains(&"HashMap".to_string()));
-        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        let strs: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["HashMap::new() and unwrap()"]);
     }
 
     #[test]

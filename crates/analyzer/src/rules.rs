@@ -8,6 +8,7 @@
 //! | P1 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in non-test library code |
 //! | P2 | no `partial_cmp(..).unwrap()` comparators — `total_cmp` instead |
 //! | H1 | no `println!`-family output in library code (use `knots-obs`) |
+//! | M1 | metric/span name hygiene: metrics match `knots_[a-z0-9_]+` (counters end `_total`), span/event names are `dot.case` |
 //!
 //! Matching is purely token-shaped: strings, comments and `#[cfg(test)]`
 //! regions were already stripped or marked by the lexer/engine, so rule
@@ -34,7 +35,7 @@ pub struct Rule {
 }
 
 /// Every rule the engine knows, in reporting order.
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 7] = [
     Rule {
         id: "D1",
         severity: Severity::Deny,
@@ -76,6 +77,14 @@ pub const RULES: [Rule; 6] = [
         summary: "no println!/eprintln!/print!/eprint!/dbg! in library code",
         hint: "record through knots-obs (Recorder events or the metrics registry) so output \
                is capturable and bounded",
+    },
+    Rule {
+        id: "M1",
+        severity: Severity::Deny,
+        summary: "metric/span name hygiene: literal metric names must match `knots_[a-z0-9_]+` \
+                  (counters additionally end `_total`), span/event names must be `dot.case`",
+        hint: "rename the metric to `knots_<subsystem>_<what>[_total]`, or the span/event \
+               name to lowercase dot.case (`probe.round`, `sched.place`)",
     },
 ];
 
@@ -205,7 +214,87 @@ pub fn scan(toks: &[Tok], ctx: &FileContext, test_lines: &[(u32, u32)], out: &mu
                 format!("`{name}!` writes to the process streams from a library crate"),
             ));
         }
+
+        // M1 — metric/span name hygiene in non-test library code. Series
+        // identity is part of the dashboards' contract, so drift (a counter
+        // without `_total`, a camelCase span) is caught at the source.
+        if lib && !in_test(t.line) {
+            // Registry methods taking a literal metric name as first arg.
+            let is_counter_method =
+                matches!(name, "inc" | "add" | "counter_value" | "counters_named");
+            let is_series_method = is_counter_method
+                || matches!(
+                    name,
+                    "set_gauge" | "gauge_value" | "observe" | "observe_with" | "histogram"
+                );
+            if is_series_method && prev_is('.') && next_is('(') {
+                if let Some(TokKind::Str(s)) = toks.get(i + 2).map(|t2| &t2.kind) {
+                    if !is_metric_name(s) {
+                        out.push(diag(
+                            &RULES[6],
+                            &toks[i + 2],
+                            format!("metric name `{s}` does not match `knots_[a-z0-9_]+`"),
+                        ));
+                    } else if is_counter_method && !s.ends_with("_total") {
+                        out.push(diag(
+                            &RULES[6],
+                            &toks[i + 2],
+                            format!("counter `{s}` must end in `_total`"),
+                        ));
+                    }
+                }
+            }
+            // Span/event constructors: every depth-1 string argument is a
+            // component or span name and must be lowercase dot.case.
+            // Deeper strings (field keys inside tuples) are unconstrained.
+            let event_new = name == "new"
+                && next_is('(')
+                && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].ident() == Some("Event");
+            let tracer_record = matches!(name, "record_instant" | "record_complete")
+                && prev_is('.')
+                && next_is('(');
+            if event_new || tracer_record {
+                if let Some(close) = matching_paren(toks, i + 1) {
+                    let mut depth = 0usize;
+                    for t2 in &toks[i + 1..=close] {
+                        if t2.is_punct('(') {
+                            depth += 1;
+                        } else if t2.is_punct(')') {
+                            depth -= 1;
+                        } else if depth == 1 {
+                            if let TokKind::Str(s) = &t2.kind {
+                                if !is_span_name(s) {
+                                    out.push(diag(
+                                        &RULES[6],
+                                        t2,
+                                        format!("span/event name `{s}` is not lowercase dot.case"),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
+}
+
+/// `knots_` prefix, then lowercase/digit/underscore only.
+fn is_metric_name(s: &str) -> bool {
+    s.starts_with("knots_")
+        && s.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Non-empty `dot.case`: dot-separated segments of `[a-z0-9_]+`.
+fn is_span_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
 }
 
 /// Index of the `)` matching the `(` at `open`, or `None` when unbalanced.
@@ -265,6 +354,48 @@ mod tests {
     fn p1_matches_method_and_macro_forms() {
         let hits = run("fn f() { o.unwrap(); r.expect(\"x\"); panic!(\"no\"); todo!() }");
         assert_eq!(hits.iter().filter(|d| d.rule == "P1").count(), 4);
+    }
+
+    #[test]
+    fn m1_checks_metric_prefix_and_counter_suffix() {
+        let hits = run(r#"m.inc("requests", &[]);"#);
+        assert!(hits.iter().any(|d| d.rule == "M1" && d.message.contains("knots_")), "{hits:?}");
+        let hits = run(r#"m.inc("knots_requests", &[]);"#);
+        assert!(hits.iter().any(|d| d.rule == "M1" && d.message.contains("_total")), "{hits:?}");
+        assert!(run(r#"m.inc("knots_requests_total", &[]);"#).is_empty());
+        let hits = run(r#"m.set_gauge("knots_PendingPods", &[], 1.0);"#);
+        assert!(hits.iter().any(|d| d.rule == "M1"), "{hits:?}");
+        // Gauges and histograms need the prefix but not the suffix.
+        assert!(run(r#"m.set_gauge("knots_pending_pods", &[], 1.0);"#).is_empty());
+        assert!(run(r#"m.observe("knots_probe_latency_us", &[], 9.0);"#).is_empty());
+    }
+
+    #[test]
+    fn m1_checks_span_and_event_names_at_depth_one_only() {
+        let hits = run(r#"r.record(Event::new("orchestrator", "ProbeRound"));"#);
+        assert_eq!(hits.iter().filter(|d| d.rule == "M1").count(), 1, "{hits:?}");
+        assert!(run(r#"r.record(Event::new("orchestrator", "probe.round"));"#).is_empty());
+        // Field keys inside tuples sit at depth 2 and are unconstrained.
+        let src = r#"t.record_instant(Track::Pod(id), "sched.round", now, None,
+                     &[("Kind", FieldValue::Str("Place"))]);"#;
+        assert!(run(src).is_empty(), "{:?}", run(src));
+        let hits = run(r#"t.record_complete(Track::Control, "PoolBatch", a, b, None, &[]);"#);
+        assert!(hits.iter().any(|d| d.rule == "M1"), "{hits:?}");
+    }
+
+    #[test]
+    fn m1_skips_non_literal_and_non_library_code() {
+        // Variable names cannot be checked — no diagnostic.
+        assert!(run("m.inc(name, &[]);").is_empty());
+        let src = r#"m.inc("requests", &[]);"#;
+        let mut out = Vec::new();
+        let ctx = FileContext {
+            path: "crates/sim/tests/t.rs".into(),
+            crate_name: "sim".into(),
+            kind: crate::engine::FileKind::Harness,
+        };
+        scan(&lex(src).toks, &ctx, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

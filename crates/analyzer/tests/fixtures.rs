@@ -70,6 +70,17 @@ fn h1_fires_on_print_macros() {
 }
 
 #[test]
+fn m1_fires_on_bad_metric_and_span_names() {
+    let out = check(include_str!("fixtures/m1_names.rs"));
+    // Missing prefix, counter without _total, camelCase gauge, unprefixed
+    // histogram, camelCase event name, camelCase span name — and nothing
+    // on the conforming lines or the depth-2 field key.
+    assert_eq!(positions(&out, "M1"), vec![(4, 11), (5, 11), (6, 17), (7, 15), (8, 41), (9, 38)]);
+    assert!(out.iter().any(|d| d.rule == "M1" && d.message.contains("_total")));
+    assert_eq!(out.len(), 6, "{out:?}");
+}
+
+#[test]
 fn tricky_constructs_stay_silent_except_cfg_not_test() {
     let out = check(include_str!("fixtures/tricky.rs"));
     // The only legitimate hit: the unwrap inside #[cfg(not(test))], which

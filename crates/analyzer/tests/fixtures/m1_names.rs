@@ -1,0 +1,12 @@
+// M1: literal metric names need the knots_ prefix (counters also _total);
+// span/event names are lowercase dot.case. Depth-2 strings are field keys.
+fn f(m: &Registry, r: &Recorder, t: &Tracer) {
+    m.inc("requests_total", &[]);
+    m.add("knots_ticks", &[], 3);
+    m.set_gauge("knots_PendingPods", &[], 1.0);
+    m.observe("latency_us", &[], 9.0);
+    r.record(Event::new("orchestrator", "ProbeRound"));
+    t.record_instant(Track::Control, "sched.Round", 1, None, &[("Kind", v)]);
+    m.inc("knots_good_total", &[]);
+    t.record_complete(Track::Control, "pool.batch", 0, 1, None, &[]);
+}

@@ -1,10 +1,11 @@
 //! Observability overhead: a scheduler round with no recorder, a disabled
-//! recorder, and a live recorder, plus raw event-record throughput. The
-//! acceptance bar is that a disabled recorder costs <5% on `decide()` —
-//! tracing must be free when nobody asked for it.
+//! recorder, and a live recorder, plus raw event-record and span-record
+//! throughput. The acceptance bar is that a disabled recorder/tracer costs
+//! <5% — tracing must be free when nobody asked for it (the wall-time form
+//! of that bar is asserted in `tests/trace_overhead.rs`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use knots_obs::{Event, Recorder};
+use knots_obs::{Event, FieldValue, Recorder};
 use knots_sched::context::{app_key, PendingPodView, SchedContext};
 use knots_sched::{cbp::Cbp, pp::CbpPp, Scheduler};
 use knots_sim::ids::{NodeId, PodId};
@@ -13,6 +14,7 @@ use knots_sim::pod::QosClass;
 use knots_sim::resources::{GpuModel, Usage};
 use knots_sim::time::{SimDuration, SimTime};
 use knots_telemetry::{ClusterSnapshot, NodeView, PodView, TimeSeriesDb};
+use knots_trace::{Tracer, Track};
 
 fn snapshot(nodes: usize, pods_per_node: usize) -> ClusterSnapshot {
     let node_views = (0..nodes)
@@ -144,5 +146,51 @@ fn bench_record_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decide_with_recorder, bench_record_throughput);
+fn bench_trace_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    let disabled = Tracer::disabled();
+    let live = Tracer::bounded(1 << 16);
+    let modes: [(&str, &Tracer); 2] = [("disabled", &disabled), ("enabled", &live)];
+    for (label, tracer) in modes {
+        // The guarded form the orchestrator uses: the disabled mode should
+        // collapse to one branch and never build the args vector.
+        group.bench_with_input(BenchmarkId::new("span_guarded", label), &(), |b, _| {
+            b.iter(|| {
+                if tracer.enabled() {
+                    tracer.record_complete(
+                        Track::Pod(7),
+                        "sched.round",
+                        1_000,
+                        2_000,
+                        None,
+                        vec![
+                            ("scheduler", FieldValue::Str("CBP+PP".into())),
+                            ("kind", FieldValue::U64(1)),
+                        ],
+                    );
+                }
+            });
+        });
+        // The unguarded API cost, args included.
+        group.bench_with_input(BenchmarkId::new("span_instant", label), &(), |b, _| {
+            b.iter(|| {
+                tracer.record_instant(
+                    Track::Control,
+                    "probe.round",
+                    1_000,
+                    None,
+                    vec![("nodes", FieldValue::U64(10))],
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decide_with_recorder,
+    bench_record_throughput,
+    bench_trace_throughput
+);
 criterion_main!(benches);

@@ -13,9 +13,11 @@
 //!   cluster   the ten-node study: Figs. 6, 7, 8, 9, 10a, 11a, 11b
 //!   fig10b    prediction accuracy vs heartbeat interval
 //!   dnn       the 256-GPU DL study: Fig. 12a, Fig. 12b, Table IV
+//!   trace     the DNN bake-off with causal tracing ± a seeded fault plan:
+//!             Chrome traces per leg + per-stage latency breakdown + digest
 //!   chaos     fault-intensity sweep: QoS / throughput / crashes (DESIGN.md §10)
 //!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_4.json
-//!   all       everything above except chaos and perf
+//!   all       everything above except trace, chaos and perf
 //! ```
 //!
 //! `--quick` shrinks run lengths for smoke testing; the defaults match the
@@ -40,7 +42,7 @@ use knots_workloads::dnn::DnnWorkloadConfig;
 use std::io::Write as _;
 
 const USAGE: &str =
-    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|ablation|chaos|perf|all> \
+    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|trace|ablation|chaos|perf|all> \
      [--quick] [--seed N] [--secs N] [--json DIR] [--threads N] [--out FILE] \
      [--trace FILE.jsonl] [--metrics FILE.prom]";
 
@@ -225,6 +227,31 @@ fn run_dnn(opts: &Opts) {
     );
 }
 
+fn run_trace(opts: &Opts) {
+    let workload = if opts.quick {
+        DnnWorkloadConfig::smoke()
+    } else {
+        DnnWorkloadConfig { seed: opts.seed, ..DnnWorkloadConfig::compressed() }
+    };
+    eprintln!(
+        "[trace study: 4 schedulers x (clean, faulted), {} DLT + {} DLI, {} thread(s) ...]",
+        workload.dlt_jobs, workload.dli_tasks, opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    let study = trace_study::TraceStudy::run_threads(&workload, opts.seed, opts.threads);
+    eprintln!("[trace study done in {:.1?}]", t0.elapsed());
+    if let Some(dir) = &opts.json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        for leg in &study.legs {
+            let path = format!("{dir}/{}.json", trace_study::leg_slug(leg));
+            std::fs::write(&path, &leg.chrome_json).expect("write chrome trace");
+            eprintln!("[wrote {path}: {} spans]", leg.spans);
+        }
+    }
+    emit(opts, "trace", &[trace_study::breakdown_table(&study), trace_study::spans_table(&study)]);
+    println!("trace digest: {}", trace_study::digest(&study));
+}
+
 fn run_ablations(opts: &Opts) {
     let mut cfg = cluster_cfg(opts);
     if opts.secs.is_none() {
@@ -317,6 +344,7 @@ fn main() {
         }
         "fig10b" => run_fig10b(&opts),
         "dnn" | "fig12a" | "fig12b" | "table4" => run_dnn(&opts),
+        "trace" => run_trace(&opts),
         "ablation" | "ablations" => run_ablations(&opts),
         "chaos" => run_chaos(&opts),
         "perf" => run_perf(&opts),

@@ -11,3 +11,4 @@ pub mod fig10a_qos;
 pub mod fig10b_accuracy;
 pub mod fig11_power;
 pub mod fig12_dnn;
+pub mod trace_study;

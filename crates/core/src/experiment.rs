@@ -139,14 +139,58 @@ pub fn run_schedule_with_chaos(
     obs: knots_obs::Obs,
     plan: FaultPlan,
 ) -> RunReport {
+    run_schedule_traced(
+        scheduler,
+        schedule,
+        cluster_cfg,
+        orch,
+        obs,
+        plan,
+        knots_trace::Tracer::disabled(),
+    )
+}
+
+/// The bottom of the runner chain: observability bundle, fault plan *and*
+/// causal tracer. A disabled tracer takes exactly the untraced code path,
+/// so every shallower entry point stays bit-identical to before tracing
+/// existed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_schedule_traced(
+    scheduler: Box<dyn Scheduler>,
+    schedule: &[ScheduledPod],
+    cluster_cfg: ClusterConfig,
+    orch: OrchestratorConfig,
+    obs: knots_obs::Obs,
+    plan: FaultPlan,
+    tracer: knots_trace::Tracer,
+) -> RunReport {
     let mut k = KubeKnots::new(cluster_cfg, scheduler, orch)
         .with_obs(obs)
-        .with_chaos(ChaosEngine::new(plan));
+        .with_chaos(ChaosEngine::new(plan))
+        .with_tracer(tracer);
     k.run_schedule(schedule)
 }
 
 /// Run one scheduler over the §V-C DNN workload on the 256-GPU topology.
 pub fn run_dnn(scheduler: Box<dyn Scheduler>, workload: &DnnWorkloadConfig) -> RunReport {
+    run_dnn_traced(
+        scheduler,
+        workload,
+        knots_obs::Obs::disabled(),
+        FaultPlan::empty(),
+        knots_trace::Tracer::disabled(),
+    )
+}
+
+/// [`run_dnn`] with a fault plan and a causal tracer attached — the
+/// backing runner for `experiments trace`.
+pub fn run_dnn_traced(
+    scheduler: Box<dyn Scheduler>,
+    workload: &DnnWorkloadConfig,
+    obs: knots_obs::Obs,
+    plan: FaultPlan,
+    tracer: knots_trace::Tracer,
+) -> RunReport {
     let tasks = dnn::generate(workload);
     let schedule: Vec<ScheduledPod> =
         tasks.into_iter().map(|t| ScheduledPod { at: t.at, spec: t.spec }).collect();
@@ -158,7 +202,7 @@ pub fn run_dnn(scheduler: Box<dyn Scheduler>, workload: &DnnWorkloadConfig) -> R
     // Overloaded traces leave a queue at the end of the window; give the
     // backlog room to drain so JCT statistics cover the whole population.
     orch.drain_grace = SimDuration::from_secs((workload.duration.as_secs_f64() * 1.5) as u64);
-    run_schedule(scheduler, &schedule, cluster_cfg, orch)
+    run_schedule_traced(scheduler, &schedule, cluster_cfg, orch, obs, plan, tracer)
 }
 
 #[cfg(test)]

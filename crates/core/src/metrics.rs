@@ -305,6 +305,43 @@ mod tests {
     }
 
     #[test]
+    fn run_report_round_trips_through_json() {
+        let mut r = report(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        r.submitted = 7;
+        r.completed = 6;
+        r.skipped_breakdown = vec![
+            SkippedAction { kind: "Place".into(), error: "node_asleep".into(), count: 2 },
+            SkippedAction { kind: "Resize".into(), error: "invalid_state".into(), count: 1 },
+        ];
+        r.phase_timings = vec![PhaseTiming {
+            phase: "decide".into(),
+            count: 400,
+            p50_us: 12.0,
+            p95_us: 80.5,
+            p99_us: 140.25,
+            mean_us: 19.875,
+        }];
+        r.faults = FaultStats {
+            node_failures: 3,
+            degradations: 1,
+            probe_dropouts: 2,
+            corruption_windows: 1,
+            corrupted_samples: 9,
+            heartbeat_delays: 4,
+            rejected_samples: 5,
+            gave_up: 1,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.skipped_breakdown, r.skipped_breakdown);
+        assert_eq!(back.phase_timings, r.phase_timings);
+        assert_eq!(back.faults, r.faults);
+        // Re-serializing must reproduce the exact bytes: the JSON form is
+        // part of the determinism contract (`experiments --json` digests).
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
     fn violations_per_kilo() {
         let mut r = report(vec![]);
         r.lc_completed = 2000;

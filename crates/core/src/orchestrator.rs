@@ -15,7 +15,7 @@
 use crate::config::OrchestratorConfig;
 use crate::metrics::{FaultStats, JctStats, PhaseTiming, RunReport, SkippedAction};
 use knots_chaos::{ChaosAction, ChaosEngine};
-use knots_obs::{Event, Obs, PhaseTimers, Severity};
+use knots_obs::{Event, FieldValue, Obs, PhaseTimers, Severity};
 use knots_sched::{Action, PendingPodView, SchedContext, Scheduler, SuspendedPodView};
 use knots_sim::cluster::{Cluster, ClusterConfig};
 use knots_sim::error::SimError;
@@ -23,6 +23,7 @@ use knots_sim::events::EventKind;
 use knots_sim::pod::{PodState, QosClass};
 use knots_sim::time::SimTime;
 use knots_telemetry::{probe, TimeSeriesDb, UtilizationAggregator};
+use knots_trace::{LifecycleTracker, PodMeta, Tracer, Track};
 use knots_workloads::{next_arrival, ScheduledPod};
 
 /// Stable label for an action's kind, used in metrics and audit events.
@@ -68,6 +69,10 @@ pub struct KubeKnots {
     active_util: Vec<f64>,
     next_metric: Option<SimTime>,
     events_seen: usize,
+    tracer: Tracer,
+    lifecycle: LifecycleTracker,
+    trace_seen: usize,
+    round: u64,
 }
 
 impl KubeKnots {
@@ -97,6 +102,10 @@ impl KubeKnots {
             active_util: Vec::new(),
             next_metric: None,
             events_seen: 0,
+            tracer: Tracer::disabled(),
+            lifecycle: LifecycleTracker::new(),
+            trace_seen: 0,
+            round: 0,
         }
     }
 
@@ -110,6 +119,19 @@ impl KubeKnots {
     /// The attached observability bundle.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Attach a causal tracer. Like `with_obs`, a disabled tracer keeps
+    /// every emission site down to one branch, so untraced runs stay
+    /// bit-identical to runs built without tracing.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Attach a fault-injection engine. An inert engine (empty plan) is
@@ -170,7 +192,18 @@ impl KubeKnots {
             if self.aggregator.due(now) {
                 // knots-allow: D1 -- wall-clock heartbeat latency is an observability metric only; it never feeds back into simulation state
                 let t0 = std::time::Instant::now();
-                self.schedule_round();
+                let heartbeat_span = if self.tracer.enabled() {
+                    self.tracer.record_instant(
+                        Track::Control,
+                        "agg.heartbeat",
+                        now.as_micros(),
+                        None,
+                        vec![],
+                    )
+                } else {
+                    None
+                };
+                self.schedule_round(heartbeat_span);
                 self.obs.metrics.observe(
                     "knots_heartbeat_latency_us",
                     &[],
@@ -213,18 +246,49 @@ impl KubeKnots {
                         );
                     }
                 }
+                if self.tracer.enabled() {
+                    self.tracer.record_instant(
+                        Track::Control,
+                        "probe.round",
+                        self.cluster.now().as_micros(),
+                        None,
+                        vec![],
+                    );
+                }
             } else {
                 self.advance_span(k, arrivals_done);
             }
             self.collect_metrics();
             self.garbage_collect();
+            if self.tracer.enabled() {
+                self.trace_scan();
+            }
 
             let done = arrivals_done && self.cluster.is_drained();
             if done || self.cluster.now() >= deadline {
                 break;
             }
         }
+        if self.tracer.enabled() {
+            self.trace_scan();
+            self.lifecycle.flush(self.cluster.now().as_micros(), &self.tracer);
+        }
         self.report(schedule.len())
+    }
+
+    /// Fold cluster events recorded since the last scan into lifecycle
+    /// spans. Runs once per loop iteration when tracing is on, so the span
+    /// stream stays roughly chronological with the system spans.
+    fn trace_scan(&mut self) {
+        let events = self.cluster.events();
+        for e in &events[self.trace_seen..] {
+            let meta = e.pod.and_then(|id| self.cluster.pod(id)).map(|p| PodMeta {
+                arrival_us: p.arrival().as_micros(),
+                checkpoint_fraction: p.spec().checkpoint_fraction,
+            });
+            self.lifecycle.on_event(e, meta, &self.tracer);
+        }
+        self.trace_seen = events.len();
     }
 
     /// How many ticks the loop may advance before the next instant at which
@@ -340,6 +404,19 @@ impl KubeKnots {
                 self.tsdb.rejected_total() as f64,
             );
         }
+        if self.tracer.enabled() {
+            self.tracer.record_complete(
+                Track::Control,
+                "pool.batch",
+                start.as_micros(),
+                self.cluster.now().as_micros(),
+                None,
+                vec![
+                    ("ticks", FieldValue::U64(executed)),
+                    ("quiet", FieldValue::U64(quiet.iter().filter(|q| **q).count() as u64)),
+                ],
+            );
+        }
     }
 
     /// Replay every chaos action due at `now` against the cluster. Errors
@@ -374,6 +451,15 @@ impl KubeKnots {
                             .severity(Severity::Warn)
                             .str("kind", kind),
                     );
+                    if self.tracer.enabled() {
+                        self.tracer.record_instant(
+                            Track::Control,
+                            "chaos.inject",
+                            now_us,
+                            None,
+                            vec![("kind", FieldValue::Str(kind.to_string()))],
+                        );
+                    }
                 }
                 Err(e) => {
                     self.obs.metrics.inc(
@@ -387,7 +473,8 @@ impl KubeKnots {
     }
 
     /// One scheduling round: snapshot, contextualize, decide, apply.
-    fn schedule_round(&mut self) {
+    /// `trace_parent` is the heartbeat instant that triggered this round.
+    fn schedule_round(&mut self, trace_parent: Option<u64>) {
         let snapshot_span = self.timers.span("snapshot");
         let snapshot = self.aggregator.query(&self.cluster);
         let pending: Vec<PendingPodView> = self
@@ -451,10 +538,36 @@ impl KubeKnots {
             self.obs.metrics.add("knots_stats_cache_misses_total", &[], cs.misses);
             actions
         };
+        let round_span = if self.tracer.enabled() {
+            self.round += 1;
+            self.tracer.record_instant(
+                Track::Control,
+                "sched.round",
+                self.cluster.now().as_micros(),
+                trace_parent,
+                vec![
+                    ("round", FieldValue::U64(self.round)),
+                    ("scheduler", FieldValue::Str(self.scheduler.name().to_string())),
+                    ("pending", FieldValue::U64(pending.len() as u64)),
+                    ("actions", FieldValue::U64(actions.len() as u64)),
+                ],
+            )
+        } else {
+            None
+        };
         let _span = self.timers.span("apply");
         let now_us = self.cluster.now().as_micros();
         for action in actions {
             let kind = action_kind(&action);
+            let audit_pod = match &action {
+                Action::Place { pod, .. }
+                | Action::Resize { pod, .. }
+                | Action::ConfigureGrowth { pod, .. }
+                | Action::Preempt { pod }
+                | Action::Resume { pod, .. }
+                | Action::Migrate { pod, .. } => Some(pod.0),
+                Action::Wake { .. } | Action::Sleep { .. } => None,
+            };
             // Memory-harvesting accounting needs the pod's request before the
             // action lands: a Resize below request is harvested headroom.
             let mb_delta = match &action {
@@ -480,6 +593,25 @@ impl KubeKnots {
             match res {
                 Ok(()) => {
                     self.obs.metrics.inc("knots_actions_applied_total", &[("kind", kind)]);
+                    // The audit link: a pod-track instant tying the decision
+                    // that moved this pod back to the deciding round.
+                    if self.tracer.enabled() {
+                        if let Some(pod) = audit_pod {
+                            self.tracer.record_instant(
+                                Track::Pod(pod),
+                                "sched.round",
+                                now_us,
+                                round_span,
+                                vec![
+                                    ("kind", FieldValue::Str(kind.to_string())),
+                                    (
+                                        "scheduler",
+                                        FieldValue::Str(self.scheduler.name().to_string()),
+                                    ),
+                                ],
+                            );
+                        }
+                    }
                     match mb_delta {
                         Some(("requested", mb)) => {
                             self.obs.metrics.add("knots_requested_mb_total", &[], mb as u64);
@@ -526,6 +658,27 @@ impl KubeKnots {
                 self.active_util.push(util);
             }
         }
+        // Telemetry freshness: per-node sample age plus a stale-series
+        // count against the configured bound, so stale-fallback behaviour
+        // is observable without grepping the audit log.
+        let now_us = now.as_micros();
+        let mut stale = 0u64;
+        for node in self.cluster.nodes() {
+            let age_us = match self.tsdb.node_last_at(node.id()) {
+                Some(t) => now_us.saturating_sub(t.as_micros()),
+                None => now_us,
+            };
+            let label = node.id().0.to_string();
+            self.obs.metrics.set_gauge(
+                "knots_telemetry_node_age_us",
+                &[("node", &label)],
+                age_us as f64,
+            );
+            if self.cfg.freshness.is_some_and(|f| age_us > f.as_micros()) {
+                stale += 1;
+            }
+        }
+        self.obs.metrics.set_gauge("knots_telemetry_stale_series", &[], stale as f64);
     }
 
     /// Drop TSDB series of pods that finished since the last call.
@@ -892,5 +1045,64 @@ mod tests {
         // Skipped breakdown is consistent with the aggregate counter.
         let sum: u64 = report.skipped_breakdown.iter().map(|s| s.count).sum();
         assert_eq!(sum as usize, report.skipped_actions);
+    }
+
+    #[test]
+    fn tracer_captures_lifecycle_and_system_spans() {
+        let tracer = Tracer::bounded(1 << 16);
+        let mut k = KubeKnots::new(quiet(2), Box::new(CbpPp::new()), OrchestratorConfig::default())
+            .with_tracer(tracer);
+        let report = k.run_schedule(&tiny_schedule());
+        assert_eq!(report.completed, 6);
+        let spans = k.tracer().spans();
+        let has = |name: &str| spans.iter().any(|s| s.name == name);
+        for name in ["queued", "placed", "running", "completed", "agg.heartbeat", "sched.round"] {
+            assert!(has(name), "missing span {name}");
+        }
+        // Every pod's chain terminates: 6 completions on pod tracks.
+        let completed = spans.iter().filter(|s| s.name == "completed").count();
+        assert_eq!(completed, 6);
+        // Audit links tie pod placements back to a scheduling round.
+        let audit = spans
+            .iter()
+            .find(|s| s.name == "sched.round" && matches!(s.track, Track::Pod(_)))
+            .expect("pod-track audit instant");
+        let parent = audit.parent.expect("audit links to the deciding round");
+        assert!(spans
+            .iter()
+            .any(|s| s.id == parent && s.name == "sched.round" && s.track == Track::Control));
+        // Stage histograms fold every complete span.
+        let stages = k.tracer().stage_histograms();
+        assert!(stages.iter().any(|(name, h)| *name == "queued" && h.count() >= 6));
+    }
+
+    #[test]
+    fn disabled_tracer_keeps_the_run_untraced() {
+        let mut k = KubeKnots::new(quiet(2), Box::new(CbpPp::new()), OrchestratorConfig::default());
+        let report = k.run_schedule(&tiny_schedule());
+        assert_eq!(report.completed, 6);
+        assert!(k.tracer().is_empty());
+        assert!(k.tracer().stage_histograms().is_empty());
+    }
+
+    #[test]
+    fn freshness_gauges_track_node_sample_age() {
+        let obs = knots_obs::Obs::disabled();
+        let cfg =
+            OrchestratorConfig { freshness: Some(SimDuration::from_secs(5)), ..Default::default() };
+        let mut k = KubeKnots::new(quiet(2), Box::new(CbpPp::new()), cfg).with_obs(obs);
+        k.run_schedule(&tiny_schedule());
+        // Per-node age gauges exist for every node; probes run every tick,
+        // so nothing is stale.
+        for node in ["0", "1"] {
+            assert!(
+                k.obs()
+                    .metrics
+                    .gauge_value("knots_telemetry_node_age_us", &[("node", node)])
+                    .is_some(),
+                "missing age gauge for node {node}"
+            );
+        }
+        assert_eq!(k.obs().metrics.gauge_value("knots_telemetry_stale_series", &[]), Some(0.0));
     }
 }

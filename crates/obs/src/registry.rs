@@ -27,11 +27,29 @@ impl Key {
         if self.labels.is_empty() {
             self.name.clone()
         } else {
-            let inner: Vec<String> =
-                self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            let inner: Vec<String> = self
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                .collect();
             format!("{}{{{}}}", self.name, inner.join(","))
         }
     }
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double-quote and line feed must be backslash-escaped.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 #[derive(Debug, Default)]

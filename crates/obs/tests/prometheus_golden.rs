@@ -1,0 +1,54 @@
+//! Conformance test: the Prometheus text exposition (v0.0.4) must match a
+//! hand-written golden file byte for byte — `# TYPE` lines once per metric
+//! name, cumulative `_bucket{le=...}` rows ending in `+Inf`, `_sum` and
+//! `_count` per histogram series, and backslash-escaped label values.
+
+use knots_obs::{Histogram, Registry};
+
+const GOLDEN: &str = include_str!("golden/prometheus.txt");
+
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.add("knots_actions_applied_total", &[("kind", "Place")], 3);
+    r.inc("knots_actions_applied_total", &[("kind", "Resize")]);
+    r.add("knots_crashes_total", &[], 2);
+    // Label values exercising every escape the format requires.
+    r.set_gauge("knots_node_info", &[("path", "a\\b"), ("desc", "say \"hi\"\nnow")], 1.0);
+    r.set_gauge("knots_pending_pods", &[], 4.0);
+    let buckets = || Histogram::new(vec![1.0, 5.0, 25.0]);
+    r.observe_with("knots_probe_latency_us", &[("node", "0")], 0.5, buckets);
+    r.observe_with("knots_probe_latency_us", &[("node", "0")], 3.0, buckets);
+    r.observe_with("knots_probe_latency_us", &[("node", "1")], 30.0, buckets);
+    r
+}
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let text = golden_registry().to_prometheus();
+    assert_eq!(
+        text, GOLDEN,
+        "exposition drifted from tests/golden/prometheus.txt:\n--- got ---\n{text}"
+    );
+}
+
+#[test]
+fn golden_file_is_well_formed() {
+    // Every non-comment line is `series value`; every `# TYPE` names a
+    // metric that actually appears below it.
+    for line in GOLDEN.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap();
+            let kind = parts.next().unwrap();
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
+            assert!(
+                GOLDEN.lines().any(|l| !l.starts_with('#') && l.starts_with(name)),
+                "dangling TYPE for {name}"
+            );
+        } else {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty(), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+        }
+    }
+}
