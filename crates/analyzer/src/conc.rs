@@ -1,0 +1,635 @@
+//! Scope-aware concurrency rules: the guard-lifetime tracker behind C1,
+//! the lock-acquisition recorder behind C2, and the token passes for C3
+//! (undocumented `unsafe`) and C4 (nondeterministic channel draining).
+//!
+//! The tracker is deliberately syntactic. A *guard binding* is a statement
+//! of the shape
+//!
+//! ```text
+//! let [mut] NAME = <expr> . (lock|read|write|writer) ( … ) [adapter]* ;
+//! ```
+//!
+//! where `adapter` is one of `.unwrap()`, `.expect(..)`,
+//! `.unwrap_or_else(..)` — the poison-handling idioms this workspace uses.
+//! Any further method call after the adapter chain means the binding holds
+//! a *derived* value (`.len()`, `.get(..)`, …) and the guard was a
+//! temporary that died at the `;`, so it is not tracked. A guard is live
+//! from its binding to `drop(NAME)` in the same block, or to the block's
+//! closing brace. That over-approximates NLL (rustc may end the borrow
+//! earlier) which is the right direction for a lint about *lock* lifetimes:
+//! lock guards release on `Drop`, exactly at `drop()` or end of scope.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileContext;
+use crate::lexer::{LineComment, Tok, TokKind};
+use crate::parser::ScopeTree;
+use crate::rules::{self, DECISION_CRATES};
+
+/// One lock-acquisition edge: while `held` was live, `acquired` was taken.
+/// Lock identity is `crate::receiver-tail` — coarse, but deterministic and
+/// workspace-comparable (see [`crate::lockgraph`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock already held at the acquisition site.
+    pub held: String,
+    /// Lock being acquired.
+    pub acquired: String,
+    /// Repo-relative path of the acquisition site.
+    pub path: String,
+    /// 1-based line of the acquisition site.
+    pub line: u32,
+    /// 1-based column of the acquisition site.
+    pub col: u32,
+}
+
+/// A tracked guard binding.
+struct Guard {
+    /// Bound name (`g` in `let g = m.lock()…;`).
+    name: String,
+    /// Lock identity (`crate::receiver-tail`).
+    lock: String,
+    /// Token index of the binding's `let`.
+    start: usize,
+    /// Exclusive token index where liveness ends (drop site or block close).
+    end: usize,
+    /// 1-based line of the acquisition, for messages.
+    line: u32,
+}
+
+/// Methods that produce a lock guard.
+fn is_acquire(name: &str) -> bool {
+    matches!(name, "lock" | "read" | "write" | "writer")
+}
+
+/// Post-acquisition adapters that still yield the guard itself.
+fn is_adapter(name: &str) -> bool {
+    matches!(name, "unwrap" | "expect" | "unwrap_or_else")
+}
+
+/// Run the concurrency rules over one file. Emits C1/C3/C4 diagnostics
+/// into `out` and returns the lock-acquisition edges for the workspace
+/// graph (C2 is judged globally in [`crate::lockgraph`]).
+pub fn scan(
+    toks: &[Tok],
+    tree: &ScopeTree,
+    comments: &[LineComment],
+    ctx: &FileContext,
+    test_lines: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+) -> Vec<LockEdge> {
+    let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+    let lib = ctx.is_library();
+
+    c3_unsafe_needs_safety_comment(toks, comments, ctx, out);
+    if lib {
+        c4_nondeterministic_drain(toks, ctx, test_lines, out);
+    }
+    if !lib {
+        return Vec::new();
+    }
+
+    let guards = collect_guards(toks, tree, ctx);
+    let mut edges = Vec::new();
+
+    // C2 edges: any acquisition inside a guard's live range. Test-region
+    // sites are skipped — test-only lock nesting must not inject edges
+    // into the production ordering graph.
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !is_acquire(name) || !prev_is(toks, i, '.') || !next_is(toks, i, '(') || in_test(t.line)
+        {
+            continue;
+        }
+        let acquired = lock_identity(toks, i, ctx);
+        for g in &guards {
+            // Skip the guard's own acquisition token.
+            if i > g.start && i < g.end && !(t.line == g.line && acquired == g.lock) {
+                edges.push(LockEdge {
+                    held: g.lock.clone(),
+                    acquired: acquired.clone(),
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+
+    // C1: blocking fan-out / wait calls inside a guard's live range.
+    for (i, t) in toks.iter().enumerate() {
+        let Some(kind) = blocking_call(toks, i) else { continue };
+        if in_test(t.line) {
+            continue;
+        }
+        // Guards *consumed by* a condvar wait are the normal idiom:
+        // `cv.wait(g)` moves `g` in. Collect depth-1 argument idents so
+        // those guards are exempt for this call.
+        let consumed: Vec<String> =
+            if kind.is_wait() { call_arg_idents(toks, i) } else { Vec::new() };
+        for g in &guards {
+            if i > g.start && i < g.end && !consumed.contains(&g.name) {
+                let r = rules::C1;
+                out.push(Diagnostic {
+                    rule: r.id,
+                    severity: r.severity,
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "guard `{}` on `{}` (acquired line {}) is live across this {} \
+                         call; a worker that touches the same lock deadlocks",
+                        g.name,
+                        g.lock,
+                        g.line,
+                        kind.label()
+                    ),
+                    hint: r.hint,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// What kind of blocking call a token starts, if any.
+#[derive(Debug, Clone, Copy)]
+enum Blocking {
+    RunJobs,
+    PoolRun,
+    ThreadScope,
+    CondvarWait,
+}
+
+impl Blocking {
+    fn is_wait(self) -> bool {
+        matches!(self, Blocking::CondvarWait)
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Blocking::RunJobs => "`run_jobs` fan-out",
+            Blocking::PoolRun => "`WorkerPool::run` fan-out",
+            Blocking::ThreadScope => "`thread::scope` fan-out",
+            Blocking::CondvarWait => "condvar wait",
+        }
+    }
+}
+
+/// Classify token `i` as the head of a blocking call (C1's set). `recv` is
+/// deliberately *not* in the set: holding the receiver mutex across
+/// `recv()` is the worker-pool idiom (the lock protects the receiver
+/// itself and nothing else).
+fn blocking_call(toks: &[Tok], i: usize) -> Option<Blocking> {
+    let t = &toks[i];
+    let name = t.ident()?;
+    if !next_is(toks, i, '(') {
+        return None;
+    }
+    match name {
+        "run_jobs" => Some(Blocking::RunJobs),
+        "scope" if path_prefix_is(toks, i, "thread") => Some(Blocking::ThreadScope),
+        "run" => {
+            // `pool.run(..)` method call or `WorkerPool::run(..)` path call.
+            if prev_is(toks, i, '.') {
+                let recv = toks[..i.saturating_sub(1)].last().and_then(|t| t.ident()).unwrap_or("");
+                if recv.to_ascii_lowercase().contains("pool") {
+                    return Some(Blocking::PoolRun);
+                }
+                None
+            } else if path_prefix_is(toks, i, "WorkerPool") {
+                Some(Blocking::PoolRun)
+            } else {
+                None
+            }
+        }
+        "wait" | "wait_timeout" | "wait_while" | "wait_timeout_while" if prev_is(toks, i, '.') => {
+            Some(Blocking::CondvarWait)
+        }
+        _ => None,
+    }
+}
+
+/// True when tokens before `i` are `PREFIX ::`.
+fn path_prefix_is(toks: &[Tok], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks[i - 3].ident() == Some(prefix)
+}
+
+fn next_is(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i + 1).is_some_and(|n| n.is_punct(c))
+}
+
+fn prev_is(toks: &[Tok], i: usize, c: char) -> bool {
+    i > 0 && toks[i - 1].is_punct(c)
+}
+
+/// Depth-1 identifier arguments of the call whose name is at `i`.
+fn call_arg_idents(toks: &[Tok], i: usize) -> Vec<String> {
+    let Some(close) = matching_paren(toks, i + 1) else { return Vec::new() };
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    for t in &toks[i + 1..=close] {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+        } else if depth == 1 {
+            if let TokKind::Ident(s) = &t.kind {
+                out.push(s.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Index of the `)` matching the `(` at `open`, or `None` when unbalanced.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Find every guard binding in the file (see module docs for the shape).
+fn collect_guards(toks: &[Tok], tree: &ScopeTree, ctx: &FileContext) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].ident() != Some("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).and_then(|t| t.ident()) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).and_then(|t| t.ident()) else {
+            i += 1;
+            continue;
+        };
+        if !next_is(toks, j, '=') {
+            i += 1;
+            continue;
+        }
+        // Statement end: the `;` at this statement's own bracket depth.
+        let Some(semi) = statement_end(toks, j + 2) else {
+            i += 1;
+            continue;
+        };
+        // Is the initializer a bare guard acquisition? Find the acquire
+        // call, then require nothing but adapters between its `)` and `;`.
+        if let Some((acq_idx, lock)) = guard_acquisition(toks, j + 2, semi, ctx) {
+            let end = liveness_end(toks, tree, semi, name);
+            guards.push(Guard {
+                name: name.to_string(),
+                lock,
+                start: i,
+                end,
+                line: toks[acq_idx].line,
+            });
+        }
+        i = j + 1;
+    }
+    guards
+}
+
+/// Token index of the `;` ending the statement starting at `from`, at the
+/// statement's own paren/bracket/brace depth.
+fn statement_end(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        match &t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // statement ran off the enclosing block
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If `toks[from..semi]` is `expr.(lock|read|write|writer)(..)` followed
+/// only by adapters, return the acquire token index and the lock identity.
+fn guard_acquisition(
+    toks: &[Tok],
+    from: usize,
+    semi: usize,
+    ctx: &FileContext,
+) -> Option<(usize, String)> {
+    // Find the *first* acquire method call at chain depth 0.
+    let mut depth = 0i64;
+    for j in from..semi {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Ident(name)
+                if depth == 0
+                    && is_acquire(name)
+                    && prev_is(toks, j, '.')
+                    && next_is(toks, j, '(') =>
+            {
+                let close = matching_paren(toks, j + 1)?;
+                // Walk the adapter chain after the acquire call.
+                let mut k = close + 1;
+                loop {
+                    if k == semi {
+                        return Some((j, lock_identity(toks, j, ctx)));
+                    }
+                    if !toks[k].is_punct('.') {
+                        return None; // e.g. `?` or arithmetic — not a bare guard
+                    }
+                    let ad = toks.get(k + 1).and_then(|t| t.ident())?;
+                    if !is_adapter(ad) || !next_is(toks, k + 1, '(') {
+                        return None; // derived value (`.len()`, `.get(..)`)
+                    }
+                    k = matching_paren(toks, k + 2)? + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Exclusive token index where a guard bound at statement-`;` `semi` dies:
+/// `drop(NAME)` later in the file before the block closes, else the
+/// enclosing block's `}` (or EOF).
+fn liveness_end(toks: &[Tok], tree: &ScopeTree, semi: usize, name: &str) -> usize {
+    let block_close =
+        tree.enclosing_block(semi).map(|bi| tree.blocks[bi].close).unwrap_or(toks.len());
+    for j in semi..block_close.min(toks.len()) {
+        if toks[j].ident() == Some("drop")
+            && next_is(toks, j, '(')
+            && toks.get(j + 2).and_then(|t| t.ident()) == Some(name)
+            && toks.get(j + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            return j;
+        }
+    }
+    block_close
+}
+
+/// Lock identity for the acquire call at token `i`: `crate::tail`, where
+/// `tail` is the last path/field segment of the receiver expression
+/// (`self.tsdb.write()` → `tsdb`, `slots[i].lock()` → `slots`,
+/// `self.inner().lock()` → `inner`).
+fn lock_identity(toks: &[Tok], i: usize, ctx: &FileContext) -> String {
+    let mut j = i.checked_sub(2); // skip the `.` before the method
+                                  // Skip back over one `[..]` index or `(..)` call group.
+    if let Some(mut k) = j {
+        if toks[k].is_punct(']') || toks[k].is_punct(')') {
+            let (close, open) = if toks[k].is_punct(']') { (']', '[') } else { (')', '(') };
+            let mut depth = 0i64;
+            loop {
+                if toks[k].is_punct(close) {
+                    depth += 1;
+                } else if toks[k].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        j = k.checked_sub(1);
+                        break;
+                    }
+                }
+                match k.checked_sub(1) {
+                    Some(p) => k = p,
+                    None => {
+                        j = None;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let tail = j.and_then(|k| toks[k].ident()).unwrap_or("?");
+    format!("{}::{}", ctx.crate_name, tail)
+}
+
+/// C3: every `unsafe` token, `static mut`, and `UnsafeCell` use needs an
+/// adjacent `// SAFETY:` comment (same line, or the contiguous comment run
+/// directly above). Applies to every file kind — tests included: an
+/// undocumented escape hatch is a review hazard wherever it sits.
+fn c3_unsafe_needs_safety_comment(
+    toks: &[Tok],
+    comments: &[LineComment],
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    let comment_on = |line: u32| comments.iter().find(|c| c.line == line);
+    let has_safety = |line: u32| -> bool {
+        let is_safety = |c: &LineComment| {
+            c.text
+                .trim_start_matches('/')
+                .trim_start_matches(['!', '/'])
+                .trim_start()
+                .starts_with("SAFETY:")
+        };
+        if comment_on(line).is_some_and(is_safety) {
+            return true;
+        }
+        // Walk the contiguous comment run directly above.
+        let mut l = line.saturating_sub(1);
+        while l > 0 {
+            match comment_on(l) {
+                Some(c) if is_safety(c) => return true,
+                Some(_) => l -= 1,
+                None => return false,
+            }
+        }
+        false
+    };
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let flagged = match name {
+            "unsafe" => true,
+            "static" => toks.get(i + 1).and_then(|n| n.ident()) == Some("mut"),
+            "UnsafeCell" => true,
+            _ => false,
+        };
+        if flagged && !has_safety(t.line) {
+            let r = rules::C3;
+            out.push(Diagnostic {
+                rule: r.id,
+                severity: r.severity,
+                path: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{name}` without an adjacent `// SAFETY:` comment documenting why the \
+                     invariants hold"
+                ),
+                hint: r.hint,
+            });
+        }
+    }
+}
+
+/// C4: `try_recv` / `recv_timeout` / `try_iter` in decision-crate library
+/// code. Draining a channel with a select-shaped loop makes message order
+/// depend on thread timing — the exact nondeterminism the digests forbid.
+fn c4_nondeterministic_drain(
+    toks: &[Tok],
+    ctx: &FileContext,
+    test_lines: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !DECISION_CRATES.iter().any(|c| ctx.crate_name == *c) {
+        return;
+    }
+    let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if matches!(name, "try_recv" | "recv_timeout" | "try_iter")
+            && prev_is(toks, i, '.')
+            && next_is(toks, i, '(')
+            && !in_test(t.line)
+        {
+            let r = rules::C4;
+            out.push(Diagnostic {
+                rule: r.id,
+                severity: r.severity,
+                path: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{name}` drains a channel in timing-dependent order inside a decision \
+                     crate; results depend on the OS scheduler"
+                ),
+                hint: r.hint,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FileKind;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn ctx(path: &str, crate_name: &str, kind: FileKind) -> FileContext {
+        FileContext { path: path.into(), crate_name: crate_name.into(), kind }
+    }
+
+    fn run(src: &str) -> (Vec<Diagnostic>, Vec<LockEdge>) {
+        let lexed = lex(src);
+        let tree = parse(&lexed.toks);
+        let c = ctx("crates/sim/src/x.rs", "sim", FileKind::Library);
+        let mut out = Vec::new();
+        let edges = scan(&lexed.toks, &tree, &lexed.comments, &c, &[], &mut out);
+        (out, edges)
+    }
+
+    #[test]
+    fn c1_guard_across_run_jobs() {
+        let src =
+            "fn f(m: &Mutex<u32>) {\n  let g = m.lock().unwrap();\n  run_jobs(4, &xs, |x| x);\n}\n";
+        let (out, _) = run(src);
+        assert_eq!(out.iter().filter(|d| d.rule == "C1").count(), 1, "{out:?}");
+        assert!(out[0].message.contains("`g`"), "{out:?}");
+    }
+
+    #[test]
+    fn c1_respects_drop_and_scope() {
+        let src = "fn f(m: &Mutex<u32>) {\n  let g = m.lock().unwrap();\n  drop(g);\n  run_jobs(4, &xs, |x| x);\n}\n";
+        assert!(run(src).0.is_empty());
+        let src =
+            "fn f(m: &Mutex<u32>) {\n  { let g = m.lock().unwrap(); }\n  pool.run(jobs, w);\n}\n";
+        assert!(run(src).0.is_empty());
+    }
+
+    #[test]
+    fn c1_condvar_wait_consumes_its_own_guard() {
+        // Waiting with the guard the condvar protects is the idiom…
+        let src = "fn f(cv: &Condvar, m: &Mutex<u32>) {\n  let g = m.lock().unwrap();\n  let g = cv.wait(g).unwrap();\n}\n";
+        assert!(run(src).0.is_empty(), "{:?}", run(src).0);
+        // …but waiting while holding a *different* guard is C1.
+        let src = "fn f(cv: &Condvar, a: &Mutex<u32>, b: &Mutex<u32>) {\n  let ga = a.lock().unwrap();\n  let gb = b.lock().unwrap();\n  let gb = cv.wait(gb).unwrap();\n}\n";
+        let (out, _) = run(src);
+        assert_eq!(out.iter().filter(|d| d.rule == "C1").count(), 1, "{out:?}");
+        assert!(out[0].message.contains("`ga`"));
+    }
+
+    #[test]
+    fn c1_ignores_derived_temporaries_and_recv() {
+        // `.len()` after the adapter chain: not a guard binding.
+        let src = "fn f(m: &Mutex<Vec<u32>>) {\n  let n = m.lock().unwrap().len();\n  run_jobs(4, &xs, |x| x);\n}\n";
+        assert!(run(src).0.is_empty());
+        // The worker-pool recv idiom must stay clean.
+        let src = "fn f(rx: &Mutex<Receiver<u32>>) {\n  while let Ok(j) = rx.lock().unwrap().recv() { j(); }\n}\n";
+        assert!(run(src).0.is_empty());
+    }
+
+    #[test]
+    fn c1_thread_scope_and_pool_run() {
+        let src = "fn f(m: &RwLock<u32>) {\n  let g = m.write();\n  thread::scope(|s| { s.spawn(|| {}); });\n}\n";
+        let (out, _) = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        let src = "fn f(m: &RwLock<u32>) {\n  let g = m.read();\n  self.pool.run(jobs, w);\n}\n";
+        assert_eq!(run(src).0.len(), 1);
+        // Plain `scope(..)` without the `thread::` path is not in the set.
+        let src = "fn f(m: &RwLock<u32>) {\n  let g = m.read();\n  scope(|s| {});\n}\n";
+        assert!(run(src).0.is_empty());
+    }
+
+    #[test]
+    fn c2_edges_record_nesting_order() {
+        let src = "fn f(&self) {\n  let a = self.alpha.lock().unwrap();\n  let b = self.beta.lock().unwrap();\n}\n";
+        let (_, edges) = run(src);
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].held, "sim::alpha");
+        assert_eq!(edges[0].acquired, "sim::beta");
+        // Temporary acquisitions while holding a guard also edge.
+        let src = "fn f(&self) {\n  let a = self.alpha.lock().unwrap();\n  self.slots[i].lock().unwrap().push(1);\n}\n";
+        let (_, edges) = run(src);
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].acquired, "sim::slots");
+    }
+
+    #[test]
+    fn c3_unsafe_needs_safety() {
+        let (out, _) = run("fn f() { unsafe { go(); } }");
+        assert_eq!(out.iter().filter(|d| d.rule == "C3").count(), 1, "{out:?}");
+        let (out, _) = run("// SAFETY: the pointer outlives the call\nfn f() { unsafe { go(); } }");
+        assert!(out.is_empty(), "{out:?}");
+        // Comment run with the SAFETY line on top still counts.
+        let src =
+            "// SAFETY: single-threaded init\n// (checked by the ctor)\nstatic mut X: u32 = 0;\n";
+        assert!(run(src).0.is_empty());
+        let (out, _) = run("static mut X: u32 = 0;\n");
+        assert_eq!(out.len(), 1);
+        let (out, _) = run("use core::cell::UnsafeCell;\n");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn c4_flags_select_shaped_drains_in_decision_crates_only() {
+        let src = "fn f(rx: &Receiver<u32>) { while let Ok(v) = rx.try_recv() { use_(v); } }";
+        let (out, _) = run(src);
+        assert_eq!(out.iter().filter(|d| d.rule == "C4").count(), 1, "{out:?}");
+        // Same shape outside a decision crate: silent.
+        let lexed = lex(src);
+        let tree = parse(&lexed.toks);
+        let c = ctx("crates/obs/src/x.rs", "obs", FileKind::Library);
+        let mut out = Vec::new();
+        scan(&lexed.toks, &tree, &lexed.comments, &c, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

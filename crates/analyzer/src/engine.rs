@@ -216,6 +216,22 @@ struct Pragma {
     well_formed: bool,
 }
 
+/// Per-file analysis output, before suppression. [`check_root`] aggregates
+/// the lock edges workspace-wide (rule C2 is a whole-program property),
+/// then routes every diagnostic back through its file's pragma/config
+/// suppression via [`finish_file`].
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Repo-relative path.
+    pub rel: String,
+    /// Raw diagnostics from every per-file rule (D/P/H/M + C1/C3/C4).
+    raw: Vec<Diagnostic>,
+    /// Lock-acquisition edges for the workspace graph.
+    pub edges: Vec<crate::conc::LockEdge>,
+    pragmas: Vec<Pragma>,
+    pragma_diags: Vec<Diagnostic>,
+}
+
 /// Extract pragmas from the file's line comments. Malformed pragmas are
 /// reported as `A0` diagnostics immediately.
 fn parse_pragmas(comments: &[LineComment], path: &str) -> (Vec<Pragma>, Vec<Diagnostic>) {
@@ -272,71 +288,144 @@ fn parse_pragmas(comments: &[LineComment], path: &str) -> (Vec<Pragma>, Vec<Diag
     (pragmas, diags)
 }
 
-/// Check one file's source text against every rule, applying pragma and
-/// config suppression and severity overrides. Returned diagnostics are
-/// unsorted; [`check_root`] sorts globally.
-pub fn check_source(rel: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+/// Phase one: lex, classify, and run every per-file rule (token rules plus
+/// the scope-aware C1/C3/C4), collecting lock edges for the workspace
+/// graph. No suppression happens here.
+pub fn analyze_source(rel: &str, src: &str) -> FileAnalysis {
     let lexed = lex(src);
     let ctx = classify(rel);
     let regions = test_regions(&lexed.toks);
     let mut raw = Vec::new();
     rules::scan(&lexed.toks, &ctx, &regions, &mut raw);
-
+    let tree = crate::parser::parse(&lexed.toks);
+    let edges = crate::conc::scan(&lexed.toks, &tree, &lexed.comments, &ctx, &regions, &mut raw);
     let (pragmas, pragma_diags) = parse_pragmas(&lexed.comments, rel);
-    let mut used = vec![false; pragmas.len()];
+    FileAnalysis { rel: rel.to_string(), raw, edges, pragmas, pragma_diags }
+}
+
+/// Phase two: apply pragma suppression (tracking usage per rule id so a
+/// half-stale `P1,C1` pragma still draws an A1 for the dead half), config
+/// allowlisting, A1 staleness, and severity overrides. `extra` carries
+/// workspace-level diagnostics (C2 cycles) anchored in this file.
+pub fn finish_file(a: FileAnalysis, extra: Vec<Diagnostic>, cfg: &Config) -> Vec<Diagnostic> {
+    let FileAnalysis { rel, mut raw, pragmas, pragma_diags, .. } = a;
+    raw.extend(extra);
+    let mut used: Vec<Vec<bool>> = pragmas.iter().map(|p| vec![false; p.rules.len()]).collect();
     let mut kept: Vec<Diagnostic> = Vec::new();
     for d in raw {
         let mut suppressed = false;
         for (pi, p) in pragmas.iter().enumerate() {
             let covers_line = p.line == d.line || p.line + 1 == d.line;
-            if p.well_formed && covers_line && p.rules.iter().any(|r| r == "*" || r == d.rule) {
-                used[pi] = true;
-                suppressed = true;
+            if !(p.well_formed && covers_line) {
+                continue;
+            }
+            for (ri, r) in p.rules.iter().enumerate() {
+                if r == "*" || r == d.rule {
+                    used[pi][ri] = true;
+                    suppressed = true;
+                }
             }
         }
-        if suppressed || cfg.allows(d.rule, rel) {
+        if suppressed || cfg.allows(d.rule, &rel) {
             continue;
         }
         kept.push(d);
     }
     let mut meta = pragma_diags;
     for (pi, p) in pragmas.iter().enumerate() {
-        if p.well_formed && !used[pi] {
-            meta.push(Diagnostic {
-                rule: PRAGMA_RULES[1].id,
-                severity: PRAGMA_RULES[1].severity,
-                path: rel.to_string(),
-                line: p.line,
-                col: 1,
-                message: format!("pragma for {} suppressed nothing", p.rules.join(", ")),
-                hint: PRAGMA_RULES[1].hint,
-            });
+        if !p.well_formed {
+            continue;
         }
+        let stale: Vec<&str> = p
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(ri, _)| !used[pi][*ri])
+            .map(|(_, r)| r.as_str())
+            .collect();
+        if stale.is_empty() {
+            continue;
+        }
+        let message = if stale.len() == p.rules.len() {
+            format!("pragma for {} suppressed nothing", p.rules.join(", "))
+        } else {
+            format!("pragma rule(s) {} suppressed nothing (drop the stale ids)", stale.join(", "))
+        };
+        meta.push(Diagnostic {
+            rule: PRAGMA_RULES[1].id,
+            severity: PRAGMA_RULES[1].severity,
+            path: rel.clone(),
+            line: p.line,
+            col: 1,
+            message,
+            hint: PRAGMA_RULES[1].hint,
+        });
     }
-    kept.extend(meta.into_iter().filter(|d| !cfg.allows(d.rule, rel)));
+    kept.extend(meta.into_iter().filter(|d| !cfg.allows(d.rule, &rel)));
     for d in &mut kept {
         d.severity = cfg.severity_for(d.rule, d.severity);
     }
+    sort(&mut kept);
     kept
 }
 
-/// Check the whole workspace under `root`, honoring `root/analyzer.toml`
-/// when present. Diagnostics come back in the stable reporting order.
-pub fn check_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
+/// Check one file's source text against every rule, applying pragma and
+/// config suppression and severity overrides. Rule C2 is judged over this
+/// file's own edges (the workspace run in [`check_root`] judges the global
+/// graph instead). Diagnostics come back in the stable reporting order.
+pub fn check_source(rel: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let a = analyze_source(rel, src);
+    let graph = crate::lockgraph::build(&a.edges);
+    let c2 = crate::lockgraph::cycles(&graph);
+    finish_file(a, c2, cfg)
+}
+
+/// Load `root/analyzer.toml` when present.
+pub fn load_config(root: &Path) -> Result<Config, String> {
     let cfg_path = root.join("analyzer.toml");
-    let cfg = if cfg_path.is_file() {
+    if cfg_path.is_file() {
         let text = fs::read_to_string(&cfg_path)
             .map_err(|e| format!("read {}: {e}", cfg_path.display()))?;
-        crate::config::parse(&text)?
+        crate::config::parse(&text)
     } else {
-        Config::default()
-    };
-    let mut diags = Vec::new();
+        Ok(Config::default())
+    }
+}
+
+/// Phase one over the whole workspace: every file analyzed, no suppression.
+pub fn analyze_root(root: &Path) -> Result<Vec<FileAnalysis>, String> {
+    let mut out = Vec::new();
     for rel in discover(root)? {
         let abs = root.join(&rel);
         let src = fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
-        diags.extend(check_source(&rel, &src, &cfg));
+        out.push(analyze_source(&rel, &src));
     }
+    Ok(out)
+}
+
+/// Check the whole workspace under `root`, honoring `root/analyzer.toml`
+/// when present. The lock-order graph (C2) is aggregated across every
+/// file; each cycle diagnostic is anchored at one site and flows through
+/// that file's suppression machinery. Diagnostics come back in the stable
+/// reporting order.
+pub fn check_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let cfg = load_config(root)?;
+    let analyses = analyze_root(root)?;
+    let mut all_edges = Vec::new();
+    for a in &analyses {
+        all_edges.extend(a.edges.iter().cloned());
+    }
+    let graph = crate::lockgraph::build(&all_edges);
+    let mut c2 = crate::lockgraph::cycles(&graph);
+    let mut diags = Vec::new();
+    for a in analyses {
+        let (mine, rest): (Vec<_>, Vec<_>) = c2.into_iter().partition(|d| d.path == a.rel);
+        c2 = rest;
+        diags.extend(finish_file(a, mine, &cfg));
+    }
+    // Cycles anchored at no discovered file (cannot happen in practice,
+    // but the invariant "every cycle is reported" must not depend on it).
+    diags.extend(c2);
     sort(&mut diags);
     Ok(diags)
 }
@@ -414,6 +503,32 @@ mod tests {
         let src = "//! Suppress with `// knots-allow: D2 -- reason` pragmas.\nfn f() {}\n";
         let out = check_source("crates/sched/src/x.rs", src, &cfg);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn cross_file_lock_cycle_is_detected() {
+        // Each file is acyclic alone; only the workspace-level aggregation
+        // (mirroring `check_root`) sees the ABBA cycle between them.
+        let fwd = "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n  let ga = a.lock();\n  let gb = b.lock();\n}\n";
+        let rev = "fn g(a: &Mutex<u32>, b: &Mutex<u32>) {\n  let gb = b.lock();\n  let ga = a.lock();\n}\n";
+        let x = analyze_source("crates/sched/src/x.rs", fwd);
+        let y = analyze_source("crates/sched/src/y.rs", rev);
+        assert!(check_source("crates/sched/src/x.rs", fwd, &Config::default()).is_empty());
+        let mut edges = x.edges.clone();
+        edges.extend(y.edges.clone());
+        let graph = crate::lockgraph::build(&edges);
+        let mut c2 = crate::lockgraph::cycles(&graph);
+        assert_eq!(c2.len(), 1, "{c2:?}");
+        let cfg = Config::default();
+        let mut diags = Vec::new();
+        for a in [x, y] {
+            let (mine, rest): (Vec<_>, Vec<_>) = c2.into_iter().partition(|d| d.path == a.rel);
+            c2 = rest;
+            diags.extend(finish_file(a, mine, &cfg));
+        }
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "C2");
+        assert!(diags[0].message.contains("sched::a -> sched::b -> sched::a"), "{diags:?}");
     }
 
     #[test]

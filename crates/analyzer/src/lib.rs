@@ -8,24 +8,35 @@
 //!
 //! * [`lexer`] tokenizes Rust source with enough fidelity that rule text
 //!   inside strings, comments and raw strings can never fire;
-//! * [`rules`] holds the six invariant rules (D1–D3, P1–P2, H1);
+//! * [`parser`] layers a brace-tree/item scope parser on the token stream
+//!   (fn boundaries, block nesting, statement ends) for the scope-aware
+//!   rules;
+//! * [`rules`] holds the token-shaped rules (D1–D3, P1–P2, H1, M1);
+//! * [`conc`] holds the scope-aware concurrency rules: the guard-lifetime
+//!   tracker (C1), `unsafe` hygiene (C3), channel-drain determinism (C4),
+//!   and the lock-edge recorder feeding [`lockgraph`] (C2);
 //! * [`engine`] walks the workspace, classifies files, carves out
 //!   `#[cfg(test)]` regions, and applies pragma/config suppression;
 //! * [`config`] parses `analyzer.toml` (file-level allowlist, severity
 //!   overrides);
 //! * [`selfcheck`] is the dynamic counterpart: a pinned experiment run
-//!   twice with the same seed must produce byte-identical reports.
+//!   twice with the same seed must produce byte-identical reports, and
+//!   both output formats must render byte-identically across renders.
 //!
-//! Run it with `cargo run -p knots-analyzer -- check` (or `--format json`
-//! for CI) and `cargo run -p knots-analyzer -- check --self-check`.
+//! Run it with `cargo run -p knots-analyzer -- --workspace` (or
+//! `check --format json|sarif` for CI), `--lock-graph` for the C2 graph,
+//! and `check --self-check` for the dynamic harness.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod conc;
 pub mod config;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod lockgraph;
+pub mod parser;
 pub mod rules;
 pub mod selfcheck;
 

@@ -1,7 +1,9 @@
 //! `knots-analyzer` CLI.
 //!
 //! ```text
-//! knots-analyzer check [--root <dir>] [--format json] [--self-check]
+//! knots-analyzer check [--root <dir>] [--format text|json|sarif] [--self-check]
+//! knots-analyzer --workspace          # alias for `check` on the repo root
+//! knots-analyzer --lock-graph [--root <dir>] [--format json]
 //! knots-analyzer --list-rules
 //! ```
 //!
@@ -11,36 +13,54 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use knots_analyzer::diag::{to_json, Severity};
+use knots_analyzer::diag::{to_json, to_sarif, Severity};
 use knots_analyzer::engine::PRAGMA_RULES;
 use knots_analyzer::rules::RULES;
-use knots_analyzer::selfcheck;
+use knots_analyzer::{engine, lockgraph, selfcheck};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Opts {
     root: PathBuf,
-    json: bool,
+    format: Format,
     self_check: bool,
     list_rules: bool,
+    lock_graph: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
-    let mut opts =
-        Opts { root: PathBuf::from("."), json: false, self_check: false, list_rules: false };
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        format: Format::Text,
+        self_check: false,
+        list_rules: false,
+        lock_graph: false,
+    };
     let mut saw_command = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "check" => saw_command = true,
+            "check" | "--workspace" => saw_command = true,
             "--list-rules" => {
                 opts.list_rules = true;
                 saw_command = true;
             }
+            "--lock-graph" => {
+                opts.lock_graph = true;
+                saw_command = true;
+            }
             "--format" => match it.next().map(String::as_str) {
-                Some("json") => opts.json = true,
-                Some("text") => opts.json = false,
+                Some("json") => opts.format = Format::Json,
+                Some("sarif") => opts.format = Format::Sarif,
+                Some("text") => opts.format = Format::Text,
                 other => {
                     return Err(format!(
-                        "--format expects `json` or `text`, got {}",
+                        "--format expects `json`, `sarif` or `text`, got {}",
                         other.unwrap_or("nothing")
                     ))
                 }
@@ -54,9 +74,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         }
     }
     if !saw_command && !opts.self_check {
-        return Err(
-            "usage: knots-analyzer check [--root <dir>] [--format json] [--self-check]".into()
-        );
+        return Err("usage: knots-analyzer check [--root <dir>] [--format text|json|sarif] \
+                    [--self-check] | --workspace | --lock-graph | --list-rules"
+            .into());
     }
     Ok(opts)
 }
@@ -81,7 +101,35 @@ fn run_self_check() -> bool {
     if ok {
         println!("self-check: all schedulers byte-identical across same-seed re-runs");
     }
-    ok
+    let fmt = selfcheck::format_digests();
+    let status = if fmt.ok() { "ok" } else { "MISMATCH" };
+    println!(
+        "self-check formats    json={:016x}/{:016x} sarif={:016x}/{:016x}  {status}",
+        fmt.json_a, fmt.json_b, fmt.sarif_a, fmt.sarif_b
+    );
+    ok && fmt.ok()
+}
+
+/// Dump the workspace lock-acquisition graph. Text format prints edges;
+/// `--format json` emits the machine-readable graph.
+fn run_lock_graph(opts: &Opts) -> Result<(), String> {
+    let analyses = engine::analyze_root(&opts.root)?;
+    let mut edges = Vec::new();
+    for a in &analyses {
+        edges.extend(a.edges.iter().cloned());
+    }
+    let graph = lockgraph::build(&edges);
+    if opts.format == Format::Json {
+        print!("{}", lockgraph::to_json(&graph));
+    } else {
+        for ((held, acquired), sites) in &graph.sites {
+            for (path, line, col) in sites {
+                println!("{held} -> {acquired}  at {path}:{line}:{col}");
+            }
+        }
+        println!("lock-graph: {} locks, {} edges", graph.adj.len(), graph.sites.len());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -97,6 +145,15 @@ fn main() -> ExitCode {
         list_rules();
         return ExitCode::SUCCESS;
     }
+    if opts.lock_graph {
+        return match run_lock_graph(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let diags = match knots_analyzer::check_root(&opts.root) {
         Ok(d) => d,
@@ -107,13 +164,15 @@ fn main() -> ExitCode {
     };
     let denies = diags.iter().filter(|d| d.severity == Severity::Deny).count();
     let warns = diags.len() - denies;
-    if opts.json {
-        print!("{}", to_json(&diags));
-    } else {
-        for d in &diags {
-            println!("{d}");
+    match opts.format {
+        Format::Json => print!("{}", to_json(&diags)),
+        Format::Sarif => print!("{}", to_sarif(&diags)),
+        Format::Text => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("knots-analyzer: {denies} deny, {warns} warn");
         }
-        println!("knots-analyzer: {denies} deny, {warns} warn");
     }
 
     let mut failed = denies > 0;

@@ -9,10 +9,16 @@
 //! | P2 | no `partial_cmp(..).unwrap()` comparators — `total_cmp` instead |
 //! | H1 | no `println!`-family output in library code (use `knots-obs`) |
 //! | M1 | metric/span name hygiene: metrics match `knots_[a-z0-9_]+` (counters end `_total`), span/event names are `dot.case` |
+//! | C1 | no lock guard live across a fan-out/wait call (`WorkerPool::run`, `run_jobs`, `thread::scope`, condvar wait) |
+//! | C2 | workspace lock-acquisition order is cycle-free |
+//! | C3 | every `unsafe` / `static mut` / `UnsafeCell` has an adjacent `// SAFETY:` comment |
+//! | C4 | no `try_recv`/`recv_timeout`/`try_iter` channel drains in decision crates |
 //!
-//! Matching is purely token-shaped: strings, comments and `#[cfg(test)]`
-//! regions were already stripped or marked by the lexer/engine, so rule
-//! text inside a string literal can never fire.
+//! D–M matching is purely token-shaped: strings, comments and
+//! `#[cfg(test)]` regions were already stripped or marked by the
+//! lexer/engine, so rule text inside a string literal can never fire.
+//! The C rules additionally consult the scope tree built by
+//! [`crate::parser`] — see [`crate::conc`] and [`crate::lockgraph`].
 
 use crate::diag::{Diagnostic, Severity};
 use crate::engine::FileContext;
@@ -35,7 +41,7 @@ pub struct Rule {
 }
 
 /// Every rule the engine knows, in reporting order.
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 11] = [
     Rule {
         id: "D1",
         severity: Severity::Deny,
@@ -86,7 +92,46 @@ pub const RULES: [Rule; 7] = [
         hint: "rename the metric to `knots_<subsystem>_<what>[_total]`, or the span/event \
                name to lowercase dot.case (`probe.round`, `sched.place`)",
     },
+    Rule {
+        id: "C1",
+        severity: Severity::Deny,
+        summary: "no Mutex/RwLock guard live across WorkerPool::run/run_jobs/thread::scope/\
+                  condvar-wait (workers touching the same lock deadlock)",
+        hint: "narrow the guard's scope (inner block or explicit `drop(guard)`) before the \
+               fan-out, or copy the data out of the lock first",
+    },
+    Rule {
+        id: "C2",
+        severity: Severity::Deny,
+        summary: "workspace lock-acquisition order must be cycle-free (two sites nesting the \
+                  same locks in opposite orders can deadlock)",
+        hint: "pick one canonical acquisition order for the locks in the cycle and restructure \
+               the minority site; dump the graph with `--lock-graph --format json`",
+    },
+    Rule {
+        id: "C3",
+        severity: Severity::Deny,
+        summary: "every `unsafe` block/fn/impl, `static mut`, and `UnsafeCell` use needs an \
+                  adjacent `// SAFETY:` comment",
+        hint: "write `// SAFETY: <why the invariants hold>` on the same line or the comment \
+               run directly above",
+    },
+    Rule {
+        id: "C4",
+        severity: Severity::Deny,
+        summary: "no std::sync::mpsc try_recv/recv_timeout/try_iter drains in decision crates \
+                  (message order becomes scheduler-dependent)",
+        hint: "use blocking `recv()` with an explicit shutdown message, or collect into an \
+               index-ordered buffer before acting",
+    },
 ];
+
+/// Direct references for the scope-aware passes in [`crate::conc`] and
+/// [`crate::lockgraph`] (no Option plumbing on a compile-time-known id).
+pub(crate) const C1: &Rule = &RULES[7];
+pub(crate) const C2: &Rule = &RULES[8];
+pub(crate) const C3: &Rule = &RULES[9];
+pub(crate) const C4: &Rule = &RULES[10];
 
 /// Look up a rule by id.
 pub fn rule(id: &str) -> Option<&'static Rule> {

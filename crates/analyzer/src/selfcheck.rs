@@ -149,9 +149,85 @@ pub fn run() -> Vec<LegResult> {
     out
 }
 
+/// Digests of the two output formats, each rendered twice over the same
+/// embedded fixture corpus. `--format json` has a byte-stability contract
+/// with CI (scripts diff consecutive runs) and SARIF inherits it; this leg
+/// turns that contract into a checked invariant.
+#[derive(Debug)]
+pub struct FormatDigests {
+    /// First JSON render.
+    pub json_a: u64,
+    /// Second JSON render.
+    pub json_b: u64,
+    /// First SARIF render.
+    pub sarif_a: u64,
+    /// Second SARIF render.
+    pub sarif_b: u64,
+}
+
+impl FormatDigests {
+    /// Did both formats render byte-identically?
+    pub fn ok(&self) -> bool {
+        self.json_a == self.json_b && self.sarif_a == self.sarif_b
+    }
+}
+
+/// The embedded corpus: every per-rule fixture, checked as decision-crate
+/// library code so each rule contributes diagnostics to the rendered set.
+fn fixture_corpus() -> Vec<crate::diag::Diagnostic> {
+    const FIXTURES: [(&str, &str); 13] = [
+        ("d1", include_str!("../tests/fixtures/d1_wall_clock.rs")),
+        ("d2", include_str!("../tests/fixtures/d2_hash_collections.rs")),
+        ("d3", include_str!("../tests/fixtures/d3_ambient_entropy.rs")),
+        ("p1", include_str!("../tests/fixtures/p1_panics.rs")),
+        ("p2", include_str!("../tests/fixtures/p2_partial_cmp.rs")),
+        ("h1", include_str!("../tests/fixtures/h1_prints.rs")),
+        ("m1", include_str!("../tests/fixtures/m1_names.rs")),
+        ("c1", include_str!("../tests/fixtures/c1_guard_across_fanout.rs")),
+        ("c2", include_str!("../tests/fixtures/c2_lock_order.rs")),
+        ("c3", include_str!("../tests/fixtures/c3_unsafe_hygiene.rs")),
+        ("c4", include_str!("../tests/fixtures/c4_channel_drain.rs")),
+        ("pragmas", include_str!("../tests/fixtures/pragmas.rs")),
+        ("tricky", include_str!("../tests/fixtures/tricky.rs")),
+    ];
+    let cfg = crate::config::Config::default();
+    let mut diags = Vec::new();
+    for (name, src) in FIXTURES {
+        let rel = format!("crates/sim/src/{name}.rs");
+        diags.extend(crate::engine::check_source(&rel, src, &cfg));
+    }
+    crate::diag::sort(&mut diags);
+    diags
+}
+
+/// Render the fixture corpus twice in both formats and digest each render.
+pub fn format_digests() -> FormatDigests {
+    let digest = |s: &str| {
+        let mut h = Fnv::new();
+        h.write(s.as_bytes());
+        h.finish()
+    };
+    let diags_a = fixture_corpus();
+    let diags_b = fixture_corpus();
+    FormatDigests {
+        json_a: digest(&crate::diag::to_json(&diags_a)),
+        json_b: digest(&crate::diag::to_json(&diags_b)),
+        sarif_a: digest(&crate::diag::to_sarif(&diags_a)),
+        sarif_b: digest(&crate::diag::to_sarif(&diags_b)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn format_digests_are_stable_within_a_run() {
+        let d = format_digests();
+        assert!(d.ok(), "{d:?}");
+        // The corpus is non-trivial: both formats hash differently.
+        assert_ne!(d.json_a, d.sarif_a);
+    }
 
     #[test]
     fn fnv_distinguishes_and_repeats() {

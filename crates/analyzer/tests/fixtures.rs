@@ -91,6 +91,65 @@ fn tricky_constructs_stay_silent_except_cfg_not_test() {
 }
 
 #[test]
+fn c1_fires_on_guards_across_fanout_and_wait() {
+    let out = check(include_str!("fixtures/c1_guard_across_fanout.rs"));
+    // run_jobs, pool.run, thread::scope, condvar wait with a foreign guard
+    // live — and nothing from the dropped/scoped/own-guard/suppressed fns.
+    assert_eq!(positions(&out, "C1"), vec![(6, 5), (11, 10), (16, 18), (22, 18)]);
+    assert!(out.iter().all(|d| d.severity == Severity::Deny));
+    assert_eq!(out.len(), 4, "{out:?}");
+}
+
+#[test]
+fn c2_fires_once_per_cycle_and_suppresses_at_anchor() {
+    let out = check(include_str!("fixtures/c2_lock_order.rs"));
+    // One diagnostic for the alpha/beta ABBA cycle, anchored at the first
+    // witness of its smallest edge; the gamma1/gamma2 cycle is anchored on
+    // the pragma-covered line and suppressed.
+    assert_eq!(positions(&out, "C2"), vec![(6, 23)]);
+    assert!(out[0].message.contains("alpha") && out[0].message.contains("beta"), "{out:?}");
+    assert_eq!(out.len(), 1, "{out:?}");
+}
+
+#[test]
+fn c3_fires_on_undocumented_unsafe_only() {
+    let out = check(include_str!("fixtures/c3_unsafe_hygiene.rs"));
+    // Bare unsafe block, bare static mut, UnsafeCell import — the
+    // SAFETY-documented and pragma-suppressed uses stay silent.
+    assert_eq!(positions(&out, "C3"), vec![(4, 5), (7, 1), (9, 17)]);
+    assert_eq!(out.len(), 3, "{out:?}");
+}
+
+#[test]
+fn c4_fires_on_select_shaped_drains() {
+    let out = check(include_str!("fixtures/c4_channel_drain.rs"));
+    // try_recv, recv_timeout, try_iter — blocking recv() and the
+    // suppressed drain stay silent.
+    assert_eq!(positions(&out, "C4"), vec![(5, 26), (11, 16), (15, 17)]);
+    assert_eq!(out.len(), 3, "{out:?}");
+}
+
+#[test]
+fn multi_rule_pragmas_suppress_and_track_staleness_per_id() {
+    // Both ids earn their keep: no A1.
+    let src = "fn f(m: &Mutex<Vec<u32>>, xs: &[u32]) {\n  let g = m.lock();\n  // knots-allow: P1, C1 -- invariant: g is non-empty and workers are lock-free\n  run_jobs(4, xs, |x| g.last().unwrap());\n}\n";
+    let out = check(src);
+    assert!(out.is_empty(), "{out:?}");
+    // Only P1 suppresses here; the stale C1 id draws an A1 naming it.
+    let src = "fn f(v: &[u32]) {\n  // knots-allow: P1, C1 -- the slice is non-empty by construction\n  let x = v.last().unwrap();\n}\n";
+    let out = check(src);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, "A1");
+    assert!(out[0].message.contains("C1") && !out[0].message.contains("P1,"), "{out:?}");
+    // Unknown ids in the list are A0 and nothing suppresses.
+    let src =
+        "fn f(v: &[u32]) {\n  // knots-allow: P1, Z9 -- bogus\n  let x = v.last().unwrap();\n}\n";
+    let out = check(src);
+    assert!(out.iter().any(|d| d.rule == "A0" && d.message.contains("Z9")), "{out:?}");
+    assert!(out.iter().any(|d| d.rule == "P1"), "{out:?}");
+}
+
+#[test]
 fn pragmas_suppress_and_are_linted() {
     let out = check(include_str!("fixtures/pragmas.rs"));
     // Suppressed: both v.last().unwrap() sites. Reported: the reasonless

@@ -1,0 +1,23 @@
+//! C2 fixture: lock-order cycles across functions in one file.
+//! Checked as decision-crate library code; it does not need to compile.
+
+fn forward(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+}
+
+fn backward(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+}
+
+fn suppressed_forward(&self) {
+    let g = self.gamma1.lock();
+    // knots-allow: C2 -- fixture: a cycle diagnostic can be pragma-suppressed at its anchor
+    let h = self.gamma2.lock();
+}
+
+fn suppressed_backward(&self) {
+    let h = self.gamma2.lock();
+    let g = self.gamma1.lock();
+}

@@ -1,0 +1,29 @@
+//! C4 fixture: nondeterministic channel drains in decision crates.
+//! Checked as decision-crate library code; it does not need to compile.
+
+fn fires_try_recv(rx: &Receiver<u32>) {
+    while let Ok(v) = rx.try_recv() {
+        use_(v);
+    }
+}
+
+fn fires_recv_timeout(rx: &Receiver<u32>) {
+    let v = rx.recv_timeout(TIMEOUT);
+}
+
+fn fires_try_iter(rx: &Receiver<u32>) {
+    for v in rx.try_iter() {
+        use_(v);
+    }
+}
+
+fn clean_blocking(rx: &Receiver<u32>) {
+    while let Ok(v) = rx.recv() {
+        use_(v);
+    }
+}
+
+fn suppressed(rx: &Receiver<u32>) {
+    // knots-allow: C4 -- fixture: demonstrates suppression; order proven irrelevant here
+    let v = rx.try_recv();
+}

@@ -14,6 +14,10 @@
 //! 3. **Self-check digests** — the analyzer's dynamic determinism legs
 //!    (`knots-analyzer check --self-check`), replayed here so a BENCH file
 //!    from before an optimization can be diffed against one from after.
+//! 4. **Analyzer wall time** — one full scope-aware `check_root` over the
+//!    workspace, recording file count, diagnostic count (0 on a clean
+//!    tree) and wall milliseconds, so lint-pass regressions show up in the
+//!    same report as decision-loop regressions.
 //!
 //! All input series are seeded-LCG generated; nothing in the report depends
 //! on host entropy. Wall-clock numbers of course vary by machine — the
@@ -122,6 +126,18 @@ pub struct SelfCheckLeg {
     pub ok: bool,
 }
 
+/// One full analyzer pass over the workspace, timed.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalyzeBench {
+    /// Rust files discovered and scanned.
+    pub files: usize,
+    /// Diagnostics produced (0 on a clean tree).
+    pub diagnostics: usize,
+    /// Wall time of `check_root` (lex, scope parse, guard tracking,
+    /// workspace lock graph, suppression), milliseconds.
+    pub wall_ms: f64,
+}
+
 /// The full `BENCH_*.json` payload.
 #[derive(Debug, Clone, Serialize)]
 pub struct PerfReport {
@@ -141,6 +157,8 @@ pub struct PerfReport {
     pub calendar: Vec<CalendarBench>,
     /// Analyzer self-check legs.
     pub self_check: Vec<SelfCheckLeg>,
+    /// Timed analyzer pass over the workspace.
+    pub analyze: AnalyzeBench,
 }
 
 impl PerfReport {
@@ -149,6 +167,7 @@ impl PerfReport {
         self.sweep_digests_match
             && self.calendar.iter().all(|c| c.digests_match)
             && self.self_check.iter().all(|l| l.ok)
+            && self.analyze.diagnostics == 0
     }
 }
 
@@ -427,6 +446,14 @@ fn self_check_legs() -> Vec<SelfCheckLeg> {
         .collect()
 }
 
+fn analyze_bench() -> AnalyzeBench {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = knots_analyzer::engine::discover(&root).map(|f| f.len()).unwrap_or(0);
+    let t0 = Instant::now();
+    let diagnostics = knots_analyzer::check_root(&root).map(|d| d.len()).unwrap_or(usize::MAX);
+    AnalyzeBench { files, diagnostics, wall_ms: t0.elapsed().as_secs_f64() * 1e3 }
+}
+
 /// Run the whole harness.
 pub fn run(cfg: &PerfConfig) -> PerfReport {
     eprintln!("[perf: microbenchmarks ...]");
@@ -437,6 +464,8 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
     let calendar = calendar_benches(cfg);
     eprintln!("[perf: analyzer self-check legs ...]");
     let self_check = self_check_legs();
+    eprintln!("[perf: analyzer workspace pass ...]");
+    let analyze = analyze_bench();
     PerfReport {
         quick: cfg.quick,
         threads: cfg.threads,
@@ -446,6 +475,7 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         sweep_digests_match,
         calendar,
         self_check,
+        analyze,
     }
 }
 
@@ -482,6 +512,14 @@ mod tests {
             );
             assert!(leg.naive_wall_ms > 0.0 && leg.calendar_wall_ms > 0.0);
         }
+    }
+
+    #[test]
+    fn analyze_bench_scans_a_clean_workspace() {
+        let a = analyze_bench();
+        assert!(a.files > 40, "workspace discovery came up short: {a:?}");
+        assert_eq!(a.diagnostics, 0, "workspace must be analyzer-clean: {a:?}");
+        assert!(a.wall_ms > 0.0);
     }
 
     #[test]

@@ -7,9 +7,25 @@
 //! always returned in submission order no matter which worker finishes
 //! first, which keeps every consumer deterministic across thread counts.
 
+// Under `--cfg loom` (the model-checking CI leg) the pool's concurrency
+// primitives come from the loom shim, whose `model()` explores every
+// bounded interleaving of workers, senders, and the drop/join shutdown
+// path. Signatures are std-compatible, so only the imports change.
+#[cfg(not(loom))]
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
-use std::thread::JoinHandle;
+#[cfg(not(loom))]
+use std::sync::{Arc, Mutex};
+#[cfg(not(loom))]
+use std::thread::{spawn, JoinHandle};
+
+#[cfg(loom)]
+use loom::sync::mpsc::{channel, Sender};
+#[cfg(loom)]
+use loom::sync::{Arc, Mutex};
+#[cfg(loom)]
+use loom::thread::{spawn, JoinHandle};
+
+use std::sync::PoisonError;
 
 /// Worker count to use when the caller does not specify one: the host's
 /// available parallelism, falling back to 1 when it cannot be queried.
@@ -86,7 +102,7 @@ impl WorkerPool {
         let workers = (0..threads)
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
+                spawn(move || loop {
                     let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                     match job {
                         Ok(job) => job(),

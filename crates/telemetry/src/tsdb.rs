@@ -219,7 +219,7 @@ fn window_range<T>(
 #[derive(Debug)]
 pub struct TsdbWriter<'a> {
     cfg: TsdbConfig,
-    guard: std::sync::RwLockWriteGuard<'a, Inner>,
+    guard: parking_lot::RwLockWriteGuard<'a, Inner>,
 }
 
 impl TsdbWriter<'_> {

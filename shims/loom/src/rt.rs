@@ -1,0 +1,486 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! One OS thread per model thread, but only one ever runs at a time: every
+//! operation on a shimmed primitive calls back into [`Rt::switch`], which
+//! picks the next thread to run. When more than one thread is runnable the
+//! choice is a *branch point*; the sequence of branch decisions taken in one
+//! execution forms a schedule, and [`crate::model`] drives a depth-first
+//! search over all schedules (bounded by a preemption budget and an
+//! execution cap) by replaying a recorded prefix and flipping the last
+//! undone decision.
+//!
+//! The runtime tracks only *model* state — which thread owns which lock,
+//! who is parked on which condvar or channel. The protected data itself
+//! lives in ordinary `std::sync` primitives inside the shimmed types;
+//! because model-level ownership already guarantees exclusivity, those std
+//! locks never contend and the whole shim stays free of `unsafe`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard cap on distinct executions explored per [`crate::model`] call.
+/// When a model is too big to exhaust, exploration stops here: coverage is
+/// partial but the test still terminates.
+pub(crate) const MAX_EXECUTIONS: usize = 200_000;
+/// Per-execution step cap; tripping it aborts the model (livelock guard).
+const MAX_STEPS: usize = 100_000;
+/// Maximum forced preemptions per execution. Bounding preemptions is what
+/// keeps the search tractable; most real interleaving bugs need only one
+/// or two (CHESS-style context-bound checking).
+const PREEMPTION_BOUND: usize = 2;
+
+/// One scheduling decision: at a branch point with `total` runnable
+/// threads, the `chosen`-th (in sorted tid order) was picked.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Branch {
+    pub chosen: usize,
+    pub total: usize,
+}
+
+/// Model state of one synchronization object (mutex, rwlock, condvar or
+/// channel — unused fields stay at their defaults).
+#[derive(Debug, Default)]
+struct ObjState {
+    locked: bool,
+    writer: bool,
+    readers: usize,
+    /// Threads blocked trying to acquire / receive, woken all-at-once so
+    /// the scheduler explores every acquisition order.
+    waiters: Vec<usize>,
+    /// Threads parked in `Condvar::wait`, FIFO.
+    cv_waiters: Vec<usize>,
+}
+
+struct State {
+    /// The single thread currently allowed to run (`None` once the
+    /// execution has ended).
+    active: Option<usize>,
+    runnable: BTreeSet<usize>,
+    blocked: BTreeSet<usize>,
+    finished: BTreeSet<usize>,
+    /// Next thread id (tid 0 is the model closure itself).
+    spawned: usize,
+    objs: BTreeMap<usize, ObjState>,
+    next_obj: usize,
+    /// tid → threads blocked in `join` on it.
+    join_waiters: BTreeMap<usize, Vec<usize>>,
+    /// Replayed prefix plus decisions appended this execution.
+    schedule: Vec<Branch>,
+    depth: usize,
+    preemptions: usize,
+    steps: usize,
+    /// Set once something went wrong (deadlock, user panic, step limit);
+    /// every thread unwinds out at its next scheduling point.
+    abort: Option<String>,
+    /// First *user* panic of the execution, re-raised by `model()`.
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// The per-execution runtime shared by every model thread.
+pub(crate) struct Rt {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// OS handles of spawned model threads, joined by `model()` at the end
+    /// of each execution.
+    os: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Rt>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The runtime and tid of the calling thread, if it is a model thread.
+/// Cloned out so no `RefCell` borrow is held across blocking or unwinding.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Register the calling OS thread as model thread `tid`.
+pub(crate) fn install(rt: Arc<Rt>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+}
+
+impl Rt {
+    pub fn new(prefix: Vec<Branch>) -> Self {
+        let mut runnable = BTreeSet::new();
+        runnable.insert(0);
+        Rt {
+            state: Mutex::new(State {
+                active: Some(0),
+                runnable,
+                blocked: BTreeSet::new(),
+                finished: BTreeSet::new(),
+                spawned: 1,
+                objs: BTreeMap::new(),
+                next_obj: 0,
+                join_waiters: BTreeMap::new(),
+                schedule: prefix,
+                depth: 0,
+                preemptions: 0,
+                steps: 0,
+                abort: None,
+                panic_payload: None,
+            }),
+            cv: Condvar::new(),
+            os: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Allocate a fresh object id (primitives register lazily on first use
+    /// inside a model; ids are per-execution because the model closure
+    /// recreates its primitives each run).
+    pub fn alloc_obj(&self) -> usize {
+        let mut s = self.lock();
+        let id = s.next_obj;
+        s.next_obj += 1;
+        id
+    }
+
+    /// A schedule point: offer the scheduler the chance to run another
+    /// thread. `self_runnable` says whether the caller may be picked again
+    /// immediately (false = it just blocked on something).
+    pub fn switch(&self, tid: usize, self_runnable: bool) {
+        if std::thread::panicking() {
+            return;
+        }
+        let s = self.lock();
+        self.switch_locked(s, tid, self_runnable);
+    }
+
+    fn switch_locked(&self, mut s: MutexGuard<'_, State>, tid: usize, self_runnable: bool) {
+        if std::thread::panicking() {
+            // Unwinding through a guard Drop: never block, never re-panic.
+            return;
+        }
+        if s.abort.is_some() {
+            drop(s);
+            panic!("loom: model aborted");
+        }
+        s.steps += 1;
+        if s.steps > MAX_STEPS {
+            s.abort = Some("loom: step limit exceeded (livelock?)".into());
+            self.cv.notify_all();
+            drop(s);
+            panic!("loom: model aborted");
+        }
+        if self_runnable {
+            s.runnable.insert(tid);
+        } else {
+            s.runnable.remove(&tid);
+            s.blocked.insert(tid);
+        }
+        self.pick_next(&mut s, Some(tid));
+        while s.active != Some(tid) {
+            if s.abort.is_some() {
+                drop(s);
+                panic!("loom: model aborted");
+            }
+            if s.active.is_none() {
+                // Execution over while we were parked (only reachable for
+                // never-joined threads); just exit quietly.
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        s.blocked.remove(&tid);
+        s.runnable.insert(tid);
+    }
+
+    /// Choose the next active thread. Replays the recorded schedule prefix,
+    /// then appends fresh decisions; deterministic because the runnable set
+    /// is iterated in sorted order and every input to the choice is itself
+    /// a deterministic function of earlier choices.
+    fn pick_next(&self, s: &mut State, cur: Option<usize>) {
+        let choices: Vec<usize> = s.runnable.iter().copied().collect();
+        if choices.is_empty() {
+            s.active = None;
+            if !s.blocked.is_empty() {
+                s.abort = Some("loom: deadlock detected (every live thread is blocked)".into());
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let allowed = match cur {
+            Some(c) if s.preemptions >= PREEMPTION_BOUND && choices.contains(&c) => vec![c],
+            _ => choices,
+        };
+        let next = if allowed.len() == 1 {
+            allowed[0]
+        } else {
+            let d = s.depth;
+            let chosen = if d < s.schedule.len() {
+                s.schedule[d].chosen.min(allowed.len() - 1)
+            } else {
+                s.schedule.push(Branch { chosen: 0, total: allowed.len() });
+                0
+            };
+            s.depth += 1;
+            allowed[chosen]
+        };
+        if let Some(c) = cur {
+            if next != c && s.runnable.contains(&c) {
+                s.preemptions += 1;
+            }
+        }
+        s.active = Some(next);
+        self.cv.notify_all();
+    }
+
+    /// Park the caller on `obj`'s waiter list and hand off the schedule.
+    fn block_on_obj(&self, mut s: MutexGuard<'_, State>, tid: usize, id: usize) {
+        s.objs.entry(id).or_default().waiters.push(tid);
+        self.switch_locked(s, tid, false);
+    }
+
+    // ---- mutex ----
+
+    pub fn mutex_lock(&self, tid: usize, id: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.switch(tid, true); // others may race for the lock first
+        loop {
+            let mut s = self.lock();
+            if s.abort.is_some() {
+                drop(s);
+                panic!("loom: model aborted");
+            }
+            let o = s.objs.entry(id).or_default();
+            if !o.locked {
+                o.locked = true;
+                return;
+            }
+            self.block_on_obj(s, tid, id);
+        }
+    }
+
+    pub fn mutex_unlock(&self, tid: usize, id: usize) {
+        let mut s = self.lock();
+        {
+            let o = s.objs.entry(id).or_default();
+            o.locked = false;
+        }
+        self.wake_obj_waiters(&mut s, id);
+        self.switch_locked(s, tid, true);
+    }
+
+    /// Move every waiter of `id` back to runnable; they re-contend, and the
+    /// scheduler decides who wins (exploring all acquisition orders).
+    fn wake_obj_waiters(&self, s: &mut State, id: usize) {
+        let ws = std::mem::take(&mut s.objs.entry(id).or_default().waiters);
+        for w in ws {
+            s.blocked.remove(&w);
+            s.runnable.insert(w);
+        }
+    }
+
+    // ---- rwlock ----
+
+    pub fn rw_write(&self, tid: usize, id: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.switch(tid, true);
+        loop {
+            let mut s = self.lock();
+            if s.abort.is_some() {
+                drop(s);
+                panic!("loom: model aborted");
+            }
+            let o = s.objs.entry(id).or_default();
+            if !o.writer && o.readers == 0 {
+                o.writer = true;
+                return;
+            }
+            self.block_on_obj(s, tid, id);
+        }
+    }
+
+    pub fn rw_read(&self, tid: usize, id: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.switch(tid, true);
+        loop {
+            let mut s = self.lock();
+            if s.abort.is_some() {
+                drop(s);
+                panic!("loom: model aborted");
+            }
+            let o = s.objs.entry(id).or_default();
+            if !o.writer {
+                o.readers += 1;
+                return;
+            }
+            self.block_on_obj(s, tid, id);
+        }
+    }
+
+    pub fn rw_unlock_write(&self, tid: usize, id: usize) {
+        let mut s = self.lock();
+        s.objs.entry(id).or_default().writer = false;
+        self.wake_obj_waiters(&mut s, id);
+        self.switch_locked(s, tid, true);
+    }
+
+    pub fn rw_unlock_read(&self, tid: usize, id: usize) {
+        let mut s = self.lock();
+        {
+            let o = s.objs.entry(id).or_default();
+            o.readers = o.readers.saturating_sub(1);
+        }
+        self.wake_obj_waiters(&mut s, id);
+        self.switch_locked(s, tid, true);
+    }
+
+    // ---- condvar ----
+
+    /// Atomically release mutex `mx_id` and park on condvar `cv_id`; on
+    /// wake-up, re-acquire the mutex before returning.
+    pub fn condvar_wait(&self, tid: usize, cv_id: usize, mx_id: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut s = self.lock();
+        s.objs.entry(cv_id).or_default().cv_waiters.push(tid);
+        s.objs.entry(mx_id).or_default().locked = false;
+        self.wake_obj_waiters(&mut s, mx_id);
+        self.switch_locked(s, tid, false); // parked until notified
+        loop {
+            let mut s = self.lock();
+            if s.abort.is_some() {
+                drop(s);
+                panic!("loom: model aborted");
+            }
+            let o = s.objs.entry(mx_id).or_default();
+            if !o.locked {
+                o.locked = true;
+                return;
+            }
+            self.block_on_obj(s, tid, mx_id);
+        }
+    }
+
+    pub fn condvar_notify(&self, tid: usize, cv_id: usize, all: bool) {
+        let mut s = self.lock();
+        let o = s.objs.entry(cv_id).or_default();
+        let n = if all { o.cv_waiters.len() } else { o.cv_waiters.len().min(1) };
+        let woken: Vec<usize> = o.cv_waiters.drain(..n).collect();
+        for w in woken {
+            s.blocked.remove(&w);
+            s.runnable.insert(w);
+        }
+        self.switch_locked(s, tid, true);
+    }
+
+    // ---- channels ----
+
+    /// Park the caller waiting for channel `id` activity.
+    pub fn chan_block(&self, tid: usize, id: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let s = self.lock();
+        self.block_on_obj(s, tid, id);
+    }
+
+    /// Wake every thread parked on channel `id` (new message, sender gone).
+    pub fn chan_wake(&self, id: usize) {
+        let mut s = self.lock();
+        self.wake_obj_waiters(&mut s, id);
+        self.cv.notify_all();
+    }
+
+    // ---- threads ----
+
+    /// Reserve a tid for a thread about to be spawned.
+    pub fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        let tid = s.spawned;
+        s.spawned += 1;
+        s.runnable.insert(tid);
+        tid
+    }
+
+    pub fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(h);
+    }
+
+    pub fn take_os_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.os.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Block a freshly spawned OS thread until the scheduler first picks it.
+    pub fn wait_first_schedule(&self, tid: usize) {
+        let mut s = self.lock();
+        while s.active != Some(tid) {
+            if s.abort.is_some() {
+                drop(s);
+                panic!("loom: model aborted");
+            }
+            if s.active.is_none() {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Thread epilogue: record the outcome, wake joiners, hand off.
+    pub fn retire(&self, tid: usize, panicked: Option<Box<dyn std::any::Any + Send>>) {
+        let mut s = self.lock();
+        s.runnable.remove(&tid);
+        s.blocked.remove(&tid);
+        s.finished.insert(tid);
+        if let Some(p) = panicked {
+            // Scheduler-induced unwinds are not findings; keep only the
+            // first real user panic for `model()` to re-raise.
+            let induced = p
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.starts_with("loom: model aborted"))
+                || p.downcast_ref::<String>().is_some_and(|m| m.starts_with("loom: model aborted"));
+            if !induced && s.panic_payload.is_none() {
+                s.abort = Some("loom: a model thread panicked".into());
+                s.panic_payload = Some(p);
+            }
+        }
+        if let Some(ws) = s.join_waiters.remove(&tid) {
+            for w in ws {
+                s.blocked.remove(&w);
+                s.runnable.insert(w);
+            }
+        }
+        self.pick_next(&mut s, None);
+    }
+
+    /// Block until thread `target` has retired.
+    pub fn join_wait(&self, tid: usize, target: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.switch(tid, true);
+        loop {
+            let mut s = self.lock();
+            if s.finished.contains(&target) {
+                return;
+            }
+            if s.abort.is_some() {
+                drop(s);
+                panic!("loom: model aborted");
+            }
+            s.join_waiters.entry(target).or_default().push(tid);
+            self.switch_locked(s, tid, false);
+        }
+    }
+
+    /// End-of-execution bookkeeping for `model()`: the first user panic (if
+    /// any), the abort reason (if any), and the recorded schedule.
+    pub fn outcome(&self) -> (Option<Box<dyn std::any::Any + Send>>, Option<String>, Vec<Branch>) {
+        let mut s = self.lock();
+        (s.panic_payload.take(), s.abort.take(), std::mem::take(&mut s.schedule))
+    }
+}

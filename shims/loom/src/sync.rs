@@ -1,0 +1,445 @@
+//! Model-aware `std::sync` replacements: `Mutex`, `RwLock`, `Condvar`,
+//! `mpsc`, plus `Arc` re-exported from std (reference counting needs no
+//! schedule modeling — only blocking and ordering do).
+//!
+//! Every type keeps its data in a real `std::sync` primitive and layers the
+//! *model* state (who owns, who waits) in the runtime. Inside a model the
+//! std lock never contends — model-level ownership already serializes the
+//! threads — and outside a model each operation degrades to the plain std
+//! behavior. Signatures mirror std (`LockResult`, `PoisonError`) so code
+//! written for `std::sync` compiles against this module unchanged; locks
+//! are never actually poisoned, so every result is `Ok`.
+
+pub use std::sync::Arc;
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, OnceLock, PoisonError};
+
+use crate::rt;
+
+/// Lazily register a primitive with the current model execution.
+fn model_id(slot: &OnceLock<usize>, rt: &rt::Rt) -> usize {
+    *slot.get_or_init(|| rt.alloc_obj())
+}
+
+// ---- Mutex ----
+
+/// A model-aware mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<usize>,
+    data: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Whether the acquisition went through the model scheduler (and so the
+    /// release must too).
+    registered: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { id: OnceLock::new(), data: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock (a schedule point inside a model).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let registered = match rt::current() {
+            Some((rtm, tid)) => {
+                rtm.mutex_lock(tid, model_id(&self.id, &rtm));
+                true
+            }
+            None => false,
+        };
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard { lock: self, inner: Some(inner), registered })
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.deref().fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the std lock first
+        if self.registered {
+            if let (Some((rtm, tid)), Some(id)) = (rt::current(), self.lock.id.get()) {
+                rtm.mutex_unlock(tid, *id);
+            }
+        }
+    }
+}
+
+// ---- RwLock ----
+
+/// A model-aware reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    id: OnceLock<usize>,
+    data: std::sync::RwLock<T>,
+}
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    registered: bool,
+}
+
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    registered: bool,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock { id: OnceLock::new(), data: std::sync::RwLock::new(value) }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access (a schedule point inside a model).
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let registered = match rt::current() {
+            Some((rtm, tid)) => {
+                rtm.rw_read(tid, model_id(&self.id, &rtm));
+                true
+            }
+            None => false,
+        };
+        let inner = self.data.read().unwrap_or_else(PoisonError::into_inner);
+        Ok(RwLockReadGuard { lock: self, inner: Some(inner), registered })
+    }
+
+    /// Acquire exclusive write access (a schedule point inside a model).
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let registered = match rt::current() {
+            Some((rtm, tid)) => {
+                rtm.rw_write(tid, model_id(&self.id, &rtm));
+                true
+            }
+            None => false,
+        };
+        let inner = self.data.write().unwrap_or_else(PoisonError::into_inner);
+        Ok(RwLockWriteGuard { lock: self, inner: Some(inner), registered })
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.deref().fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.registered {
+            if let (Some((rtm, tid)), Some(id)) = (rt::current(), self.lock.id.get()) {
+                rtm.rw_unlock_read(tid, *id);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.deref().fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.registered {
+            if let (Some((rtm, tid)), Some(id)) = (rt::current(), self.lock.id.get()) {
+                rtm.rw_unlock_write(tid, *id);
+            }
+        }
+    }
+}
+
+// ---- Condvar ----
+
+/// A model-aware condition variable (FIFO wake order inside a model).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+    cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { id: OnceLock::new(), cv: std::sync::Condvar::new() }
+    }
+
+    /// Release the guard's mutex, park until notified, re-acquire.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        if guard.registered {
+            if let Some((rtm, tid)) = rt::current() {
+                let cv_id = model_id(&self.id, &rtm);
+                let mx_id = model_id(&lock.id, &rtm);
+                guard.inner = None; // release the std lock
+                guard.registered = false; // model release happens in the runtime
+                drop(guard);
+                rtm.condvar_wait(tid, cv_id, mx_id);
+                let inner = lock.data.lock().unwrap_or_else(PoisonError::into_inner);
+                return Ok(MutexGuard { lock, inner: Some(inner), registered: true });
+            }
+        }
+        let inner = guard.inner.take().expect("guard accessed after release");
+        drop(guard); // registered is false: plain std path
+        let inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard { lock, inner: Some(inner), registered: false })
+    }
+
+    /// Wake one parked waiter.
+    pub fn notify_one(&self) {
+        match rt::current() {
+            Some((rtm, tid)) => rtm.condvar_notify(tid, model_id(&self.id, &rtm), false),
+            None => self.cv.notify_one(),
+        }
+    }
+
+    /// Wake every parked waiter.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            Some((rtm, tid)) => rtm.condvar_notify(tid, model_id(&self.id, &rtm), true),
+            None => self.cv.notify_all(),
+        }
+    }
+}
+
+// ---- mpsc ----
+
+/// Model-aware multi-producer single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, OnceLock, PoisonError};
+
+    use crate::rt;
+
+    struct ChanState<T> {
+        q: VecDeque<T>,
+        senders: usize,
+        rx_alive: bool,
+    }
+
+    struct Shared<T> {
+        state: std::sync::Mutex<ChanState<T>>,
+        /// Blocking support outside a model.
+        cv: std::sync::Condvar,
+        id: OnceLock<usize>,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, ChanState<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Wake model waiters and plain waiters alike after a state change.
+        fn wake(&self) {
+            if let Some((rtm, _)) = rt::current() {
+                if let Some(id) = self.id.get() {
+                    rtm.chan_wake(*id);
+                }
+            }
+            self.cv.notify_all();
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        // Like std's: no `T: Debug` bound, the payload is elided.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half; clonable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    // Like std's: no `T: Debug` bound, no state exposed.
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: std::sync::Mutex::new(ChanState {
+                q: VecDeque::new(),
+                senders: 1,
+                rx_alive: true,
+            }),
+            cv: std::sync::Condvar::new(),
+            id: OnceLock::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message; fails only when the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            {
+                let mut s = self.0.lock();
+                if !s.rx_alive {
+                    return Err(SendError(value));
+                }
+                s.q.push_back(value);
+            }
+            self.0.wake();
+            if let Some((rtm, tid)) = rt::current() {
+                super::model_id(&self.0.id, &rtm);
+                rtm.switch(tid, true); // the receiver may run now
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let last = {
+                let mut s = self.0.lock();
+                s.senders -= 1;
+                s.senders == 0
+            };
+            if last {
+                // Disconnect: blocked receivers must observe RecvError.
+                self.0.wake();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            if let Some((rtm, tid)) = rt::current() {
+                let id = super::model_id(&self.0.id, &rtm);
+                rtm.switch(tid, true);
+                loop {
+                    {
+                        let mut s = self.0.lock();
+                        if let Some(v) = s.q.pop_front() {
+                            return Ok(v);
+                        }
+                        if s.senders == 0 {
+                            return Err(RecvError);
+                        }
+                    }
+                    // Empty with live senders: park until channel activity.
+                    rtm.chan_block(tid, id);
+                }
+            } else {
+                let mut s = self.0.lock();
+                loop {
+                    if let Some(v) = s.q.pop_front() {
+                        return Ok(v);
+                    }
+                    if s.senders == 0 {
+                        return Err(RecvError);
+                    }
+                    s = self.0.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.lock().rx_alive = false;
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Model-aware replacement for `std::thread` (the subset the workspace
+//! uses: `spawn`, `JoinHandle::join`, `yield_now`).
+//!
+//! Inside a [`crate::model`] execution, `spawn` registers a new model
+//! thread with the scheduler and backs it with a real OS thread that only
+//! runs while the scheduler says so. Outside a model, everything degrades
+//! to plain `std::thread` behavior so code compiled with `--cfg loom` still
+//! works when exercised by ordinary tests.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+type Slot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+/// Handle to a spawned (model or plain) thread.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    /// Model tid when spawned inside a model.
+    target: usize,
+    slot: Slot<T>,
+    /// The real handle when spawned outside a model.
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+fn store<T>(slot: &Slot<T>, r: std::thread::Result<T>) {
+    *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+}
+
+/// Spawn a thread. See the module docs for model vs. plain behavior.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot: Slot<T> = Arc::new(Mutex::new(None));
+    if let Some((rtm, tid)) = rt::current() {
+        let target = rtm.register_thread();
+        let slot2 = Arc::clone(&slot);
+        let rt2 = Arc::clone(&rtm);
+        let os = std::thread::spawn(move || {
+            rt::install(Arc::clone(&rt2), target);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                rt2.wait_first_schedule(target);
+                f()
+            }));
+            let panicked = match r {
+                Ok(v) => {
+                    store(&slot2, Ok(v));
+                    None
+                }
+                Err(p) => Some(p),
+            };
+            rt2.retire(target, panicked);
+        });
+        rtm.push_os_handle(os);
+        rtm.switch(tid, true); // branch point: the child may run first
+        JoinHandle { target, slot, os: None }
+    } else {
+        let slot2 = Arc::clone(&slot);
+        let os = std::thread::spawn(move || {
+            let r = catch_unwind(AssertUnwindSafe(f));
+            store(&slot2, r);
+        });
+        JoinHandle { target: usize::MAX, slot, os: Some(os) }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result (`Err` if it
+    /// panicked, matching `std::thread::JoinHandle::join`).
+    pub fn join(mut self) -> std::thread::Result<T> {
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        } else if let Some((rtm, tid)) = rt::current() {
+            rtm.join_wait(tid, self.target);
+        }
+        let taken = self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        match taken {
+            Some(r) => r,
+            // The thread panicked (its payload is re-raised by `model()`)
+            // or the model aborted before it produced a value.
+            None => Err(Box::new("loom: joined thread produced no value")),
+        }
+    }
+}
+
+/// Yield: a pure schedule point inside a model, `std::thread::yield_now`
+/// outside.
+pub fn yield_now() {
+    if let Some((rtm, tid)) = rt::current() {
+        rtm.switch(tid, true);
+    } else {
+        std::thread::yield_now();
+    }
+}

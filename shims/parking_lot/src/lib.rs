@@ -4,69 +4,89 @@
 //! `lock()`/`read()`/`write()` return guards directly instead of
 //! `LockResult`s. A poisoned std lock (a writer panicked) is recovered
 //! rather than propagated — matching parking_lot, which has no poisoning.
+//!
+//! Under `--cfg loom` the same API wraps the `loom` shim's model-aware
+//! primitives instead, so types built on this crate (the telemetry TSDB's
+//! batched writer, for one) can be driven through exhaustive interleaving
+//! tests with `loom::model` unchanged. The exported guard type aliases
+//! (`MutexGuard`, `RwLockReadGuard`, `RwLockWriteGuard`) track the active
+//! backend; code that names a guard type must spell it through this crate.
 
 #![forbid(unsafe_code)]
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(not(loom))]
+use std::sync as backend;
+
+#[cfg(loom)]
+use loom::sync as backend;
+
+use std::sync::PoisonError;
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = backend::MutexGuard<'a, T>;
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = backend::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = backend::RwLockWriteGuard<'a, T>;
 
 /// A mutual-exclusion lock with parking_lot's panic-free API.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized>(backend::Mutex<T>);
 
 impl<T> Mutex<T> {
     /// Create a new mutex.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex(backend::Mutex::new(value))
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking the current thread.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 /// A reader-writer lock with parking_lot's panic-free API.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized>(backend::RwLock<T>);
 
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock(backend::RwLock::new(value))
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Acquire exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
