@@ -224,7 +224,7 @@ struct Pragma {
 pub struct FileAnalysis {
     /// Repo-relative path.
     pub rel: String,
-    /// Raw diagnostics from every per-file rule (D/P/H/M + C1/C3/C4).
+    /// Raw diagnostics from every per-file rule (D/P/H/M + C1/C3/C4 + E1).
     raw: Vec<Diagnostic>,
     /// Lock-acquisition edges for the workspace graph.
     pub edges: Vec<crate::conc::LockEdge>,
@@ -289,8 +289,8 @@ fn parse_pragmas(comments: &[LineComment], path: &str) -> (Vec<Pragma>, Vec<Diag
 }
 
 /// Phase one: lex, classify, and run every per-file rule (token rules plus
-/// the scope-aware C1/C3/C4), collecting lock edges for the workspace
-/// graph. No suppression happens here.
+/// the scope-aware C1/C3/C4 and E1), collecting lock edges for the
+/// workspace graph. No suppression happens here.
 pub fn analyze_source(rel: &str, src: &str) -> FileAnalysis {
     let lexed = lex(src);
     let ctx = classify(rel);
@@ -299,6 +299,7 @@ pub fn analyze_source(rel: &str, src: &str) -> FileAnalysis {
     rules::scan(&lexed.toks, &ctx, &regions, &mut raw);
     let tree = crate::parser::parse(&lexed.toks);
     let edges = crate::conc::scan(&lexed.toks, &tree, &lexed.comments, &ctx, &regions, &mut raw);
+    crate::events::scan(&lexed.toks, &tree, &ctx, &regions, &mut raw);
     let (pragmas, pragma_diags) = parse_pragmas(&lexed.comments, rel);
     FileAnalysis { rel: rel.to_string(), raw, edges, pragmas, pragma_diags }
 }

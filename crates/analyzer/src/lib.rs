@@ -34,6 +34,7 @@ pub mod conc;
 pub mod config;
 pub mod diag;
 pub mod engine;
+pub mod events;
 pub mod lexer;
 pub mod lockgraph;
 pub mod parser;

@@ -13,12 +13,15 @@
 //! | C2 | workspace lock-acquisition order is cycle-free |
 //! | C3 | every `unsafe` / `static mut` / `UnsafeCell` has an adjacent `// SAFETY:` comment |
 //! | C4 | no `try_recv`/`recv_timeout`/`try_iter` channel drains in decision crates |
+//! | E1 | no tick quantization (div / `div_ceil` by the tick) or wall clock inside event handlers (`on_*`/`handle_*` fns in `sim`/`core`) |
 //!
 //! D–M matching is purely token-shaped: strings, comments and
 //! `#[cfg(test)]` regions were already stripped or marked by the
 //! lexer/engine, so rule text inside a string literal can never fire.
 //! The C rules additionally consult the scope tree built by
-//! [`crate::parser`] — see [`crate::conc`] and [`crate::lockgraph`].
+//! [`crate::parser`] — see [`crate::conc`] and [`crate::lockgraph`];
+//! E1 consults it too, to resolve which `fn` owns a token
+//! (see [`crate::events`]).
 
 use crate::diag::{Diagnostic, Severity};
 use crate::engine::FileContext;
@@ -41,7 +44,7 @@ pub struct Rule {
 }
 
 /// Every rule the engine knows, in reporting order.
-pub const RULES: [Rule; 11] = [
+pub const RULES: [Rule; 12] = [
     Rule {
         id: "D1",
         severity: Severity::Deny,
@@ -124,14 +127,24 @@ pub const RULES: [Rule; 11] = [
         hint: "use blocking `recv()` with an explicit shutdown message, or collect into an \
                index-ordered buffer before acting",
     },
+    Rule {
+        id: "E1",
+        severity: Severity::Deny,
+        summary: "no tick quantization (division/div_ceil by the tick) or wall clock inside \
+                  event handlers (`on_*`/`handle_*` fns in knots-sim/knots-core)",
+        hint: "snap due times to the tick grid once, at enqueue (`grid_at_or_after`); handlers \
+               must be pure functions of (simulation state, event time)",
+    },
 ];
 
-/// Direct references for the scope-aware passes in [`crate::conc`] and
-/// [`crate::lockgraph`] (no Option plumbing on a compile-time-known id).
+/// Direct references for the scope-aware passes in [`crate::conc`],
+/// [`crate::lockgraph`] and [`crate::events`] (no Option plumbing on a
+/// compile-time-known id).
 pub(crate) const C1: &Rule = &RULES[7];
 pub(crate) const C2: &Rule = &RULES[8];
 pub(crate) const C3: &Rule = &RULES[9];
 pub(crate) const C4: &Rule = &RULES[10];
+pub(crate) const E1: &Rule = &RULES[11];
 
 /// Look up a rule by id.
 pub fn rule(id: &str) -> Option<&'static Rule> {

@@ -175,7 +175,7 @@ impl FormatDigests {
 /// The embedded corpus: every per-rule fixture, checked as decision-crate
 /// library code so each rule contributes diagnostics to the rendered set.
 fn fixture_corpus() -> Vec<crate::diag::Diagnostic> {
-    const FIXTURES: [(&str, &str); 13] = [
+    const FIXTURES: [(&str, &str); 14] = [
         ("d1", include_str!("../tests/fixtures/d1_wall_clock.rs")),
         ("d2", include_str!("../tests/fixtures/d2_hash_collections.rs")),
         ("d3", include_str!("../tests/fixtures/d3_ambient_entropy.rs")),
@@ -187,6 +187,7 @@ fn fixture_corpus() -> Vec<crate::diag::Diagnostic> {
         ("c2", include_str!("../tests/fixtures/c2_lock_order.rs")),
         ("c3", include_str!("../tests/fixtures/c3_unsafe_hygiene.rs")),
         ("c4", include_str!("../tests/fixtures/c4_channel_drain.rs")),
+        ("e1", include_str!("../tests/fixtures/e1_event_handlers.rs")),
         ("pragmas", include_str!("../tests/fixtures/pragmas.rs")),
         ("tricky", include_str!("../tests/fixtures/tricky.rs")),
     ];
@@ -263,6 +264,8 @@ mod tests {
             skipped_breakdown: vec![],
             phase_timings: vec![],
             faults: knots_core::FaultStats::default(),
+            events_processed: 0,
+            events_per_sim_second: 0.0,
         };
         let d0 = report_digest(&base);
 
@@ -276,6 +279,11 @@ mod tests {
             mean_us: 1.5,
         }];
         assert_eq!(report_digest(&timed), d0, "wall-clock timings must not affect the digest");
+
+        let mut evented = base.clone();
+        evented.events_processed = 1234;
+        evented.events_per_sim_second = 9.75;
+        assert_eq!(report_digest(&evented), d0, "engine throughput must not affect the digest");
 
         let mut decided = base;
         decided.preemptions = 2;

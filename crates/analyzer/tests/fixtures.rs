@@ -130,6 +130,24 @@ fn c4_fires_on_select_shaped_drains() {
 }
 
 #[test]
+fn e1_fires_only_inside_event_handlers_of_event_crates() {
+    // E1 binds to crates/sim + crates/core, so this fixture runs under a
+    // pretend core path rather than the default sched one.
+    let src = include_str!("fixtures/e1_event_handlers.rs");
+    let out = check_source("crates/core/src/fixture.rs", src, &Config::default());
+    // Wall clock + manual ceil-div in on_heartbeat, div_ceil in
+    // handle_arrival — and nothing from the non-handler `enqueue` (the
+    // sanctioned snap-at-enqueue site) or the tick-free handle_drain.
+    assert_eq!(positions(&out, "E1"), vec![(6, 19), (7, 34), (11, 12)]);
+    // The wall-clock reads also draw D1; E1 adds the handler context.
+    assert_eq!(positions(&out, "D1"), vec![(2, 16), (6, 19)]);
+    assert_eq!(out.len(), 5, "{out:?}");
+    // Outside the event crates the handler contract does not bind.
+    let relaxed = check_source("crates/sched/src/fixture.rs", src, &Config::default());
+    assert!(positions(&relaxed, "E1").is_empty(), "{relaxed:?}");
+}
+
+#[test]
 fn multi_rule_pragmas_suppress_and_track_staleness_per_id() {
     // Both ids earn their keep: no A1.
     let src = "fn f(m: &Mutex<Vec<u32>>, xs: &[u32]) {\n  let g = m.lock();\n  // knots-allow: P1, C1 -- invariant: g is non-empty and workers are lock-free\n  run_jobs(4, xs, |x| g.last().unwrap());\n}\n";

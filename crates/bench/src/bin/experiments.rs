@@ -16,7 +16,7 @@
 //!   trace     the DNN bake-off with causal tracing ± a seeded fault plan:
 //!             Chrome traces per leg + per-stage latency breakdown + digest
 //!   chaos     fault-intensity sweep: QoS / throughput / crashes (DESIGN.md §10)
-//!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_5.json
+//!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_6.json
 //!   all       everything above except trace, chaos and perf
 //! ```
 //!
@@ -303,7 +303,7 @@ fn run_perf(opts: &Opts) {
     let cfg =
         knots_bench::perf::PerfConfig { quick: opts.quick, threads: opts.threads, seed: opts.seed };
     let report = knots_bench::perf::run(&cfg);
-    let path = opts.out.as_deref().unwrap_or("BENCH_5.json");
+    let path = opts.out.as_deref().unwrap_or("BENCH_6.json");
     let payload = serde_json::to_string_pretty(&report).expect("serialize perf report");
     std::fs::write(path, payload).expect("write perf report");
     eprintln!("[wrote {path}]");

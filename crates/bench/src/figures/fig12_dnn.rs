@@ -161,6 +161,8 @@ mod tests {
             skipped_breakdown: vec![],
             phase_timings: vec![],
             faults: knots_core::FaultStats::default(),
+            events_processed: 0,
+            events_per_sim_second: 0.0,
         }
     }
 

@@ -11,10 +11,14 @@
 //!    worker thread (the serial baseline) and at `--threads N`, with the
 //!    combined report digest of each leg recorded so the JSON itself proves
 //!    the parallel sweep made the *same decisions*.
-//! 3. **Self-check digests** — the analyzer's dynamic determinism legs
+//! 3. **Loop-mode A/B** (`events`) — the same run under the naive
+//!    per-tick oracle, the span calendar and the continuous-time event
+//!    queue; all three digests must match bit for bit, and the recorded
+//!    speedups quantify what skipping dead ticks buys.
+//! 4. **Self-check digests** — the analyzer's dynamic determinism legs
 //!    (`knots-analyzer check --self-check`), replayed here so a BENCH file
 //!    from before an optimization can be diffed against one from after.
-//! 4. **Analyzer wall time** — one full scope-aware `check_root` over the
+//! 5. **Analyzer wall time** — one full scope-aware `check_root` over the
 //!    workspace, recording file count, diagnostic count (0 on a clean
 //!    tree) and wall milliseconds, so lint-pass regressions show up in the
 //!    same report as decision-loop regressions.
@@ -26,6 +30,7 @@
 use crate::figures::fig06_09_cluster::ClusterStudy;
 use crate::figures::fig12_dnn::DnnStudy;
 use knots_analyzer::selfcheck::{self, report_digest, Fnv};
+use knots_core::config::LoopMode;
 use knots_core::experiment::{scheduler_by_name, ExperimentConfig};
 use knots_forecast::autocorr::{acf, autocorrelation};
 use knots_forecast::spearman::{correlation_matrix, spearman};
@@ -87,27 +92,35 @@ pub struct SweepTiming {
     pub speedup_vs_serial: Option<f64>,
 }
 
-/// Event-calendar A/B: the same run with the calendar jumping multi-tick
-/// spans versus `naive_ticking` forcing one control-loop iteration per
-/// tick. The digests must agree bit for bit — the speedup is only real if
-/// the decisions are unchanged.
+/// Loop-mode A/B: the same run under all three control loops — the naive
+/// per-tick oracle, the span calendar, and the continuous-time event
+/// queue. All three report digests must agree bit for bit: the speedups
+/// are only real if the decisions are unchanged.
 #[derive(Debug, Clone, Serialize)]
-pub struct CalendarBench {
+pub struct EventsBench {
     /// Leg label (scheduler + timing shape).
     pub name: String,
     /// Wall time with `naive_ticking: true`, milliseconds.
     pub naive_wall_ms: f64,
-    /// Wall time with the event calendar on, milliseconds.
+    /// Wall time with the span calendar (`LoopMode::Calendar`).
     pub calendar_wall_ms: f64,
+    /// Wall time with the event queue (`LoopMode::EventQueue`).
+    pub event_wall_ms: f64,
     /// `naive_wall_ms / calendar_wall_ms`.
-    pub speedup: f64,
-    /// Control-loop iterations the calendar took (the "step" phase count).
+    pub calendar_speedup: f64,
+    /// `naive_wall_ms / event_wall_ms`.
+    pub event_speedup: f64,
+    /// Control-loop iterations the event queue executed (its "step"
+    /// phase count).
     pub steps_taken: u64,
-    /// Ticks simulated (the "probe" phase count; identical in both modes).
+    /// Ticks the oracle iterated (the naive leg's "step" phase count).
     pub ticks_total: u64,
-    /// Dead iterations the calendar never ran: `ticks_total - steps_taken`.
+    /// Dead iterations the event queue never ran: `ticks_total -
+    /// steps_taken`.
     pub ticks_skipped: u64,
-    /// The calendar and naive report digests agreed bit for bit.
+    /// Calendar events the event-queue leg popped and handled.
+    pub events_processed: u64,
+    /// All three report digests agreed bit for bit.
     pub digests_match: bool,
 }
 
@@ -153,8 +166,8 @@ pub struct PerfReport {
     pub sweeps: Vec<SweepTiming>,
     /// Whether every sweep's parallel digest matched its serial digest.
     pub sweep_digests_match: bool,
-    /// Event-calendar vs naive-tick A/B legs.
-    pub calendar: Vec<CalendarBench>,
+    /// Three-way loop-mode A/B legs: naive vs calendar vs event queue.
+    pub events: Vec<EventsBench>,
     /// Analyzer self-check legs.
     pub self_check: Vec<SelfCheckLeg>,
     /// Timed analyzer pass over the workspace.
@@ -165,7 +178,7 @@ impl PerfReport {
     /// Did every determinism assertion in the report hold?
     pub fn ok(&self) -> bool {
         self.sweep_digests_match
-            && self.calendar.iter().all(|c| c.digests_match)
+            && self.events.iter().all(|c| c.digests_match)
             && self.self_check.iter().all(|l| l.ok)
             && self.analyze.diagnostics == 0
     }
@@ -385,49 +398,58 @@ fn sweep_benches(cfg: &PerfConfig) -> (Vec<SweepTiming>, bool) {
     (sweeps, all_match)
 }
 
-fn calendar_benches(cfg: &PerfConfig) -> Vec<CalendarBench> {
+fn events_benches(cfg: &PerfConfig) -> Vec<EventsBench> {
     // Heartbeat at 5× the tick: between scheduling rounds every tick is
-    // dead at the orchestrator level — the calendar's best case, and the
-    // shape where a correctness bug (a span jumping over a trigger) would
-    // immediately shift decisions and split the digests.
+    // dead at the orchestrator level — the event queue's best case, and
+    // the shape where a correctness bug (a span jumping over a trigger, a
+    // handler firing off-grid) would immediately shift decisions and
+    // split the digests.
     let mut run_cfg = ExperimentConfig {
         duration: SimDuration::from_secs(if cfg.quick { 20 } else { 60 }),
         seed: cfg.seed,
         ..Default::default()
     };
     run_cfg.orch.heartbeat = SimDuration::from_millis(50);
-    let mut naive_cfg = run_cfg;
-    naive_cfg.orch.naive_ticking = true;
     let phase_count = |r: &knots_core::metrics::RunReport, phase: &str| {
         r.phase_timings.iter().find(|t| t.phase == phase).map(|t| t.count).unwrap_or(0)
     };
+    let legs = [
+        ("naive", LoopMode::Naive, true),
+        ("calendar", LoopMode::Calendar, false),
+        ("events", LoopMode::EventQueue, false),
+    ];
     let mut out = Vec::new();
     for name in ["Res-Ag", "CBP+PP"] {
-        let t0 = Instant::now();
-        let cal = knots_core::experiment::run_mix(
-            scheduler_by_name(name).expect("known scheduler"),
-            AppMix::Mix2,
-            &run_cfg,
-        );
-        let cal_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t0 = Instant::now();
-        let naive = knots_core::experiment::run_mix(
-            scheduler_by_name(name).expect("known scheduler"),
-            AppMix::Mix2,
-            &naive_cfg,
-        );
-        let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let steps_taken = phase_count(&cal, "step");
-        let ticks_total = phase_count(&cal, "probe");
-        out.push(CalendarBench {
+        let mut walls = [0.0f64; 3];
+        let mut reports = Vec::with_capacity(3);
+        for (i, (_, mode, naive)) in legs.iter().enumerate() {
+            let mut leg_cfg = run_cfg;
+            leg_cfg.orch.mode = *mode;
+            leg_cfg.orch.naive_ticking = *naive;
+            let t0 = Instant::now();
+            let r = knots_core::experiment::run_mix(
+                scheduler_by_name(name).expect("known scheduler"),
+                AppMix::Mix2,
+                &leg_cfg,
+            );
+            walls[i] = t0.elapsed().as_secs_f64() * 1e3;
+            reports.push(r);
+        }
+        let d0 = report_digest(&reports[0]);
+        let steps_taken = phase_count(&reports[2], "step");
+        let ticks_total = phase_count(&reports[0], "step");
+        out.push(EventsBench {
             name: format!("{name}_mix2_hb50ms"),
-            naive_wall_ms: naive_ms,
-            calendar_wall_ms: cal_ms,
-            speedup: naive_ms / cal_ms.max(1e-9),
+            naive_wall_ms: walls[0],
+            calendar_wall_ms: walls[1],
+            event_wall_ms: walls[2],
+            calendar_speedup: walls[0] / walls[1].max(1e-9),
+            event_speedup: walls[0] / walls[2].max(1e-9),
             steps_taken,
             ticks_total,
             ticks_skipped: ticks_total.saturating_sub(steps_taken),
-            digests_match: report_digest(&cal) == report_digest(&naive),
+            events_processed: reports[2].events_processed,
+            digests_match: reports.iter().all(|r| report_digest(r) == d0),
         });
     }
     out
@@ -460,8 +482,8 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
     let micro = micro_benches(cfg);
     eprintln!("[perf: figure sweeps at 1 and {} thread(s) ...]", cfg.threads);
     let (sweeps, sweep_digests_match) = sweep_benches(cfg);
-    eprintln!("[perf: event-calendar vs naive-tick A/B ...]");
-    let calendar = calendar_benches(cfg);
+    eprintln!("[perf: naive vs calendar vs event-queue A/B ...]");
+    let events = events_benches(cfg);
     eprintln!("[perf: analyzer self-check legs ...]");
     let self_check = self_check_legs();
     eprintln!("[perf: analyzer workspace pass ...]");
@@ -473,7 +495,7 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         micro,
         sweeps,
         sweep_digests_match,
-        calendar,
+        events,
         self_check,
         analyze,
     }
@@ -496,12 +518,12 @@ mod tests {
     }
 
     #[test]
-    fn calendar_legs_skip_ticks_and_keep_digests() {
+    fn events_legs_skip_ticks_and_keep_digests() {
         let cfg = PerfConfig { quick: true, threads: 1, seed: 42 };
-        let legs = calendar_benches(&cfg);
+        let legs = events_benches(&cfg);
         assert_eq!(legs.len(), 2);
         for leg in &legs {
-            assert!(leg.digests_match, "{}: calendar diverged from naive ticking", leg.name);
+            assert!(leg.digests_match, "{}: loop modes diverged from naive ticking", leg.name);
             assert!(
                 leg.ticks_skipped > 0,
                 "{}: a 50 ms heartbeat over a 10 ms tick must skip dead iterations \
@@ -510,7 +532,14 @@ mod tests {
                 leg.steps_taken,
                 leg.ticks_total
             );
-            assert!(leg.naive_wall_ms > 0.0 && leg.calendar_wall_ms > 0.0);
+            assert!(
+                leg.events_processed > 0,
+                "{}: the event-queue leg must pop calendar events",
+                leg.name
+            );
+            assert!(
+                leg.naive_wall_ms > 0.0 && leg.calendar_wall_ms > 0.0 && leg.event_wall_ms > 0.0
+            );
         }
     }
 

@@ -16,12 +16,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod config;
 pub mod experiment;
 pub mod metrics;
 pub mod orchestrator;
 
-pub use config::OrchestratorConfig;
+pub use calendar::{CoreEvent, EventCalendar};
+pub use config::{LoopMode, OrchestratorConfig};
 pub use metrics::{FaultStats, JctStats, RunReport};
 pub use orchestrator::KubeKnots;
 

@@ -161,6 +161,14 @@ pub struct RunReport {
     pub phase_timings: Vec<PhaseTiming>,
     /// Fault-injection accounting (all-zero without a chaos engine).
     pub faults: FaultStats,
+    /// Calendar events the event-queue loop processed (zero under the
+    /// `naive_ticking` oracle and the span calendar). Like `phase_timings`,
+    /// excluded from the determinism digest: it describes the engine, not
+    /// the simulated outcome.
+    pub events_processed: u64,
+    /// `events_processed` per simulated second — the event core's
+    /// throughput row.
+    pub events_per_sim_second: f64,
 }
 
 impl RunReport {
@@ -278,6 +286,8 @@ mod tests {
             skipped_breakdown: Vec::new(),
             phase_timings: Vec::new(),
             faults: FaultStats::default(),
+            events_processed: 0,
+            events_per_sim_second: 0.0,
         }
     }
 
@@ -321,6 +331,8 @@ mod tests {
             p99_us: 140.25,
             mean_us: 19.875,
         }];
+        r.events_processed = 12_345;
+        r.events_per_sim_second = 102.875;
         r.faults = FaultStats {
             node_failures: 3,
             degradations: 1,

@@ -1,21 +1,34 @@
 //! The Kube-Knots control loop.
 //!
-//! Each simulation tick the orchestrator:
+//! The default loop is a continuous-time event core: every layer schedules
+//! typed events — workload arrivals, chaos actions, aggregator heartbeats,
+//! metric-grid points, the drain deadline — on a deterministic binary-heap
+//! [`EventCalendar`], and the loop jumps straight from one event to the
+//! next, advancing the cluster in closed form across the gap. At each
+//! event instant the orchestrator:
 //!
 //! 1. submits any workload arrivals that have come due;
-//! 2. if the heartbeat elapsed, snapshots the cluster through the
-//!    utilization aggregator, assembles the scheduler context (pending and
-//!    suspended pod views + telemetry handle) and applies the scheduler's
-//!    actions — skipping, never crashing on, actions that race with
-//!    same-tick state changes;
-//! 3. advances the cluster by one tick;
-//! 4. samples every node's five metrics into the TSDB (the pyNVML probe)
-//!    and records experiment metrics at the configured interval.
+//! 2. replays injected faults due at the instant;
+//! 3. on a heartbeat, snapshots the cluster through the utilization
+//!    aggregator, assembles the scheduler context (pending and suspended
+//!    pod views + telemetry handle) and applies the scheduler's actions —
+//!    skipping, never crashing on, actions that race with same-instant
+//!    state changes;
+//! 4. advances the cluster to the next event, sampling every node's five
+//!    metrics into the TSDB after each tick (the pyNVML probe) and
+//!    recording experiment metrics at the configured interval.
+//!
+//! The one-tick-at-a-time loop survives as the A/B oracle behind
+//! [`OrchestratorConfig::naive_ticking`], and PR 5's polled span calendar
+//! as [`LoopMode::Calendar`]; all three are bit-identical at matching
+//! grid points (the determinism suite and the pinned self-check digests
+//! gate this on every run).
 
-use crate::config::OrchestratorConfig;
+use crate::calendar::{grid_at_or_after, CoreEvent, EventCalendar};
+use crate::config::{LoopMode, OrchestratorConfig};
 use crate::metrics::{FaultStats, JctStats, PhaseTiming, RunReport, SkippedAction};
 use knots_chaos::{ChaosAction, ChaosEngine};
-use knots_obs::{Event, FieldValue, Obs, PhaseTimers, Severity};
+use knots_obs::{Event, FieldValue, Histogram, Obs, PhaseTimers, Severity};
 use knots_sched::{Action, PendingPodView, SchedContext, Scheduler, SuspendedPodView};
 use knots_sim::cluster::{Cluster, ClusterConfig};
 use knots_sim::error::SimError;
@@ -73,6 +86,10 @@ pub struct KubeKnots {
     lifecycle: LifecycleTracker,
     trace_seen: usize,
     round: u64,
+    event_counts: [u64; 5],
+    /// Per-round heartbeat latency, accumulated locally and merged into
+    /// the metrics registry once per run (`knots_heartbeat_latency_us`).
+    hb_latency: Histogram,
 }
 
 impl KubeKnots {
@@ -106,6 +123,8 @@ impl KubeKnots {
             lifecycle: LifecycleTracker::new(),
             trace_seen: 0,
             round: 0,
+            event_counts: [0; 5],
+            hb_latency: Histogram::latency_us(),
         }
     }
 
@@ -172,6 +191,22 @@ impl KubeKnots {
     /// the run report.
     pub fn run_schedule(&mut self, schedule: &[ScheduledPod]) -> RunReport {
         debug_assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at), "schedule must be sorted");
+        match self.cfg.effective_mode() {
+            LoopMode::EventQueue => self.run_events(schedule),
+            LoopMode::Naive | LoopMode::Calendar => self.run_ticked(schedule),
+        }
+        if self.tracer.enabled() {
+            self.trace_scan();
+            self.lifecycle.flush(self.cluster.now().as_micros(), &self.tracer);
+        }
+        self.report(schedule.len())
+    }
+
+    /// The tick-grid loop: the `naive_ticking` oracle (one tick at a time)
+    /// and PR 5's span calendar (polled `next_due()` hints, `span_ticks`
+    /// returns 1 for the oracle) share this body. Kept as the A/B
+    /// reference the event core is digest-checked against.
+    fn run_ticked(&mut self, schedule: &[ScheduledPod]) {
         let mut next = 0usize;
         let last_arrival = schedule.last().map(|s| s.at).unwrap_or(SimTime::ZERO);
         let deadline = last_arrival + self.cfg.drain_grace;
@@ -190,71 +225,16 @@ impl KubeKnots {
             }
             // 2. Heartbeat: scheduling round.
             if self.aggregator.due(now) {
-                // knots-allow: D1 -- wall-clock heartbeat latency is an observability metric only; it never feeds back into simulation state
-                let t0 = std::time::Instant::now();
-                let heartbeat_span = if self.tracer.enabled() {
-                    self.tracer.record_instant(
-                        Track::Control,
-                        "agg.heartbeat",
-                        now.as_micros(),
-                        None,
-                        vec![],
-                    )
-                } else {
-                    None
-                };
-                self.schedule_round(heartbeat_span);
-                self.obs.metrics.observe(
-                    "knots_heartbeat_latency_us",
-                    &[],
-                    t0.elapsed().as_secs_f64() * 1e6,
-                );
+                self.heartbeat_round(now);
             }
-            // 3+4. Advance and probe. The event calendar asks every layer
+            // 3+4. Advance and probe. The span calendar asks every layer
             // for its next due instant and jumps there in one span; a span
-            // of one tick takes the plain path below, which is also what
+            // of one tick takes the plain path, which is also what
             // `naive_ticking` forces for the A/B determinism harness.
             let k = self.span_ticks(schedule, next, deadline);
             let arrivals_done = next >= schedule.len();
             if k <= 1 {
-                {
-                    let _span = self.timers.span("step");
-                    self.cluster.step(self.cfg.tick);
-                }
-                let _span = self.timers.span("probe");
-                match self.chaos.as_mut() {
-                    None => {
-                        probe::sample_cluster(&self.cluster, &self.tsdb);
-                    }
-                    Some(engine) => {
-                        let now = self.cluster.now();
-                        let dropped =
-                            probe::sample_cluster_with(&self.cluster, &self.tsdb, |node, s| {
-                                if engine.probe_dropped(node, now) {
-                                    None
-                                } else {
-                                    Some(engine.corrupt_sample(node, now, s))
-                                }
-                            });
-                        if dropped > 0 {
-                            self.obs.metrics.add("knots_probe_dropped_total", &[], dropped);
-                        }
-                        self.obs.metrics.set_gauge(
-                            "knots_telemetry_rejected_samples_total",
-                            &[],
-                            self.tsdb.rejected_total() as f64,
-                        );
-                    }
-                }
-                if self.tracer.enabled() {
-                    self.tracer.record_instant(
-                        Track::Control,
-                        "probe.round",
-                        self.cluster.now().as_micros(),
-                        None,
-                        vec![],
-                    );
-                }
+                self.step_and_probe();
             } else {
                 self.advance_span(k, arrivals_done);
             }
@@ -269,11 +249,203 @@ impl KubeKnots {
                 break;
             }
         }
-        if self.tracer.enabled() {
-            self.trace_scan();
-            self.lifecycle.flush(self.cluster.now().as_micros(), &self.tracer);
+    }
+
+    /// The event-queue loop: producers schedule their next occurrence on
+    /// the calendar, the loop pops due events in `(time, priority, seq)`
+    /// order and jumps the cluster straight to the next instant anything
+    /// can happen. Every event time is snapped to the tick grid at enqueue
+    /// (`grid_at_or_after`), so each jump is an exact number of ticks and
+    /// the trajectory is bit-identical to the oracle's: within one instant
+    /// the oracle runs previous-iteration metric collection first, then
+    /// arrivals, chaos and the heartbeat — exactly the calendar's priority
+    /// order — and it only ever observes layers at grid points.
+    fn run_events(&mut self, schedule: &[ScheduledPod]) {
+        let mut next = 0usize;
+        let last_arrival = schedule.last().map(|s| s.at).unwrap_or(SimTime::ZERO);
+        let deadline = last_arrival + self.cfg.drain_grace;
+        let tick = self.cfg.tick;
+        let tick_us = tick.as_micros().max(1);
+        let start = self.cluster.now();
+
+        // Seed one self-rescheduling chain per producer: each handler pops
+        // exactly one entry and schedules at most one successor, so the
+        // heap never holds more than one event per class.
+        let mut cal = EventCalendar::new();
+        cal.schedule(
+            grid_at_or_after(self.aggregator.next_due().unwrap_or(start), tick_us),
+            CoreEvent::Heartbeat,
+        );
+        if let Some(first) = schedule.first() {
+            cal.schedule(grid_at_or_after(first.at, tick_us), CoreEvent::Arrival);
         }
-        self.report(schedule.len())
+        if let Some(t) = self.chaos.as_ref().and_then(|e| e.next_due()) {
+            cal.schedule(grid_at_or_after(t, tick_us), CoreEvent::Chaos);
+        }
+        // The oracle's unarmed metric grid first fires at the end of the
+        // first tick; collect_metrics then anchors it to the interval grid.
+        cal.schedule(start + tick, CoreEvent::MetricGrid);
+        cal.schedule(grid_at_or_after(deadline, tick_us), CoreEvent::DrainDeadline);
+
+        loop {
+            let now = self.cluster.now();
+            // Start-of-instant control events (arrivals, then chaos, then
+            // the heartbeat — `pop_due` yields priority order).
+            while let Some(kind) = cal.pop_due(now) {
+                self.handle_event(kind, now, schedule, &mut next, &mut cal);
+            }
+            // Jump to the next event: at least one tick, never past one.
+            // Nothing can fire strictly between grid-snapped events, so
+            // the span is closed-form; it still stops early on the exact
+            // tick the cluster drains.
+            let arrivals_done = next >= schedule.len();
+            let target = cal.peek_time().map_or(now + tick, |t| t.max(now + tick));
+            let k = (target.as_micros() - now.as_micros()) / tick_us;
+            if k <= 1 {
+                self.step_and_probe();
+            } else {
+                self.advance_span(k, arrivals_done);
+            }
+            // End-of-instant work where the jump landed: the metric grid
+            // fires before any control event due at the same instant
+            // (those pop at the top of the next iteration), matching the
+            // oracle's step → collect → break-check → next-tick order.
+            let now = self.cluster.now();
+            while let Some((t, CoreEvent::MetricGrid)) = cal.peek() {
+                if t > now {
+                    break;
+                }
+                cal.pop();
+                self.handle_event(CoreEvent::MetricGrid, now, schedule, &mut next, &mut cal);
+            }
+            self.garbage_collect();
+            if self.tracer.enabled() {
+                self.trace_scan();
+            }
+
+            if arrivals_done && self.cluster.is_drained() {
+                break;
+            }
+            if now >= deadline {
+                self.event_counts[CoreEvent::DrainDeadline.priority() as usize] += 1;
+                break;
+            }
+        }
+    }
+
+    /// Apply one calendar event at `now` and schedule the producer's next
+    /// occurrence. Handlers advance bookkeeping in closed form: due times
+    /// are snapped to the tick grid once, at enqueue (`grid_at_or_after`)
+    /// — analyzer rule E1 keeps tick quantization and wall clocks out of
+    /// this dispatch.
+    fn handle_event(
+        &mut self,
+        kind: CoreEvent,
+        now: SimTime,
+        schedule: &[ScheduledPod],
+        next: &mut usize,
+        cal: &mut EventCalendar,
+    ) {
+        self.event_counts[kind.priority() as usize] += 1;
+        let tick_us = self.cfg.tick.as_micros().max(1);
+        match kind {
+            CoreEvent::MetricGrid => {
+                self.collect_metrics();
+                if let Some(t) = self.next_metric {
+                    cal.schedule(grid_at_or_after(t, tick_us), CoreEvent::MetricGrid);
+                }
+            }
+            CoreEvent::Arrival => {
+                while *next < schedule.len() && schedule[*next].at <= now {
+                    self.cluster.submit(schedule[*next].spec.clone(), schedule[*next].at);
+                    *next += 1;
+                }
+                if let Some(at) = next_arrival(schedule, *next) {
+                    cal.schedule(grid_at_or_after(at, tick_us), CoreEvent::Arrival);
+                }
+            }
+            CoreEvent::Chaos => {
+                self.apply_chaos(now);
+                if let Some(t) = self.chaos.as_ref().and_then(|e| e.next_due()) {
+                    cal.schedule(grid_at_or_after(t, tick_us), CoreEvent::Chaos);
+                }
+            }
+            CoreEvent::Heartbeat => {
+                // Lazy revalidation: a chaos heartbeat delay may have
+                // pushed the due time past this entry after it was
+                // enqueued. Skip the stale entry and chase the new time.
+                if self.aggregator.due(now) {
+                    self.heartbeat_round(now);
+                }
+                if let Some(t) = self.aggregator.next_due() {
+                    cal.schedule(grid_at_or_after(t, tick_us), CoreEvent::Heartbeat);
+                }
+            }
+            CoreEvent::DrainDeadline => {}
+        }
+    }
+
+    /// One heartbeat: trace the instant, run the scheduling round, record
+    /// the round's wall-clock latency.
+    fn heartbeat_round(&mut self, now: SimTime) {
+        // knots-allow: D1 -- wall-clock heartbeat latency is an observability metric only; it never feeds back into simulation state
+        let t0 = std::time::Instant::now();
+        let heartbeat_span = if self.tracer.enabled() {
+            self.tracer.record_instant(
+                Track::Control,
+                "agg.heartbeat",
+                now.as_micros(),
+                None,
+                vec![],
+            )
+        } else {
+            None
+        };
+        self.schedule_round(heartbeat_span);
+        self.hb_latency.observe(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Advance one tick and probe every node into the TSDB — the unit
+    /// step every loop implementation shares (a jump of one tick and the
+    /// oracle's every-tick path are the same code).
+    fn step_and_probe(&mut self) {
+        {
+            let _span = self.timers.span("step");
+            self.cluster.step(self.cfg.tick);
+        }
+        let _span = self.timers.span("probe");
+        match self.chaos.as_mut() {
+            None => {
+                probe::sample_cluster(&self.cluster, &self.tsdb);
+            }
+            Some(engine) => {
+                let now = self.cluster.now();
+                let dropped = probe::sample_cluster_with(&self.cluster, &self.tsdb, |node, s| {
+                    if engine.probe_dropped(node, now) {
+                        None
+                    } else {
+                        Some(engine.corrupt_sample(node, now, s))
+                    }
+                });
+                if dropped > 0 {
+                    self.obs.metrics.add("knots_probe_dropped_total", &[], dropped);
+                }
+                self.obs.metrics.set_gauge(
+                    "knots_telemetry_rejected_samples_total",
+                    &[],
+                    self.tsdb.rejected_total() as f64,
+                );
+            }
+        }
+        if self.tracer.enabled() {
+            self.tracer.record_instant(
+                Track::Control,
+                "probe.round",
+                self.cluster.now().as_micros(),
+                None,
+                vec![],
+            );
+        }
     }
 
     /// Fold cluster events recorded since the last scan into lifecycle
@@ -301,7 +473,7 @@ impl KubeKnots {
     /// because in-between ticks are provably inert at the orchestrator
     /// level.
     fn span_ticks(&self, schedule: &[ScheduledPod], next: usize, deadline: SimTime) -> u64 {
-        if self.cfg.naive_ticking {
+        if self.cfg.effective_mode() != LoopMode::Calendar {
             return 1;
         }
         let Some(heartbeat) = self.aggregator.next_due() else { return 1 };
@@ -350,15 +522,18 @@ impl KubeKnots {
             self.cluster.nodes().iter().map(|n| n.is_failed() || n.resident_count() == 0).collect()
         };
         let mut dropped_total = 0u64;
+        let mut probe_us = 0.0f64;
         let executed = {
             let timers = &self.timers;
             let tsdb = &self.tsdb;
             let quiet_ref = &quiet;
             let mut engine = self.chaos.as_mut();
             let dropped = &mut dropped_total;
+            let probe_us = &mut probe_us;
             let _span = timers.span("step");
             self.cluster.step_span(tick, k, quiet_ref, |c, activity| {
-                let _probe = timers.span("probe");
+                // knots-allow: D1 -- wall-clock probe-phase accounting (observability only); summed per span and recorded once per burst
+                let t0 = std::time::Instant::now();
                 let now = c.now();
                 let mut w = tsdb.writer();
                 for (i, node) in c.nodes().iter().enumerate() {
@@ -383,9 +558,14 @@ impl KubeKnots {
                     }
                 }
                 drop(w);
+                *probe_us += t0.elapsed().as_secs_f64() * 1e6;
                 !(arrivals_done && activity && c.is_drained())
             })
         };
+        // One "probe" record per burst: the in-span probes are one batched
+        // round, and a single histogram record per span keeps the timer's
+        // own cost out of the measured loop.
+        self.timers.record_us("probe", probe_us);
         if !quiet.is_empty() && executed > 0 {
             let mut w = self.tsdb.writer();
             for (i, node) in self.cluster.nodes().iter().enumerate() {
@@ -660,7 +840,11 @@ impl KubeKnots {
         }
         // Telemetry freshness: per-node sample age plus a stale-series
         // count against the configured bound, so stale-fallback behaviour
-        // is observable without grepping the audit log.
+        // is observable without grepping the audit log. Only maintained
+        // when a freshness bound is configured — without one no fallback
+        // can trigger, and the per-node gauge labels cost an allocation
+        // per node per grid point.
+        let Some(freshness) = self.cfg.freshness else { return };
         let now_us = now.as_micros();
         let mut stale = 0u64;
         for node in self.cluster.nodes() {
@@ -674,7 +858,7 @@ impl KubeKnots {
                 &[("node", &label)],
                 age_us as f64,
             );
-            if self.cfg.freshness.is_some_and(|f| age_us > f.as_micros()) {
+            if age_us > freshness.as_micros() {
                 stale += 1;
             }
         }
@@ -748,6 +932,28 @@ impl KubeKnots {
                 _ => {}
             }
         }
+        // Event-core throughput (digest-excluded, like phase timings): how
+        // many calendar events the run processed, per kind and per
+        // simulated second. Zero under the oracle and calendar legs, which
+        // don't pop events.
+        let mut events_processed = 0u64;
+        for kind in CoreEvent::ALL {
+            let n = self.event_counts[kind.priority() as usize];
+            if n > 0 {
+                self.obs.metrics.add("knots_core_events_total", &[("kind", kind.label())], n);
+                events_processed += n;
+            }
+        }
+        if self.hb_latency.count() > 0 {
+            self.obs.metrics.merge_histogram("knots_heartbeat_latency_us", &[], &self.hb_latency);
+        }
+        let duration = now.saturating_since(SimTime::ZERO);
+        let events_per_sim_second = if duration.as_micros() > 0 {
+            events_processed as f64 / duration.as_secs_f64()
+        } else {
+            0.0
+        };
+
         let fc = self.chaos.as_ref().map(|e| e.counts()).unwrap_or_default();
         let faults = FaultStats {
             node_failures: fc.node_failures,
@@ -762,7 +968,7 @@ impl KubeKnots {
 
         RunReport {
             scheduler: self.scheduler.name().to_string(),
-            duration: now.saturating_since(SimTime::ZERO),
+            duration,
             node_util_series: self.util_series.clone(),
             active_util_samples: self.active_util.clone(),
             submitted,
@@ -796,6 +1002,8 @@ impl KubeKnots {
                 .collect(),
             phase_timings: self.timers.stats().iter().map(PhaseTiming::from_stat).collect(),
             faults,
+            events_processed,
+            events_per_sim_second,
         }
     }
 }

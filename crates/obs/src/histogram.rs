@@ -68,6 +68,24 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Fold another histogram's observations into this one. Bucket-wise
+    /// addition, so both histograms must share the same bounds — the hot
+    /// path accumulates into a private histogram and merges once per run
+    /// instead of taking the registry lock per observation.
+    ///
+    /// # Panics
+    /// Panics when the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "can only merge histograms with equal buckets");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count

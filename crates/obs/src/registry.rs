@@ -101,6 +101,20 @@ impl Registry {
             .observe(v);
     }
 
+    /// Fold a locally-accumulated histogram into the registry series.
+    /// One lock + merge instead of a lock per observation; the series is
+    /// created with the same [`Histogram::latency_us`] buckets on first
+    /// use, and the merged result is identical to observing every value
+    /// through [`Registry::observe`].
+    pub fn merge_histogram(&self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.inner
+            .lock()
+            .histograms
+            .entry(Key::new(name, labels))
+            .or_insert_with(Histogram::latency_us)
+            .merge(h);
+    }
+
     /// Record `v` into a histogram, supplying buckets on first use.
     pub fn observe_with(
         &self,

@@ -1,30 +1,41 @@
 //! The in-memory time-series store (InfluxDB stand-in).
 //!
-//! One bounded ring buffer of [`GpuSample`]s per node, plus one bounded ring
-//! buffer of per-pod [`Usage`] samples per pod. Retention is capacity-based:
-//! with the paper's 1 ms heartbeat and 5 s sliding window (§IV-D), the
-//! default capacity of 8192 samples comfortably covers the window the
-//! schedulers query.
+//! One bounded ring of [`GpuSample`]s per node, plus one bounded ring of
+//! per-pod [`Usage`] samples per pod. Retention is capacity-based: with the
+//! paper's 1 ms heartbeat and 5 s sliding window (§IV-D), the default
+//! capacity of 8192 samples comfortably covers the window the schedulers
+//! query.
 //!
-//! Two query tiers keep the per-heartbeat decision loop cheap:
+//! Rings are **run-length encoded**: probe series are dominated by long
+//! stretches of bit-identical values (quiet nodes report the same idle
+//! sample every tick), so the ring stores runs `(at0, dt, n, value)` —
+//! `n` samples at `at0, at0+dt, …, at0+(n-1)·dt` — instead of one slot per
+//! sample. Run equality is *bitwise* (`f64::to_bits`), so `-0.0` and `0.0`
+//! never merge and every materialized value is exactly the value pushed.
+//! Consequences that keep the hot paths cheap:
 //!
-//! * **Rolling statistics** ([`SeriesStats`]) are maintained *at push time*
-//!   (Welford count/mean/M2, evicted samples removed with the inverse
-//!   update), so "how loaded is this series" questions cost O(1) and zero
-//!   allocations.
+//! * **A quiet-span backfill is O(1)**: [`TsdbWriter::push_node_span`]
+//!   extends the back run by `n` instead of appending `n` samples. The
+//!   event-driven loop leans on this — a multi-tick quiet span costs the
+//!   same as a single push.
+//! * **Pushes only touch the ring**: a push is a finite-value check plus a
+//!   run extend-or-append. Summary statistics ([`SeriesStats`]) are
+//!   computed on demand by a Welford rescan of the retained samples — they
+//!   are diagnostic reads (tests, tools), never on the per-tick or
+//!   per-heartbeat path.
 //! * **Copy-into-scratch** queries (`*_series_into`) extend a caller-owned
-//!   buffer under the read lock, so hot callers reuse one allocation across
-//!   heartbeats instead of materializing a fresh `Vec` per query. The
-//!   allocating `*_series` forms remain as conveniences built on top and
-//!   return bit-identical values.
+//!   buffer under the read lock one run at a time, so hot callers reuse one
+//!   allocation across heartbeats and constant stretches decode as a
+//!   repeat-fill rather than a per-sample copy. The allocating `*_series`
+//!   forms remain as conveniences built on top and return bit-identical
+//!   values.
 
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::metrics::{GpuSample, Metric};
 use knots_sim::resources::Usage;
 use knots_sim::time::{SimDuration, SimTime};
 use parking_lot::RwLock;
-// knots-allow: D2 -- import only; the two maps below are keyed lookups that are never iterated
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy)]
@@ -41,14 +52,13 @@ impl Default for TsdbConfig {
     }
 }
 
-/// Rolling count/mean/M2 over a bounded series, maintained incrementally.
+/// Count/mean/M2 summary of a series, built with Welford's online update.
 ///
-/// Uses Welford's online update on push and its algebraic inverse on
-/// eviction, so the summary always describes exactly the samples currently
-/// retained in the ring buffer — no rescan, no allocation. The inverse
-/// update is subject to ordinary floating-point cancellation, so `m2` is
-/// clamped at zero; tests pin the drift against a naive rescan to < 1e-6
-/// relative error over thousands of push/evict cycles.
+/// The store computes these on demand by rescanning the retained ring, so
+/// the summary always describes exactly the samples currently retained.
+/// `push`/`evict` remain available for callers maintaining their own
+/// incremental summaries; the inverse update is subject to ordinary
+/// floating-point cancellation, so `m2` is clamped at zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SeriesStats {
     count: u64,
@@ -104,59 +114,261 @@ impl SeriesStats {
     }
 }
 
-/// One node's ring buffer plus per-metric rolling stats.
+/// `n` samples sharing one value, at `at0, at0+dt, …, at0+(n-1)·dt`.
+///
+/// A fresh single-sample run carries `dt == 0`; the spacing is fixed by the
+/// second sample (or by the span push that created it) and never changes
+/// afterwards, so every timestamp in the run is reconstructible in closed
+/// form.
+#[derive(Debug, Clone, Copy)]
+struct Run<V> {
+    at0: SimTime,
+    dt: SimDuration,
+    n: u64,
+    v: V,
+}
+
+impl<V: Copy> Run<V> {
+    fn last_at(&self) -> SimTime {
+        SimTime(self.at0.0 + self.dt.0 * (self.n - 1))
+    }
+}
+
+/// A bounded, run-length-encoded sample ring.
+///
+/// `len` is the *logical* sample count (sum of run lengths); capacity
+/// eviction trims whole runs off the front and, when a run straddles the
+/// boundary, shortens it in place by advancing `at0` — so retention is
+/// sample-exact, identical to a flat ring of the same capacity.
+#[derive(Debug)]
+struct RleRing<V> {
+    runs: VecDeque<Run<V>>,
+    len: usize,
+}
+
+impl<V> Default for RleRing<V> {
+    fn default() -> Self {
+        RleRing { runs: VecDeque::new(), len: 0 }
+    }
+}
+
+impl<V: Copy> RleRing<V> {
+    /// Append one sample: extend the back run when the value is bitwise
+    /// equal and the timestamp continues the run's spacing, else start a
+    /// new run.
+    fn push(&mut self, cap: usize, at: SimTime, v: V, eq: impl Fn(&V, &V) -> bool) {
+        let extended = match self.runs.back_mut() {
+            Some(r) if eq(&r.v, &v) => {
+                if r.n == 1 {
+                    // Second sample fixes the run's spacing.
+                    if at.0 > r.at0.0 {
+                        r.dt = SimDuration(at.0 - r.at0.0);
+                        r.n = 2;
+                        true
+                    } else {
+                        false
+                    }
+                } else if r.dt.0 > 0 && at.0 == r.last_at().0 + r.dt.0 {
+                    r.n += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if !extended {
+            self.runs.push_back(Run { at0: at, dt: SimDuration(0), n: 1, v });
+        }
+        self.len += 1;
+        self.evict_to(cap);
+    }
+
+    /// Append `ticks` samples of one value at `start+dt, …, start+ticks·dt`
+    /// in O(1): extend the back run when it already carries the value at
+    /// spacing `dt` ending at `start`, else append one new run.
+    fn push_span(
+        &mut self,
+        cap: usize,
+        start: SimTime,
+        dt: SimDuration,
+        ticks: u64,
+        v: V,
+        eq: impl Fn(&V, &V) -> bool,
+    ) {
+        if ticks == 0 {
+            return;
+        }
+        let extended = match self.runs.back_mut() {
+            Some(r) if dt.0 > 0 && eq(&r.v, &v) => {
+                if r.n == 1 && start.0 == r.at0.0 {
+                    r.dt = dt;
+                    r.n = 1 + ticks;
+                    true
+                } else if r.n > 1 && r.dt.0 == dt.0 && start.0 == r.last_at().0 {
+                    r.n += ticks;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if !extended {
+            self.runs.push_back(Run { at0: SimTime(start.0 + dt.0), dt, n: ticks, v });
+        }
+        self.len += ticks as usize;
+        self.evict_to(cap);
+    }
+
+    /// Trim the oldest samples until at most `cap` remain.
+    fn evict_to(&mut self, cap: usize) {
+        while self.len > cap {
+            let excess = self.len - cap;
+            let Some(f) = self.runs.front_mut() else { break };
+            if (f.n as usize) <= excess {
+                self.len -= f.n as usize;
+                self.runs.pop_front();
+            } else {
+                f.at0 = SimTime(f.at0.0 + f.dt.0 * excess as u64);
+                f.n -= excess as u64;
+                self.len -= excess;
+            }
+        }
+    }
+
+    /// Timestamp and value of the newest sample.
+    fn last(&self) -> Option<(SimTime, &V)> {
+        self.runs.back().map(|r| (r.last_at(), &r.v))
+    }
+
+    /// Every retained value, oldest first, one item per logical sample.
+    fn values(&self) -> impl Iterator<Item = &V> {
+        self.runs.iter().flat_map(|r| std::iter::repeat_n(&r.v, r.n as usize))
+    }
+
+    /// Visit the runs overlapping `start <= at <= now`, oldest first, as
+    /// `(first_at, dt, count, value)` — the caller decodes each run with
+    /// one value read. Runs are time-monotone (`run[i].last_at <=
+    /// run[i+1].at0`), so a backwards scan from the newest run finds the
+    /// window in O(overlap), not O(ring).
+    fn window_runs(
+        &self,
+        start: SimTime,
+        now: SimTime,
+        mut f: impl FnMut(SimTime, SimDuration, u64, &V),
+    ) {
+        let mut hi = self.runs.len();
+        while hi > 0 && self.runs[hi - 1].at0 > now {
+            hi -= 1;
+        }
+        let mut lo = hi;
+        while lo > 0 && self.runs[lo - 1].last_at() >= start {
+            lo -= 1;
+        }
+        for r in self.runs.range(lo..hi) {
+            // Clamp the in-run index range to the window. `at0 <= now` and
+            // `last_at >= start` hold for every run in `lo..hi`.
+            let i_lo = if r.at0 >= start || r.dt.0 == 0 {
+                0
+            } else {
+                (start.0 - r.at0.0).div_ceil(r.dt.0)
+            };
+            let i_hi = if r.last_at() <= now || r.dt.0 == 0 {
+                r.n - 1
+            } else {
+                (now.0 - r.at0.0) / r.dt.0
+            };
+            if i_lo > i_hi {
+                continue; // window narrower than the spacing, between samples
+            }
+            f(SimTime(r.at0.0 + r.dt.0 * i_lo), r.dt, i_hi - i_lo + 1, &r.v);
+        }
+    }
+}
+
+/// Bitwise equality of the five probe metrics (`at` excluded — timestamps
+/// advance within a run by construction). NaN is never stored, and
+/// `to_bits` keeps `-0.0` distinct from `0.0`, so merged samples
+/// materialize bit-identically.
+fn gpu_eq(a: &GpuSample, b: &GpuSample) -> bool {
+    Metric::ALL.iter().all(|m| a.get(*m).to_bits() == b.get(*m).to_bits())
+}
+
+/// Bitwise equality of the four pod usage fields.
+fn usage_eq(a: &Usage, b: &Usage) -> bool {
+    a.sm_frac.to_bits() == b.sm_frac.to_bits()
+        && a.mem_mb.to_bits() == b.mem_mb.to_bits()
+        && a.rx_mbps.to_bits() == b.rx_mbps.to_bits()
+        && a.tx_mbps.to_bits() == b.tx_mbps.to_bits()
+}
+
+/// One node's ring buffer.
 #[derive(Debug, Default)]
 struct NodeEntry {
-    q: VecDeque<GpuSample>,
-    stats: [SeriesStats; Metric::ALL.len()],
+    ring: RleRing<GpuSample>,
     /// Samples skipped because a metric value was NaN/Inf.
     rejected: u64,
 }
 
-/// One pod's ring buffer plus rolling memory/SM stats.
+/// One pod's ring buffer.
 #[derive(Debug, Default)]
 struct PodEntry {
-    q: VecDeque<(SimTime, Usage)>,
-    mem: SeriesStats,
-    sm: SeriesStats,
+    ring: RleRing<Usage>,
     /// Samples skipped because a usage value was NaN/Inf.
     rejected: u64,
+}
+
+/// Welford rescan over an iterator of values.
+fn stats_over(values: impl Iterator<Item = f64>) -> SeriesStats {
+    let mut s = SeriesStats::default();
+    for v in values {
+        s.push(v);
+    }
+    s
+}
+
+/// Grow-on-demand slot table: return the entry at `i`, creating it (and any
+/// missing slots before it) as needed. `NodeId` and `PodId` are dense
+/// sequential indices handed out by the cluster, so a flat `Vec` of optional
+/// entries replaces a hash map: series lookup on the per-tick push path is
+/// a bounds check and a pointer add instead of a SipHash round.
+fn slot<T: Default>(v: &mut Vec<Option<T>>, i: usize) -> &mut T {
+    if v.len() <= i {
+        v.resize_with(i + 1, || None);
+    }
+    v[i].get_or_insert_with(T::default)
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     /// Running total of rejected samples across every series (node + pod),
-    /// maintained on push so surfacing it never iterates the maps.
+    /// maintained on push so surfacing it never iterates the tables.
     rejected_total: u64,
-    // Both maps are accessed exclusively by key (get/entry/remove/clear) —
-    // iteration order can never leak into scheduling decisions, so O(1)
-    // hashed lookups are safe and worth it on the hot sampling path.
-    // knots-allow: D2 -- keyed get/entry/remove only, never iterated
-    nodes: HashMap<NodeId, NodeEntry>,
-    // knots-allow: D2 -- keyed get/entry/remove only, never iterated
-    pods: HashMap<PodId, PodEntry>,
+    // Dense slot tables indexed by NodeId / PodId. Slots are only ever
+    // addressed by id (never iterated), so table order cannot leak into
+    // scheduling decisions.
+    nodes: Vec<Option<NodeEntry>>,
+    pods: Vec<Option<PodEntry>>,
 }
 
 impl Inner {
+    fn node(&self, node: NodeId) -> Option<&NodeEntry> {
+        self.nodes.get(node.0).and_then(|e| e.as_ref())
+    }
+
+    fn pod(&self, pod: PodId) -> Option<&PodEntry> {
+        self.pods.get(pod.0 as usize).and_then(|e| e.as_ref())
+    }
+
     /// Shared push logic behind both the one-shot and the batched writers.
     fn push_node(&mut self, cfg: &TsdbConfig, node: NodeId, sample: GpuSample) -> bool {
         if Metric::ALL.iter().any(|m| !sample.get(*m).is_finite()) {
-            self.nodes.entry(node).or_default().rejected += 1;
+            slot(&mut self.nodes, node.0).rejected += 1;
             self.rejected_total += 1;
             return false;
         }
-        let e = self.nodes.entry(node).or_default();
-        if e.q.len() == cfg.node_capacity {
-            if let Some(old) = e.q.pop_front() {
-                for (i, m) in Metric::ALL.iter().enumerate() {
-                    e.stats[i].evict(old.get(*m));
-                }
-            }
-        }
-        for (i, m) in Metric::ALL.iter().enumerate() {
-            e.stats[i].push(sample.get(*m));
-        }
-        e.q.push_back(sample);
+        slot(&mut self.nodes, node.0).ring.push(cfg.node_capacity, sample.at, sample, gpu_eq);
         true
     }
 
@@ -166,47 +378,13 @@ impl Inner {
             || !usage.sm_frac.is_finite()
             || !usage.total_bw_mbps().is_finite()
         {
-            self.pods.entry(pod).or_default().rejected += 1;
+            slot(&mut self.pods, pod.0 as usize).rejected += 1;
             self.rejected_total += 1;
             return false;
         }
-        let e = self.pods.entry(pod).or_default();
-        if e.q.len() == cfg.pod_capacity {
-            if let Some((_, old)) = e.q.pop_front() {
-                e.mem.evict(old.mem_mb);
-                e.sm.evict(old.sm_frac);
-            }
-        }
-        e.mem.push(usage.mem_mb);
-        e.sm.push(usage.sm_frac);
-        e.q.push_back((at, usage));
+        slot(&mut self.pods, pod.0 as usize).ring.push(cfg.pod_capacity, at, usage, usage_eq);
         true
     }
-}
-
-/// Half-open index range `[j, i)` of the samples with `start <= at <= now`.
-///
-/// Series timestamps are pushed in non-decreasing order (the probe stamps
-/// each sample with the advancing simulation clock), so the query window is
-/// always a contiguous run that ends at or near the back of the ring. A
-/// backwards scan from the newest sample costs O(window), not O(ring) —
-/// with an 8192-sample ring and a 5 s window this is the difference that
-/// keeps per-tick probing flat as a run grows.
-fn window_range<T>(
-    q: &VecDeque<T>,
-    at: impl Fn(&T) -> SimTime,
-    start: SimTime,
-    now: SimTime,
-) -> (usize, usize) {
-    let mut i = q.len();
-    while i > 0 && at(&q[i - 1]) > now {
-        i -= 1;
-    }
-    let mut j = i;
-    while j > 0 && at(&q[j - 1]) >= start {
-        j -= 1;
-    }
-    (j, i)
 }
 
 /// A batched write handle holding the store's write lock.
@@ -236,9 +414,11 @@ impl TsdbWriter<'_> {
 
     /// Backfill `ticks` constant samples for a quiet node: the same metric
     /// values at `start + dt`, `start + 2·dt`, …, `start + ticks·dt`.
-    /// Each sample goes through the ordinary push path (Welford update,
-    /// eviction, rejection counting), so the series ends up bit-identical
-    /// to per-tick probing of an idle node. Returns accepted samples.
+    /// With run-length-encoded rings this is O(1) — the back run extends by
+    /// `ticks` when it already ends at `start` with the same value and
+    /// spacing (the steady state for a quiet node), so the series ends up
+    /// bit-identical to per-tick probing of an idle node at constant cost
+    /// per span. Returns accepted samples.
     pub fn push_node_span(
         &mut self,
         node: NodeId,
@@ -247,14 +427,17 @@ impl TsdbWriter<'_> {
         dt: SimDuration,
         ticks: u64,
     ) -> u64 {
-        let mut accepted = 0;
-        for i in 1..=ticks {
-            let at = SimTime(start.0 + dt.0 * i);
-            if self.guard.push_node(&self.cfg, node, GpuSample { at, ..sample }) {
-                accepted += 1;
-            }
+        if Metric::ALL.iter().any(|m| !sample.get(*m).is_finite()) {
+            // Every sample in the span carries the same values, so the
+            // whole span is rejected exactly as `ticks` one-shot pushes
+            // would have been.
+            slot(&mut self.guard.nodes, node.0).rejected += ticks;
+            self.guard.rejected_total += ticks;
+            return 0;
         }
-        accepted
+        let cap = self.cfg.node_capacity;
+        slot(&mut self.guard.nodes, node.0).ring.push_span(cap, start, dt, ticks, sample, gpu_eq);
+        ticks
     }
 }
 
@@ -282,9 +465,9 @@ impl TimeSeriesDb {
 
     /// Append a node sample. A sample carrying any non-finite metric value
     /// (NaN/Inf — e.g. a corrupted probe read) is *rejected*, not stored:
-    /// storing it would poison the rolling Welford summary and every
-    /// window statistic derived from the series. Returns whether the sample
-    /// was accepted; rejections are counted per series and in total.
+    /// storing it would poison every window statistic derived from the
+    /// series. Returns whether the sample was accepted; rejections are
+    /// counted per series and in total.
     pub fn push_node(&self, node: NodeId, sample: GpuSample) -> bool {
         self.inner.write().push_node(&self.cfg, node, sample)
     }
@@ -304,12 +487,12 @@ impl TimeSeriesDb {
 
     /// Rejected (non-finite) samples for one node series.
     pub fn node_rejected(&self, node: NodeId) -> u64 {
-        self.inner.read().nodes.get(&node).map_or(0, |e| e.rejected)
+        self.inner.read().node(node).map_or(0, |e| e.rejected)
     }
 
     /// Rejected (non-finite) samples for one pod series.
     pub fn pod_rejected(&self, pod: PodId) -> u64 {
-        self.inner.read().pods.get(&pod).map_or(0, |e| e.rejected)
+        self.inner.read().pod(pod).map_or(0, |e| e.rejected)
     }
 
     /// Total rejected samples across every series since creation/`clear`.
@@ -320,65 +503,70 @@ impl TimeSeriesDb {
     /// Timestamp of the most recent *accepted* sample of a node series —
     /// the freshness signal consumers use to spot probe dropouts.
     pub fn node_last_at(&self, node: NodeId) -> Option<SimTime> {
-        self.inner.read().nodes.get(&node).and_then(|e| e.q.back().map(|s| s.at))
+        self.inner.read().node(node).and_then(|e| e.ring.last().map(|(at, _)| at))
     }
 
     /// Timestamp of the most recent *accepted* sample of a pod series.
     pub fn pod_last_at(&self, pod: PodId) -> Option<SimTime> {
-        self.inner.read().pods.get(&pod).and_then(|e| e.q.back().map(|(t, _)| *t))
+        self.inner.read().pod(pod).and_then(|e| e.ring.last().map(|(at, _)| at))
     }
 
     /// Drop a pod's series (pod finished; keeps the store bounded over long
     /// experiments).
     pub fn forget_pod(&self, pod: PodId) {
-        self.inner.write().pods.remove(&pod);
+        if let Some(e) = self.inner.write().pods.get_mut(pod.0 as usize) {
+            *e = None;
+        }
     }
 
     /// Number of samples currently retained for a node.
     pub fn node_len(&self, node: NodeId) -> usize {
-        self.inner.read().nodes.get(&node).map_or(0, |e| e.q.len())
+        self.inner.read().node(node).map_or(0, |e| e.ring.len)
     }
 
     /// Number of samples currently retained for a pod.
     pub fn pod_len(&self, pod: PodId) -> usize {
-        self.inner.read().pods.get(&pod).map_or(0, |e| e.q.len())
+        self.inner.read().pod(pod).map_or(0, |e| e.ring.len)
     }
 
-    /// Rolling statistics of one node metric over the *retained ring* (not
-    /// the query window): maintained at push time, O(1), allocation-free.
+    /// Summary statistics of one node metric over the *retained ring* (not
+    /// the query window), computed on demand by a Welford rescan. This is
+    /// a diagnostic read — O(ring), never on the per-tick probe path.
     pub fn node_stats(&self, node: NodeId, metric: Metric) -> Option<SeriesStats> {
-        let idx = Metric::ALL.iter().position(|m| *m == metric)?;
-        self.inner.read().nodes.get(&node).map(|e| e.stats[idx])
+        self.inner.read().node(node).map(|e| stats_over(e.ring.values().map(|s| s.get(metric))))
     }
 
-    /// Rolling statistics of a pod's retained memory series.
+    /// Summary statistics of a pod's retained memory series.
     pub fn pod_mem_stats(&self, pod: PodId) -> Option<SeriesStats> {
-        self.inner.read().pods.get(&pod).map(|e| e.mem)
+        self.inner.read().pod(pod).map(|e| stats_over(e.ring.values().map(|u| u.mem_mb)))
     }
 
-    /// Rolling statistics of a pod's retained SM-share series.
+    /// Summary statistics of a pod's retained SM-share series.
     pub fn pod_sm_stats(&self, pod: PodId) -> Option<SeriesStats> {
-        self.inner.read().pods.get(&pod).map(|e| e.sm)
+        self.inner.read().pod(pod).map(|e| stats_over(e.ring.values().map(|u| u.sm_frac)))
     }
 
     /// The most recent node sample, if any.
     pub fn latest_node(&self, node: NodeId) -> Option<GpuSample> {
-        self.inner.read().nodes.get(&node).and_then(|e| e.q.back().copied())
+        self.inner
+            .read()
+            .node(node)
+            .and_then(|e| e.ring.last().map(|(at, v)| GpuSample { at, ..*v }))
     }
 
     /// Node samples within the trailing `window` ending at `now`, oldest
     /// first. This is the §IV-D sliding window (default 5 s) query.
     pub fn node_window(&self, node: NodeId, now: SimTime, window: SimDuration) -> Vec<GpuSample> {
         let start = SimTime(now.0.saturating_sub(window.0));
-        self.inner
-            .read()
-            .nodes
-            .get(&node)
-            .map(|e| {
-                let (j, i) = window_range(&e.q, |s| s.at, start, now);
-                e.q.range(j..i).copied().collect()
-            })
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        if let Some(e) = self.inner.read().node(node) {
+            e.ring.window_runs(start, now, |at0, dt, n, v| {
+                for i in 0..n {
+                    out.push(GpuSample { at: SimTime(at0.0 + dt.0 * i), ..*v });
+                }
+            });
+        }
+        out
     }
 
     /// One metric of a node over the trailing window, as a plain series.
@@ -398,7 +586,8 @@ impl TimeSeriesDb {
     ///
     /// Clears `out` and appends the window's values; returns the sample
     /// count. Reusing one buffer across heartbeats keeps the decision loop
-    /// allocation-free once the buffer has grown to the window size.
+    /// allocation-free once the buffer has grown to the window size, and
+    /// each constant run in the window decodes as a single repeat-fill.
     pub fn node_series_into(
         &self,
         node: NodeId,
@@ -409,9 +598,10 @@ impl TimeSeriesDb {
     ) -> usize {
         out.clear();
         let start = SimTime(now.0.saturating_sub(window.0));
-        if let Some(e) = self.inner.read().nodes.get(&node) {
-            let (j, i) = window_range(&e.q, |s| s.at, start, now);
-            out.extend(e.q.range(j..i).map(|s| s.get(metric)));
+        if let Some(e) = self.inner.read().node(node) {
+            e.ring.window_runs(start, now, |_, _, n, v| {
+                out.extend(std::iter::repeat_n(v.get(metric), n as usize));
+            });
         }
         out.len()
     }
@@ -424,15 +614,15 @@ impl TimeSeriesDb {
         window: SimDuration,
     ) -> Vec<(SimTime, Usage)> {
         let start = SimTime(now.0.saturating_sub(window.0));
-        self.inner
-            .read()
-            .pods
-            .get(&pod)
-            .map(|e| {
-                let (j, i) = window_range(&e.q, |(t, _)| *t, start, now);
-                e.q.range(j..i).copied().collect()
-            })
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        if let Some(e) = self.inner.read().pod(pod) {
+            e.ring.window_runs(start, now, |at0, dt, n, v| {
+                for i in 0..n {
+                    out.push((SimTime(at0.0 + dt.0 * i), *v));
+                }
+            });
+        }
+        out
     }
 
     /// A pod's usage-derived series over the trailing window, into a
@@ -447,9 +637,10 @@ impl TimeSeriesDb {
     ) -> usize {
         out.clear();
         let start = SimTime(now.0.saturating_sub(window.0));
-        if let Some(e) = self.inner.read().pods.get(&pod) {
-            let (j, i) = window_range(&e.q, |(t, _)| *t, start, now);
-            out.extend(e.q.range(j..i).map(|(_, u)| get(u)));
+        if let Some(e) = self.inner.read().pod(pod) {
+            e.ring.window_runs(start, now, |_, _, n, v| {
+                out.extend(std::iter::repeat_n(get(v), n as usize));
+            });
         }
         out.len()
     }
@@ -751,7 +942,7 @@ mod tests {
     fn span_backfill_matches_per_tick_pushes() {
         // 12 quiet ticks through push_node_span must equal 12 individual
         // pushes of the same constant sample with advancing timestamps —
-        // including ring eviction and Welford state.
+        // including ring eviction and retained-sample stats.
         let a = TimeSeriesDb::new(TsdbConfig { node_capacity: 8, pod_capacity: 8 });
         let b = TimeSeriesDb::new(TsdbConfig { node_capacity: 8, pod_capacity: 8 });
         let dt = SimDuration::from_millis(10);
@@ -783,6 +974,52 @@ mod tests {
             b.node_stats(NodeId(3), Metric::PowerWatts)
         );
         assert_eq!(a.node_last_at(NodeId(3)), b.node_last_at(NodeId(3)));
+    }
+
+    #[test]
+    fn runs_merge_only_bit_identical_values_and_spacing() {
+        // A constant series collapses into one run; a value change or an
+        // off-grid timestamp starts a new run. Either way the materialized
+        // window is identical to a flat ring.
+        let db = TimeSeriesDb::default();
+        for i in 0..6u64 {
+            db.push_node(NodeId(0), sample(i * 10, 0.25));
+        }
+        db.push_node(NodeId(0), sample(60, -0.0)); // -0.0 must not merge with 0.0 later
+        db.push_node(NodeId(0), sample(70, 0.0));
+        db.push_node(NodeId(0), sample(95, 0.0)); // same value, broken spacing
+        let s = db.node_series(
+            NodeId(0),
+            Metric::SmUtil,
+            SimTime::from_millis(95),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(s.len(), 9);
+        assert_eq!(&s[..6], &[0.25; 6]);
+        assert_eq!(s[6].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(s[7].to_bits(), 0.0f64.to_bits());
+        assert_eq!(s[8].to_bits(), 0.0f64.to_bits());
+        let w = db.node_window(NodeId(0), SimTime::from_millis(95), SimDuration::from_secs(1));
+        let ats: Vec<u64> = w.iter().map(|g| g.at.0).collect();
+        let expect: Vec<u64> =
+            [0u64, 10, 20, 30, 40, 50, 60, 70, 95].iter().map(|ms| ms * 1000).collect();
+        assert_eq!(ats, expect);
+    }
+
+    #[test]
+    fn partial_eviction_trims_run_fronts_sample_exactly() {
+        // Capacity 10 over one long constant run: eviction shortens the
+        // run in place, so retention is sample-exact.
+        let db = TimeSeriesDb::new(TsdbConfig { node_capacity: 10, pod_capacity: 10 });
+        let quiet = sample(0, 0.5);
+        db.push_node(NodeId(0), quiet);
+        let dt = SimDuration::from_millis(1);
+        db.writer().push_node_span(NodeId(0), quiet, SimTime::ZERO, dt, 24);
+        assert_eq!(db.node_len(NodeId(0)), 10);
+        let w = db.node_window(NodeId(0), SimTime::from_millis(24), SimDuration::from_secs(1));
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.first().unwrap().at, SimTime::from_millis(15));
+        assert_eq!(w.last().unwrap().at, SimTime::from_millis(24));
     }
 
     #[test]

@@ -1,0 +1,35 @@
+use knots_core::experiment::{run_dnn_traced, scheduler_by_name};
+use knots_sim::time::SimDuration;
+use knots_workloads::dnn::DnnWorkloadConfig;
+use std::time::Instant;
+
+fn main() {
+    let dnn_cfg = DnnWorkloadConfig {
+        dlt_jobs: 60,
+        dli_tasks: 150,
+        duration: SimDuration::from_secs(120),
+        time_scale: 1.0 / 240.0,
+        seed: 42,
+    };
+    for name in ["Res-Ag", "CBP+PP"] {
+        let t0 = Instant::now();
+        let r = run_dnn_traced(
+            scheduler_by_name(name).unwrap(),
+            &dnn_cfg,
+            knots_obs::Obs::disabled(),
+            knots_chaos::FaultPlan::empty(),
+            knots_trace::Tracer::disabled(),
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{name}: wall {ms:.1} ms, digest {:016x}", knots_analyzer::report_digest(&r));
+        for p in &r.phase_timings {
+            println!(
+                "  {:-10} count {:8} total_ms {:10.2} mean_us {:8.2}",
+                p.phase,
+                p.count,
+                p.count as f64 * p.mean_us / 1e3,
+                p.mean_us
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+use knots_core::config::LoopMode;
+use knots_core::experiment::{run_schedule, scheduler_by_name, ExperimentConfig};
+use knots_sim::cluster::ClusterConfig;
+use knots_sim::time::SimDuration;
+use knots_workloads::loadgen::{LoadGenConfig, LoadGenerator};
+use knots_workloads::AppMix;
+use std::time::Instant;
+
+fn main() {
+    let mut cfg =
+        ExperimentConfig { duration: SimDuration::from_secs(60), seed: 42, ..Default::default() };
+    cfg.orch.heartbeat = SimDuration::from_millis(50);
+
+    let gen_cfg = LoadGenConfig::new(cfg.duration, cfg.seed);
+    let t0 = Instant::now();
+    let schedule = LoadGenerator::generate(AppMix::Mix2, &gen_cfg);
+    println!("generate: {:.2} ms, {} pods", t0.elapsed().as_secs_f64() * 1e3, schedule.len());
+
+    for mode in [LoopMode::Naive, LoopMode::Calendar, LoopMode::EventQueue] {
+        cfg.orch.naive_ticking = mode == LoopMode::Naive;
+        cfg.orch.mode = mode;
+        for name in ["Res-Ag", "CBP+PP"] {
+            let mut best = f64::MAX;
+            let mut report = None;
+            for _ in 0..5 {
+                let mut cluster_cfg =
+                    ClusterConfig::homogeneous(cfg.nodes, knots_sim::config::TESTBED_GPU);
+                cluster_cfg.prewarm_images =
+                    AppMix::Mix2.lc_services().iter().map(|s| s.image()).collect();
+                let t0 = Instant::now();
+                let r = run_schedule(
+                    scheduler_by_name(name).unwrap(),
+                    &schedule,
+                    cluster_cfg,
+                    cfg.orch,
+                );
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                if ms < best {
+                    best = ms;
+                    report = Some(r);
+                }
+            }
+            let r = report.unwrap();
+            println!(
+                "{mode:?} {name}: run {best:.2} ms digest {:016x} events {}",
+                knots_analyzer::report_digest(&r),
+                r.events_processed
+            );
+            for p in &r.phase_timings {
+                println!(
+                    "  {:-10} count {:8} total_ms {:8.2}",
+                    p.phase,
+                    p.count,
+                    p.count as f64 * p.mean_us / 1e3
+                );
+            }
+        }
+    }
+}

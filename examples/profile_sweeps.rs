@@ -1,0 +1,34 @@
+use knots_bench::figures::fig06_09_cluster::ClusterStudy;
+use knots_bench::figures::fig12_dnn::DnnStudy;
+use knots_core::experiment::ExperimentConfig;
+use knots_obs::Obs;
+use knots_sim::time::SimDuration;
+use knots_workloads::dnn::DnnWorkloadConfig;
+use std::time::Instant;
+
+fn main() {
+    let dnn_cfg = DnnWorkloadConfig {
+        dlt_jobs: 60,
+        dli_tasks: 150,
+        duration: SimDuration::from_secs(120),
+        time_scale: 1.0 / 240.0,
+        seed: 42,
+    };
+    let t0 = Instant::now();
+    let s = DnnStudy::run_threads(&dnn_cfg, 1);
+    println!(
+        "dnn serial: {:.0} ms ({} reports)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        s.reports.len()
+    );
+
+    let cluster_cfg =
+        ExperimentConfig { duration: SimDuration::from_secs(60), seed: 42, ..Default::default() };
+    let t0 = Instant::now();
+    let c = ClusterStudy::run_with_obs_threads(&cluster_cfg, &Obs::disabled(), 1);
+    println!(
+        "cluster serial: {:.0} ms ({} cells)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        c.reports.len()
+    );
+}

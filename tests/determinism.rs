@@ -10,6 +10,7 @@
 //! decision-derived field of a `RunReport`, so any relapse shows up as a
 //! digest mismatch here (and in `knots-analyzer -- --self-check`).
 
+use knots_core::config::LoopMode;
 use knots_core::experiment::{run_mix, scheduler_by_name, ExperimentConfig, DNN_SCHEDULERS};
 use knots_sim::time::SimDuration;
 use knots_workloads::appmix::AppMix;
@@ -120,47 +121,45 @@ fn chaos_sweep_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
-fn event_calendar_matches_naive_ticking() {
-    // Heartbeat at 5× the tick: between scheduling rounds the calendar
-    // jumps multi-tick spans (quiet nodes in closed form, active nodes
-    // sub-stepped). Forcing `naive_ticking` must not move a single bit of
-    // the report for any scheduler.
+fn every_loop_mode_matches_naive_ticking() {
+    // Heartbeat at 5× the tick: between scheduling rounds the span
+    // calendar jumps multi-tick spans and the event queue jumps straight
+    // to the next calendar entry. Neither may move a single bit of the
+    // report relative to the per-tick oracle, for any scheduler.
     for name in DNN_SCHEDULERS {
         let mut c = cfg(42);
         c.duration = SimDuration::from_secs(60);
         c.orch.heartbeat = SimDuration::from_millis(50);
-        let calendar = run_mix(scheduler_by_name(name).unwrap(), AppMix::Mix2, &c);
         c.orch.naive_ticking = true;
         let naive = run_mix(scheduler_by_name(name).unwrap(), AppMix::Mix2, &c);
-        assert_eq!(
-            knots_analyzer::report_digest(&calendar),
-            knots_analyzer::report_digest(&naive),
-            "{name}: event calendar diverged from naive ticking"
-        );
+        c.orch.naive_ticking = false;
+        for mode in [LoopMode::Calendar, LoopMode::EventQueue] {
+            c.orch.mode = mode;
+            let fast = run_mix(scheduler_by_name(name).unwrap(), AppMix::Mix2, &c);
+            assert_eq!(
+                knots_analyzer::report_digest(&fast),
+                knots_analyzer::report_digest(&naive),
+                "{name}: {mode:?} diverged from naive ticking"
+            );
+        }
     }
 }
 
 #[test]
-fn event_calendar_matches_naive_ticking_under_chaos() {
-    // Same A/B with a seeded fault plan: node failures, degradations,
-    // probe dropouts, sample corruption and heartbeat delays all land on
-    // the same ticks whether the loop crawls or jumps.
+fn every_loop_mode_matches_naive_ticking_under_chaos() {
+    // Same A/B with a seeded 6-faults/min plan: node failures,
+    // degradations, probe dropouts, sample corruption and heartbeat
+    // delays all land on the same ticks whether the loop crawls, jumps
+    // spans, or runs on the event queue.
     use knots_chaos::{gen, GenConfig};
     use knots_core::experiment::run_mix_with_chaos;
     let duration = SimDuration::from_secs(60);
     let plan =
-        || gen::generate(&GenConfig { seed: 9, nodes: 10, duration, faults_per_minute: 20.0 });
+        || gen::generate(&GenConfig { seed: 9, nodes: 10, duration, faults_per_minute: 6.0 });
     for name in DNN_SCHEDULERS {
         let mut c = cfg(42);
         c.duration = duration;
         c.orch.heartbeat = SimDuration::from_millis(50);
-        let calendar = run_mix_with_chaos(
-            scheduler_by_name(name).unwrap(),
-            AppMix::Mix2,
-            &c,
-            knots_obs::Obs::disabled(),
-            plan(),
-        );
         c.orch.naive_ticking = true;
         let naive = run_mix_with_chaos(
             scheduler_by_name(name).unwrap(),
@@ -169,11 +168,114 @@ fn event_calendar_matches_naive_ticking_under_chaos() {
             knots_obs::Obs::disabled(),
             plan(),
         );
-        assert_eq!(
-            knots_analyzer::report_digest(&calendar),
-            knots_analyzer::report_digest(&naive),
-            "{name}: event calendar diverged from naive ticking under chaos"
-        );
+        c.orch.naive_ticking = false;
+        for mode in [LoopMode::Calendar, LoopMode::EventQueue] {
+            c.orch.mode = mode;
+            let fast = run_mix_with_chaos(
+                scheduler_by_name(name).unwrap(),
+                AppMix::Mix2,
+                &c,
+                knots_obs::Obs::disabled(),
+                plan(),
+            );
+            assert_eq!(
+                knots_analyzer::report_digest(&fast),
+                knots_analyzer::report_digest(&naive),
+                "{name}: {mode:?} diverged from naive ticking under chaos"
+            );
+        }
+    }
+}
+
+mod event_interleavings {
+    //! Property: for *arbitrary* event interleavings — random seeds,
+    //! off-grid heartbeat periods, durations and fault intensities — the
+    //! event queue replays the oracle bit for bit, all the way down to
+    //! the raw telemetry: every retained TSDB node sample and the energy
+    //! total must be bitwise identical at the matching end-of-run grid
+    //! point, not just the digested report.
+
+    use knots_chaos::{gen, ChaosEngine, GenConfig};
+    use knots_core::config::{LoopMode, OrchestratorConfig};
+    use knots_core::orchestrator::KubeKnots;
+    use knots_sim::cluster::ClusterConfig;
+    use knots_sim::ids::NodeId;
+    use knots_sim::metrics::{GpuSample, Metric};
+    use knots_sim::time::SimDuration;
+    use knots_workloads::loadgen::{LoadGenConfig, LoadGenerator};
+    use knots_workloads::AppMix;
+    use proptest::prelude::*;
+
+    /// (report digest, energy bits, per-node `(at, metric bits)` samples).
+    type LegResult = (u64, u64, Vec<Vec<(u64, [u64; 5])>>);
+
+    /// Run one leg and return its [`LegResult`].
+    fn run_leg(
+        mode: LoopMode,
+        naive: bool,
+        seed: u64,
+        hb_ms: u64,
+        secs: u64,
+        faults_per_minute: f64,
+    ) -> LegResult {
+        let nodes = 4usize;
+        let duration = SimDuration::from_secs(secs);
+        let schedule = LoadGenerator::generate(AppMix::Mix2, &LoadGenConfig::new(duration, seed));
+        let cluster_cfg = ClusterConfig::homogeneous(nodes, knots_sim::config::TESTBED_GPU);
+        let orch = OrchestratorConfig {
+            heartbeat: SimDuration::from_millis(hb_ms),
+            mode,
+            naive_ticking: naive,
+            ..Default::default()
+        };
+        let mut k = KubeKnots::new(cluster_cfg, Box::new(knots_sched::pp::CbpPp::new()), orch);
+        if faults_per_minute > 0.0 {
+            let plan = gen::generate(&GenConfig {
+                seed: seed ^ 0x51ab,
+                nodes,
+                duration,
+                faults_per_minute,
+            });
+            k = k.with_chaos(ChaosEngine::new(plan));
+        }
+        let report = k.run_schedule(&schedule);
+        let now = k.cluster().now();
+        let window = SimDuration::from_secs(secs + 3600);
+        let samples = (0..nodes)
+            .map(|n| {
+                k.tsdb()
+                    .node_window(NodeId(n), now, window)
+                    .iter()
+                    .map(|s: &GpuSample| {
+                        let mut vals = [0u64; 5];
+                        for (i, m) in Metric::ALL.iter().enumerate() {
+                            vals[i] = s.get(*m).to_bits();
+                        }
+                        (s.at.0, vals)
+                    })
+                    .collect()
+            })
+            .collect();
+        (knots_analyzer::report_digest(&report), report.energy_joules.to_bits(), samples)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+        #[test]
+        fn event_queue_replays_oracle_tsdb_and_energy_bit_identically(
+            seed in 0u64..1_000_000,
+            hb_ms in 10u64..200,   // deliberately not tick-aligned
+            secs in 5u64..15,
+            faulty in proptest::bool::ANY,
+        ) {
+            let fpm = if faulty { 6.0 } else { 0.0 };
+            let naive = run_leg(LoopMode::Naive, true, seed, hb_ms, secs, fpm);
+            let event = run_leg(LoopMode::EventQueue, false, seed, hb_ms, secs, fpm);
+            prop_assert_eq!(naive.0, event.0, "report digest diverged");
+            prop_assert_eq!(naive.1, event.1, "energy total diverged");
+            prop_assert_eq!(naive.2, event.2, "TSDB node samples diverged");
+        }
     }
 }
 
