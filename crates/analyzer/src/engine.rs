@@ -228,6 +228,9 @@ pub struct FileAnalysis {
     raw: Vec<Diagnostic>,
     /// Lock-acquisition edges for the workspace graph.
     pub edges: Vec<crate::conc::LockEdge>,
+    /// Type declarations for the snapshot-reachability graph (rule R1 is a
+    /// whole-program property like C2: reachability crosses crates).
+    pub types: Vec<crate::snapreach::TypeDecl>,
     pragmas: Vec<Pragma>,
     pragma_diags: Vec<Diagnostic>,
 }
@@ -300,8 +303,9 @@ pub fn analyze_source(rel: &str, src: &str) -> FileAnalysis {
     let tree = crate::parser::parse(&lexed.toks);
     let edges = crate::conc::scan(&lexed.toks, &tree, &lexed.comments, &ctx, &regions, &mut raw);
     crate::events::scan(&lexed.toks, &tree, &ctx, &regions, &mut raw);
+    let types = crate::snapreach::collect(&ctx, &lexed.toks, &regions);
     let (pragmas, pragma_diags) = parse_pragmas(&lexed.comments, rel);
-    FileAnalysis { rel: rel.to_string(), raw, edges, pragmas, pragma_diags }
+    FileAnalysis { rel: rel.to_string(), raw, edges, types, pragmas, pragma_diags }
 }
 
 /// Phase two: apply pragma suppression (tracking usage per rule id so a
@@ -371,14 +375,16 @@ pub fn finish_file(a: FileAnalysis, extra: Vec<Diagnostic>, cfg: &Config) -> Vec
 }
 
 /// Check one file's source text against every rule, applying pragma and
-/// config suppression and severity overrides. Rule C2 is judged over this
-/// file's own edges (the workspace run in [`check_root`] judges the global
-/// graph instead). Diagnostics come back in the stable reporting order.
+/// config suppression and severity overrides. The whole-program rules C2
+/// and R1 are judged over this file's own edges/declarations (the
+/// workspace run in [`check_root`] judges the global graphs instead).
+/// Diagnostics come back in the stable reporting order.
 pub fn check_source(rel: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     let a = analyze_source(rel, src);
     let graph = crate::lockgraph::build(&a.edges);
-    let c2 = crate::lockgraph::cycles(&graph);
-    finish_file(a, c2, cfg)
+    let mut extra = crate::lockgraph::cycles(&graph);
+    extra.extend(crate::snapreach::judge(&a.types));
+    finish_file(a, extra, cfg)
 }
 
 /// Load `root/analyzer.toml` when present.
@@ -405,28 +411,31 @@ pub fn analyze_root(root: &Path) -> Result<Vec<FileAnalysis>, String> {
 }
 
 /// Check the whole workspace under `root`, honoring `root/analyzer.toml`
-/// when present. The lock-order graph (C2) is aggregated across every
-/// file; each cycle diagnostic is anchored at one site and flows through
-/// that file's suppression machinery. Diagnostics come back in the stable
-/// reporting order.
+/// when present. The whole-program graphs — lock order (C2) and snapshot
+/// reachability (R1) — are aggregated across every file; each diagnostic
+/// is anchored at one site and flows through that file's suppression
+/// machinery. Diagnostics come back in the stable reporting order.
 pub fn check_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let cfg = load_config(root)?;
     let analyses = analyze_root(root)?;
     let mut all_edges = Vec::new();
+    let mut all_types = Vec::new();
     for a in &analyses {
         all_edges.extend(a.edges.iter().cloned());
+        all_types.extend(a.types.iter().cloned());
     }
     let graph = crate::lockgraph::build(&all_edges);
-    let mut c2 = crate::lockgraph::cycles(&graph);
+    let mut ws = crate::lockgraph::cycles(&graph);
+    ws.extend(crate::snapreach::judge(&all_types));
     let mut diags = Vec::new();
     for a in analyses {
-        let (mine, rest): (Vec<_>, Vec<_>) = c2.into_iter().partition(|d| d.path == a.rel);
-        c2 = rest;
+        let (mine, rest): (Vec<_>, Vec<_>) = ws.into_iter().partition(|d| d.path == a.rel);
+        ws = rest;
         diags.extend(finish_file(a, mine, &cfg));
     }
-    // Cycles anchored at no discovered file (cannot happen in practice,
-    // but the invariant "every cycle is reported" must not depend on it).
-    diags.extend(c2);
+    // Diagnostics anchored at no discovered file (cannot happen in
+    // practice, but "every finding is reported" must not depend on it).
+    diags.extend(ws);
     sort(&mut diags);
     Ok(diags)
 }

@@ -15,6 +15,9 @@
 //! * [`conc`] holds the scope-aware concurrency rules: the guard-lifetime
 //!   tracker (C1), `unsafe` hygiene (C3), channel-drain determinism (C4),
 //!   and the lock-edge recorder feeding [`lockgraph`] (C2);
+//! * [`snapreach`] holds the snapshot-reachability rule (R1): no
+//!   `HashMap`/`HashSet`/`Instant` fields in types the durable
+//!   control-plane snapshot transitively embeds;
 //! * [`engine`] walks the workspace, classifies files, carves out
 //!   `#[cfg(test)]` regions, and applies pragma/config suppression;
 //! * [`config`] parses `analyzer.toml` (file-level allowlist, severity
@@ -40,6 +43,7 @@ pub mod lockgraph;
 pub mod parser;
 pub mod rules;
 pub mod selfcheck;
+pub mod snapreach;
 
 pub use diag::{Diagnostic, Severity};
 pub use engine::{check_root, check_source, classify, FileContext, FileKind};

@@ -14,6 +14,7 @@
 //! | C3 | every `unsafe` / `static mut` / `UnsafeCell` has an adjacent `// SAFETY:` comment |
 //! | C4 | no `try_recv`/`recv_timeout`/`try_iter` channel drains in decision crates |
 //! | E1 | no tick quantization (div / `div_ceil` by the tick) or wall clock inside event handlers (`on_*`/`handle_*` fns in `sim`/`core`) |
+//! | R1 | no `HashMap`/`HashSet`/`Instant` fields in types reachable from the control-plane snapshot (`Snapshot`/`OrchestratorState`) |
 //!
 //! D–M matching is purely token-shaped: strings, comments and
 //! `#[cfg(test)]` regions were already stripped or marked by the
@@ -44,7 +45,7 @@ pub struct Rule {
 }
 
 /// Every rule the engine knows, in reporting order.
-pub const RULES: [Rule; 12] = [
+pub const RULES: [Rule; 13] = [
     Rule {
         id: "D1",
         severity: Severity::Deny,
@@ -135,6 +136,15 @@ pub const RULES: [Rule; 12] = [
         hint: "snap due times to the tick grid once, at enqueue (`grid_at_or_after`); handlers \
                must be pure functions of (simulation state, event time)",
     },
+    Rule {
+        id: "R1",
+        severity: Severity::Deny,
+        summary: "no HashMap/HashSet/Instant/SystemTime fields in types reachable from the \
+                  control-plane snapshot (Snapshot/OrchestratorState) — they cannot be \
+                  checkpointed and resumed bit-identically",
+        hint: "use BTreeMap/BTreeSet/Vec for collections and SimTime for time; snapshot state \
+               must serialize deterministically (see crates/recovery)",
+    },
 ];
 
 /// Direct references for the scope-aware passes in [`crate::conc`],
@@ -145,6 +155,7 @@ pub(crate) const C2: &Rule = &RULES[8];
 pub(crate) const C3: &Rule = &RULES[9];
 pub(crate) const C4: &Rule = &RULES[10];
 pub(crate) const E1: &Rule = &RULES[11];
+pub(crate) const R1: &Rule = &RULES[12];
 
 /// Look up a rule by id.
 pub fn rule(id: &str) -> Option<&'static Rule> {

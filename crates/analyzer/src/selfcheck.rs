@@ -175,7 +175,7 @@ impl FormatDigests {
 /// The embedded corpus: every per-rule fixture, checked as decision-crate
 /// library code so each rule contributes diagnostics to the rendered set.
 fn fixture_corpus() -> Vec<crate::diag::Diagnostic> {
-    const FIXTURES: [(&str, &str); 14] = [
+    const FIXTURES: [(&str, &str); 15] = [
         ("d1", include_str!("../tests/fixtures/d1_wall_clock.rs")),
         ("d2", include_str!("../tests/fixtures/d2_hash_collections.rs")),
         ("d3", include_str!("../tests/fixtures/d3_ambient_entropy.rs")),
@@ -188,6 +188,7 @@ fn fixture_corpus() -> Vec<crate::diag::Diagnostic> {
         ("c3", include_str!("../tests/fixtures/c3_unsafe_hygiene.rs")),
         ("c4", include_str!("../tests/fixtures/c4_channel_drain.rs")),
         ("e1", include_str!("../tests/fixtures/e1_event_handlers.rs")),
+        ("r1", include_str!("../tests/fixtures/r1_snapshot_reach.rs")),
         ("pragmas", include_str!("../tests/fixtures/pragmas.rs")),
         ("tricky", include_str!("../tests/fixtures/tricky.rs")),
     ];
@@ -266,6 +267,7 @@ mod tests {
             faults: knots_core::FaultStats::default(),
             events_processed: 0,
             events_per_sim_second: 0.0,
+            recovery: knots_core::RecoveryStats::default(),
         };
         let d0 = report_digest(&base);
 
@@ -284,6 +286,15 @@ mod tests {
         evented.events_processed = 1234;
         evented.events_per_sim_second = 9.75;
         assert_eq!(report_digest(&evented), d0, "engine throughput must not affect the digest");
+
+        let mut recovered = base.clone();
+        recovered.recovery = knots_core::RecoveryStats {
+            controller_crashes: 3,
+            checkpoints: 7,
+            replayed_events: 41,
+            recovery_wall_us: 812.5,
+        };
+        assert_eq!(report_digest(&recovered), d0, "recovery stats must not affect the digest");
 
         let mut decided = base;
         decided.preemptions = 2;

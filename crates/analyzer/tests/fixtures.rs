@@ -81,6 +81,47 @@ fn m1_fires_on_bad_metric_and_span_names() {
 }
 
 #[test]
+fn r1_fires_on_snapshot_reachable_bad_fields_only() {
+    let out = check(include_str!("fixtures/r1_snapshot_reach.rs"));
+    // HashSet in OrchestratorState, HashMap + Instant in ClusterShard
+    // (reachable via the cluster field), Instant in the SideEvent enum
+    // payload — and nothing in NotReachable, which no root references.
+    assert_eq!(positions(&out, "R1"), vec![(13, 15), (17, 16), (18, 18), (23, 11)]);
+    // The same mentions also draw the decision-crate D1/D2 rules; R1 adds
+    // the snapshot-specific story (and covers non-decision crates).
+    assert_eq!(positions(&out, "D2").len(), 5);
+    assert_eq!(positions(&out, "D1").len(), 3);
+    assert_eq!(out.len(), 12, "{out:?}");
+}
+
+#[test]
+fn r1_workspace_closure_reaches_the_real_state_types() {
+    use knots_analyzer::snapreach::{judge, BadMention, TypeDecl};
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analyses = knots_analyzer::engine::analyze_root(&root).unwrap();
+    let mut types: Vec<TypeDecl> =
+        analyses.iter().flat_map(|a| a.types.iter().cloned()).collect();
+    for name in ["Snapshot", "OrchestratorState", "ClusterState", "TsdbState", "ChaosEngineState"]
+    {
+        assert!(types.iter().any(|t| t.name == name), "no `{name}` declaration found");
+    }
+    // The real closure must be clean, and must *stay* live: a forbidden
+    // field planted on a type deep in the closure (the chaos engine state,
+    // two hops from the root) has to surface.
+    assert!(judge(&types).is_empty(), "workspace snapshot closure has R1 findings");
+    types.push(TypeDecl {
+        path: "crates/chaos/src/canary.rs".into(),
+        name: "ChaosEngineState".into(),
+        line: 1,
+        refs: Vec::new(),
+        bad: vec![BadMention { ty: "HashMap".into(), line: 1, col: 1 }],
+    });
+    let diags = judge(&types);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].path, "crates/chaos/src/canary.rs");
+}
+
+#[test]
 fn tricky_constructs_stay_silent_except_cfg_not_test() {
     let out = check(include_str!("fixtures/tricky.rs"));
     // The only legitimate hit: the unwrap inside #[cfg(not(test))], which

@@ -1,0 +1,28 @@
+//! R1 fixture: forbidden fields inside snapshot-reachable state types.
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+pub struct Snapshot {
+    pub version: u32,
+    pub state: OrchestratorState,
+}
+
+pub struct OrchestratorState {
+    pub cluster: ClusterShard,
+    pub pending: Vec<SideEvent>,
+    pub seen: HashSet<u64>,
+}
+
+pub struct ClusterShard {
+    pub cache: HashMap<String, u64>,
+    pub started: Instant,
+}
+
+pub enum SideEvent {
+    Tick,
+    Stamp(Instant),
+}
+
+pub struct NotReachable {
+    pub scratch: HashMap<u32, u32>,
+}

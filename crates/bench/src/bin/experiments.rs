@@ -16,8 +16,10 @@
 //!   trace     the DNN bake-off with causal tracing ± a seeded fault plan:
 //!             Chrome traces per leg + per-stage latency breakdown + digest
 //!   chaos     fault-intensity sweep: QoS / throughput / crashes (DESIGN.md §10)
+//!   recovery  controller-crash density sweep: checkpoint/WAL recovery cost
+//!             with per-leg bit-identity checks (DESIGN.md §15)
 //!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_6.json
-//!   all       everything above except trace, chaos and perf
+//!   all       everything above except trace, chaos, recovery and perf
 //! ```
 //!
 //! `--quick` shrinks run lengths for smoke testing; the defaults match the
@@ -42,7 +44,7 @@ use knots_workloads::dnn::DnnWorkloadConfig;
 use std::io::Write as _;
 
 const USAGE: &str =
-    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|trace|ablation|chaos|perf|all> \
+    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|trace|ablation|chaos|recovery|perf|all> \
      [--quick] [--seed N] [--secs N] [--json DIR] [--threads N] [--out FILE] \
      [--trace FILE.jsonl] [--metrics FILE.prom]";
 
@@ -299,6 +301,39 @@ fn run_chaos(opts: &Opts) {
     emit(opts, "chaos", &[chaos_sweep::table(&rows)]);
 }
 
+fn run_recovery(opts: &Opts) {
+    let mut cfg = cluster_cfg(opts);
+    cfg.nodes = 4;
+    if opts.secs.is_none() {
+        cfg.duration = SimDuration::from_secs(if opts.quick { 45 } else { 180 });
+    }
+    let densities: &[f64] = if opts.quick { &[0.0, 4.0] } else { &[0.0, 1.0, 3.0, 6.0] };
+    eprintln!(
+        "[recovery sweep: {} schedulers x {} crash densities, {}s window each, {} thread(s) ...]",
+        knots_core::experiment::DNN_SCHEDULERS.len(),
+        densities.len(),
+        cfg.duration.as_secs_f64(),
+        opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    let rows = recovery_sweep::run(&cfg, densities, opts.threads);
+    eprintln!("[recovery sweep done in {:.1?}]", t0.elapsed());
+    emit(opts, "recovery", &[recovery_sweep::table(&rows)]);
+    // Stable per-leg digest lines: CI runs the sweep twice and diffs these
+    // (wall-clock columns in the table above legitimately differ).
+    for r in &rows {
+        println!(
+            "recovery-digest {} cpm={} {:#018x}",
+            r.scheduler, r.crashes_per_minute, r.digest
+        );
+    }
+    if !recovery_sweep::all_match(&rows) {
+        eprintln!("[recovery: BIT-IDENTITY CHECK FAILED — a recovered leg diverged]");
+        std::process::exit(1);
+    }
+    eprintln!("[recovery: every recovered leg matches its uninterrupted baseline]");
+}
+
 fn run_perf(opts: &Opts) {
     let cfg =
         knots_bench::perf::PerfConfig { quick: opts.quick, threads: opts.threads, seed: opts.seed };
@@ -347,6 +382,7 @@ fn main() {
         "trace" => run_trace(&opts),
         "ablation" | "ablations" => run_ablations(&opts),
         "chaos" => run_chaos(&opts),
+        "recovery" => run_recovery(&opts),
         "perf" => run_perf(&opts),
         "all" => {
             run_fig1(&opts);

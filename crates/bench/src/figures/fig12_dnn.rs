@@ -163,6 +163,7 @@ mod tests {
             faults: knots_core::FaultStats::default(),
             events_processed: 0,
             events_per_sim_second: 0.0,
+            recovery: knots_core::RecoveryStats::default(),
         }
     }
 

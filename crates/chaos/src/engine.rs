@@ -7,7 +7,7 @@ use knots_sim::time::SimTime;
 use std::collections::BTreeMap;
 
 /// A cluster-level action the orchestrator must perform now.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ChaosAction {
     /// Kill the node (resident pods crash with `CrashReason::NodeFailure`).
     FailNode(NodeId),
@@ -28,7 +28,7 @@ pub enum ChaosAction {
 
 /// Running totals of injected faults, by kind. `corrupted_samples` counts
 /// individual mangled probe readings (many per `SampleCorruption` window).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FaultCounts {
     /// `NodeFail` events fired.
     pub node_failures: u64,
@@ -42,6 +42,9 @@ pub struct FaultCounts {
     pub corrupted_samples: u64,
     /// `HeartbeatDelay` events fired.
     pub heartbeat_delays: u64,
+    /// `ControllerCrash` events reached (counted only; the kill itself is
+    /// performed by the recovery harness).
+    pub controller_crashes: u64,
 }
 
 impl FaultCounts {
@@ -52,6 +55,7 @@ impl FaultCounts {
             + self.probe_dropouts
             + self.corruption_windows
             + self.heartbeat_delays
+            + self.controller_crashes
     }
 }
 
@@ -156,6 +160,15 @@ impl ChaosEngine {
                     self.counts.heartbeat_delays += 1;
                     out.push(ChaosAction::DelayHeartbeat(delay));
                 }
+                FaultKind::ControllerCrash => {
+                    // Counted, but no cluster action: the crash targets the
+                    // controller process, not the cluster. The recovery
+                    // harness reads the instants from the plan and performs
+                    // kill/restore outside the simulation, so both the
+                    // interrupted and the uninterrupted leg consume this
+                    // event identically.
+                    self.counts.controller_crashes += 1;
+                }
             }
         }
         self.dropouts.retain(|_, until| *until > now);
@@ -183,6 +196,32 @@ impl ChaosEngine {
         self.dropouts.get(&node).is_some_and(|until| now < *until)
     }
 
+    /// Export the replay position for a control-plane snapshot (see
+    /// crates/recovery). The plan itself is configuration and is re-supplied
+    /// to [`ChaosEngine::from_state`] at restore.
+    pub fn snapshot_state(&self) -> ChaosEngineState {
+        ChaosEngineState {
+            cursor: self.cursor as u64,
+            deferred: self.deferred.clone(),
+            dropouts: self.dropouts.iter().map(|(&n, &t)| (n, t)).collect(),
+            corruptions: self.corruptions.iter().map(|(&n, &(t, m))| (n, t, m)).collect(),
+            counts: self.counts,
+        }
+    }
+
+    /// Rebuild an engine mid-replay from the plan plus an exported state.
+    pub fn from_state(plan: FaultPlan, state: ChaosEngineState) -> Self {
+        let plan = FaultPlan::from_events(plan.events);
+        ChaosEngine {
+            events: plan.events,
+            cursor: state.cursor as usize,
+            deferred: state.deferred,
+            dropouts: state.dropouts.into_iter().collect(),
+            corruptions: state.corruptions.into_iter().map(|(n, t, m)| (n, (t, m))).collect(),
+            counts: state.counts,
+        }
+    }
+
     /// Apply any active corruption to a probe reading. Returns the sample to
     /// record; counts each mangled reading.
     pub fn corrupt_sample(&mut self, node: NodeId, now: SimTime, mut s: GpuSample) -> GpuSample {
@@ -205,6 +244,23 @@ impl ChaosEngine {
         }
         s
     }
+}
+
+/// Serializable replay position of a [`ChaosEngine`] (snapshot interchange;
+/// see crates/recovery). Window maps are flattened to sorted vecs because
+/// the serde shim deserializes sequences, not `BTreeMap`s.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ChaosEngineState {
+    /// Index of the next unconsumed plan event.
+    pub cursor: u64,
+    /// Pending follow-up actions (recoveries/restorations), schedule order.
+    pub deferred: Vec<(SimTime, ChaosAction)>,
+    /// Active probe-dropout windows as `(node, end)`, sorted by node.
+    pub dropouts: Vec<(NodeId, SimTime)>,
+    /// Active corruption windows as `(node, end, mode)`, sorted by node.
+    pub corruptions: Vec<(NodeId, SimTime, CorruptionMode)>,
+    /// Totals so far.
+    pub counts: FaultCounts,
 }
 
 #[cfg(test)]

@@ -100,6 +100,40 @@ pub fn generate(cfg: &GenConfig) -> FaultPlan {
     FaultPlan::from_events(events)
 }
 
+/// Generate a schedule of [`FaultKind::ControllerCrash`] events only.
+///
+/// Kept separate from [`generate`] on purpose: the cluster-fault kind mix
+/// is pinned by downstream digests, so controller crashes are drawn from
+/// their own seeded stream and merged into a plan by the caller
+/// (`FaultPlan::from_events` of the concatenation). Crashes land strictly
+/// inside `(0, duration)` — a crash at t=0 would checkpoint nothing and one
+/// at the horizon would never fire.
+pub fn generate_controller_crashes(
+    seed: u64,
+    duration: SimDuration,
+    crashes_per_minute: f64,
+) -> Vec<FaultEvent> {
+    if crashes_per_minute <= 0.0 || duration.is_zero() {
+        return Vec::new();
+    }
+    let minutes = duration.as_secs_f64() / 60.0;
+    let count = (crashes_per_minute * minutes).round() as usize;
+    let mut rng = Lcg::new(seed ^ 0xc4a5_4dd1_0b7a_93e7);
+    let dur_us = duration.as_micros();
+    let mut events: Vec<FaultEvent> = (0..count)
+        .map(|_| {
+            let frac = 0.05 + 0.9 * rng.f64();
+            FaultEvent {
+                at: SimTime::from_micros(((dur_us as f64) * frac) as u64),
+                kind: FaultKind::ControllerCrash,
+            }
+        })
+        .collect();
+    events.sort_by_key(|e| e.at);
+    events.dedup_by_key(|e| e.at);
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,7 +177,7 @@ mod tests {
                 | FaultKind::GpuDegrade { node, .. }
                 | FaultKind::ProbeDropout { node, .. }
                 | FaultKind::SampleCorruption { node, .. } => assert!(node.0 < 10),
-                FaultKind::HeartbeatDelay { .. } => {}
+                FaultKind::HeartbeatDelay { .. } | FaultKind::ControllerCrash => {}
             }
             if let FaultKind::GpuDegrade { frac, .. } = e.kind {
                 assert!((0.1..=0.7).contains(&frac));
@@ -153,5 +187,25 @@ mod tests {
         let fails =
             plan.events.iter().filter(|e| matches!(e.kind, FaultKind::NodeFail { .. })).count();
         assert!(fails > 0 && fails < plan.len());
+    }
+
+    #[test]
+    fn controller_crashes_are_separate_and_deterministic() {
+        let dur = SimDuration::from_secs(120);
+        let a = generate_controller_crashes(42, dur, 3.0);
+        let b = generate_controller_crashes(42, dur, 3.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        for w in a.windows(2) {
+            assert!(w[0].at < w[1].at, "crash times strictly increase");
+        }
+        for e in &a {
+            assert!(matches!(e.kind, FaultKind::ControllerCrash));
+            assert!(e.at > SimTime::ZERO && e.at < SimTime::from_secs(120));
+        }
+        // The cluster-fault stream is untouched by the crash stream: the
+        // pinned 20-event generated plan must not change.
+        assert!(generate_controller_crashes(42, dur, 0.0).is_empty());
+        assert_ne!(generate_controller_crashes(7, dur, 3.0), a);
     }
 }

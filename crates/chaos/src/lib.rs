@@ -27,6 +27,6 @@ pub mod engine;
 pub mod gen;
 pub mod plan;
 
-pub use engine::{ChaosAction, ChaosEngine, FaultCounts};
-pub use gen::GenConfig;
-pub use plan::{CorruptionMode, FaultEvent, FaultKind, FaultPlan};
+pub use engine::{ChaosAction, ChaosEngine, ChaosEngineState, FaultCounts};
+pub use gen::{generate_controller_crashes, GenConfig};
+pub use plan::{CorruptionMode, FaultEvent, FaultKind, FaultPlan, PlanError};

@@ -27,7 +27,7 @@ use knots_sim::time::SimTime;
 /// within one instant, classes pop in the order the naive tick loop
 /// processes them — end-of-previous-tick work (metric grid) first, then
 /// start-of-tick work (arrivals, chaos, heartbeat), then the deadline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub enum CoreEvent {
     /// Experiment metric-grid point (`collect_metrics`): end-of-tick work,
     /// so it sorts before the start-of-tick classes at the same instant.
@@ -145,6 +145,41 @@ impl EventCalendar {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Every scheduled entry in pop order — `(time, priority, seq)` — for a
+    /// control-plane snapshot (see crates/recovery). Heap iteration order is
+    /// layout-dependent, so the export sorts; rebuilding via
+    /// [`EventCalendar::from_entries`] re-pushes in this order, which
+    /// preserves all tie-breaks (restored entries receive fresh ascending
+    /// sequence numbers, and any entry scheduled after a restore is younger
+    /// than every restored one — exactly as in the uninterrupted run).
+    pub fn entries(&self) -> Vec<(SimTime, CoreEvent)> {
+        let mut v: Vec<Entry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        v.sort();
+        v.into_iter().map(|e| (e.at, e.kind)).collect()
+    }
+
+    /// Rebuild a calendar from entries exported by
+    /// [`EventCalendar::entries`].
+    pub fn from_entries(entries: &[(SimTime, CoreEvent)]) -> Self {
+        let mut cal = EventCalendar::new();
+        for &(at, kind) in entries {
+            cal.schedule(at, kind);
+        }
+        cal
+    }
+}
+
+/// One event the loop actually applied, in application order — the record
+/// type of the recovery crate's write-ahead log. The WAL acts as a
+/// divergence fence: replaying from the last checkpoint must re-apply
+/// exactly this sequence or the restored state did not capture something.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AppliedEvent {
+    /// The instant the event was processed at.
+    pub at: SimTime,
+    /// The event class.
+    pub kind: CoreEvent,
 }
 
 /// Snap a continuous due instant to the first tick-grid point at or after
@@ -249,6 +284,30 @@ mod tests {
         assert_eq!(cal.pop_due(SimTime::from_millis(10)), None);
         assert_eq!(cal.len(), 1);
         assert!(!cal.is_empty());
+    }
+
+    #[test]
+    fn entries_export_rebuilds_an_identical_calendar() {
+        let mut cal = EventCalendar::new();
+        let t = SimTime::from_millis(10);
+        cal.schedule(SimTime::from_millis(30), CoreEvent::Heartbeat);
+        cal.schedule(t, CoreEvent::Arrival);
+        cal.schedule(t, CoreEvent::MetricGrid);
+        cal.schedule(t, CoreEvent::Arrival); // same-class tie, FIFO
+        let entries = cal.entries();
+        assert_eq!(entries.len(), 4);
+        let mut rebuilt = EventCalendar::from_entries(&entries);
+        // Exhaustive pop comparison, including a post-restore schedule that
+        // must tie-break younger than every restored entry.
+        cal.schedule(t, CoreEvent::Arrival);
+        rebuilt.schedule(t, CoreEvent::Arrival);
+        loop {
+            let (a, b) = (cal.pop(), rebuilt.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

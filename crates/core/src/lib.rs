@@ -22,10 +22,10 @@ pub mod experiment;
 pub mod metrics;
 pub mod orchestrator;
 
-pub use calendar::{CoreEvent, EventCalendar};
+pub use calendar::{AppliedEvent, CoreEvent, EventCalendar};
 pub use config::{LoopMode, OrchestratorConfig};
-pub use metrics::{FaultStats, JctStats, RunReport};
-pub use orchestrator::KubeKnots;
+pub use metrics::{FaultStats, JctStats, RecoveryStats, RunReport};
+pub use orchestrator::{KubeKnots, OrchestratorState};
 
 /// Convenient re-exports for downstream binaries and examples.
 pub mod prelude {

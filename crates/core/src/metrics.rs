@@ -111,6 +111,28 @@ pub struct FaultStats {
     pub rejected_samples: u64,
     /// Pods abandoned after hitting the crash-loop cap.
     pub gave_up: u64,
+    /// `ControllerCrash` events reached in the plan (the kill/restart cycle
+    /// itself is accounted in [`RecoveryStats`]).
+    pub controller_crashes: u64,
+}
+
+/// Controller crash/recovery accounting for one run, filled in by the
+/// recovery harness (crates/recovery). All-zero for an uninterrupted run.
+///
+/// Like [`FaultStats`] and `phase_timings`, excluded from the determinism
+/// digest: recovery describes how the run was *executed* (how many times
+/// the controller was killed and replayed), never the simulated outcome —
+/// which the crash-resume proptest pins to be bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Controller kills performed by the harness.
+    pub controller_crashes: u64,
+    /// Checkpoints captured (including the mandatory one at t=0).
+    pub checkpoints: u64,
+    /// WAL events replayed across all recoveries.
+    pub replayed_events: u64,
+    /// Wall-clock spent in restore+replay across all recoveries, µs.
+    pub recovery_wall_us: f64,
 }
 
 /// Everything measured over one orchestrated run.
@@ -169,6 +191,9 @@ pub struct RunReport {
     /// `events_processed` per simulated second — the event core's
     /// throughput row.
     pub events_per_sim_second: f64,
+    /// Controller crash/recovery accounting (all-zero unless the run went
+    /// through the recovery harness). Digest-excluded like `faults`.
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {
@@ -288,6 +313,7 @@ mod tests {
             faults: FaultStats::default(),
             events_processed: 0,
             events_per_sim_second: 0.0,
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -342,12 +368,20 @@ mod tests {
             heartbeat_delays: 4,
             rejected_samples: 5,
             gave_up: 1,
+            controller_crashes: 2,
+        };
+        r.recovery = RecoveryStats {
+            controller_crashes: 2,
+            checkpoints: 5,
+            replayed_events: 1234,
+            recovery_wall_us: 870.5,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.skipped_breakdown, r.skipped_breakdown);
         assert_eq!(back.phase_timings, r.phase_timings);
         assert_eq!(back.faults, r.faults);
+        assert_eq!(back.recovery, r.recovery);
         // Re-serializing must reproduce the exact bytes: the JSON form is
         // part of the determinism contract (`experiments --json` digests).
         assert_eq!(serde_json::to_string(&back).unwrap(), json);

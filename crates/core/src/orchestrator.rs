@@ -24,18 +24,18 @@
 //! grid points (the determinism suite and the pinned self-check digests
 //! gate this on every run).
 
-use crate::calendar::{grid_at_or_after, CoreEvent, EventCalendar};
+use crate::calendar::{grid_at_or_after, AppliedEvent, CoreEvent, EventCalendar};
 use crate::config::{LoopMode, OrchestratorConfig};
-use crate::metrics::{FaultStats, JctStats, PhaseTiming, RunReport, SkippedAction};
-use knots_chaos::{ChaosAction, ChaosEngine};
+use crate::metrics::{FaultStats, JctStats, PhaseTiming, RecoveryStats, RunReport, SkippedAction};
+use knots_chaos::{ChaosAction, ChaosEngine, ChaosEngineState, FaultPlan};
 use knots_obs::{Event, FieldValue, Histogram, Obs, PhaseTimers, Severity};
 use knots_sched::{Action, PendingPodView, SchedContext, Scheduler, SuspendedPodView};
-use knots_sim::cluster::{Cluster, ClusterConfig};
+use knots_sim::cluster::{Cluster, ClusterConfig, ClusterState};
 use knots_sim::error::SimError;
 use knots_sim::events::EventKind;
 use knots_sim::pod::{PodState, QosClass};
 use knots_sim::time::SimTime;
-use knots_telemetry::{probe, TimeSeriesDb, UtilizationAggregator};
+use knots_telemetry::{probe, TimeSeriesDb, TsdbConfig, TsdbState, UtilizationAggregator};
 use knots_trace::{LifecycleTracker, PodMeta, Tracer, Track};
 use knots_workloads::{next_arrival, ScheduledPod};
 
@@ -90,6 +90,62 @@ pub struct KubeKnots {
     /// Per-round heartbeat latency, accumulated locally and merged into
     /// the metrics registry once per run (`knots_heartbeat_latency_us`).
     hb_latency: Histogram,
+    /// Live state of a begun event-queue loop, present between
+    /// [`KubeKnots::begin`] (or a resume) and completion. Lifting the
+    /// loop's locals onto the orchestrator is what makes the loop pausable
+    /// at any event boundary.
+    loop_state: Option<EventLoopState>,
+    /// Write-ahead journal of applied events, recorded while enabled (the
+    /// recovery harness drains it into its WAL between checkpoints).
+    journal: Option<Vec<AppliedEvent>>,
+}
+
+/// The event-queue loop's locals, lifted out of `run_events` so the loop
+/// can stop at an event boundary with its full state on the orchestrator.
+struct EventLoopState {
+    cal: EventCalendar,
+    /// Cursor into the workload schedule: first arrival not yet submitted.
+    next: usize,
+    deadline: SimTime,
+}
+
+/// The complete dynamic state of a paused event-queue run — the payload of
+/// the recovery crate's snapshots. Only dynamic state travels here; static
+/// configuration is re-supplied to [`KubeKnots::resume`]. Every field uses
+/// vec/tuple shapes the serde shim deserializes (analyzer rule R1 keeps
+/// `HashMap`/`HashSet`/`Instant` out of this reachability closure).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct OrchestratorState {
+    /// Cluster state (nodes, pods, queues, relaunch schedule, energy).
+    pub cluster: ClusterState,
+    /// Telemetry store state (RLE rings, rejection counters).
+    pub tsdb: TsdbState,
+    /// The aggregator's armed heartbeat (its only dynamic field).
+    pub aggregator_next_due: Option<SimTime>,
+    /// Scheduler-specific learned state ([`Scheduler::snapshot_state`]).
+    pub scheduler: serde::Value,
+    /// Chaos-engine replay position, if an engine was attached.
+    pub chaos: Option<ChaosEngineState>,
+    /// Calendar entries in pop order ([`EventCalendar::entries`]).
+    pub calendar: Vec<(SimTime, CoreEvent)>,
+    /// Cursor into the workload schedule: first arrival not yet submitted.
+    pub next_arrival: u64,
+    /// The run's drain deadline.
+    pub deadline: SimTime,
+    /// Actions skipped so far.
+    pub skipped: u64,
+    /// Per-node utilization series collected so far.
+    pub util_series: Vec<Vec<f64>>,
+    /// Active-GPU utilization samples collected so far.
+    pub active_util: Vec<f64>,
+    /// Next armed metric-grid instant.
+    pub next_metric: Option<SimTime>,
+    /// Cluster events already garbage-collected / folded.
+    pub events_seen: u64,
+    /// Scheduling rounds run so far.
+    pub round: u64,
+    /// Per-class processed-event counters (priority order, 5 entries).
+    pub event_counts: Vec<u64>,
 }
 
 impl KubeKnots {
@@ -125,6 +181,8 @@ impl KubeKnots {
             round: 0,
             event_counts: [0; 5],
             hb_latency: Histogram::latency_us(),
+            loop_state: None,
+            journal: None,
         }
     }
 
@@ -202,6 +260,148 @@ impl KubeKnots {
         self.report(schedule.len())
     }
 
+    /// Start an event-queue run without driving it: seed the calendar and
+    /// park the loop at t=0. The recovery harness uses `begin` + [`drive`]
+    /// instead of [`run_schedule`] so it can checkpoint between drives.
+    ///
+    /// [`drive`]: KubeKnots::drive
+    /// [`run_schedule`]: KubeKnots::run_schedule
+    pub fn begin(&mut self, schedule: &[ScheduledPod]) {
+        assert_eq!(
+            self.cfg.effective_mode(),
+            LoopMode::EventQueue,
+            "pausable driving requires the event-queue loop"
+        );
+        debug_assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at), "schedule must be sorted");
+        self.begin_events(schedule);
+    }
+
+    /// Drive a begun (or resumed) run until it completes (`true`) or until
+    /// the first event boundary at or past `stop` (`false`, paused).
+    pub fn drive(&mut self, schedule: &[ScheduledPod], stop: Option<SimTime>) -> bool {
+        self.drive_events(schedule, stop)
+    }
+
+    /// Build the run report for a run driven via [`KubeKnots::begin`] /
+    /// [`KubeKnots::drive`] (which bypass [`KubeKnots::run_schedule`]'s
+    /// reporting).
+    pub fn report_now(&self, submitted: usize) -> RunReport {
+        self.report(submitted)
+    }
+
+    /// Start recording every applied calendar event into an in-memory
+    /// journal ([`KubeKnots::take_journal`] drains it). The recovery
+    /// harness appends the drained entries to its write-ahead log and uses
+    /// them as a divergence fence during replay.
+    pub fn enable_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Drain the journal recorded since [`KubeKnots::enable_journal`] or
+    /// the previous drain. Empty when journaling is off.
+    pub fn take_journal(&mut self) -> Vec<AppliedEvent> {
+        self.journal.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Capture the complete dynamic state of a paused event-queue run.
+    /// `None` unless the loop was begun via [`KubeKnots::begin`] (or a
+    /// resume). Read-only: capturing never perturbs the run.
+    ///
+    /// Configuration (cluster topology, orchestrator config, scheduler
+    /// identity, workload schedule, fault plan) is *not* captured — it is
+    /// re-supplied to [`KubeKnots::resume`], which keeps snapshots small
+    /// and makes config drift a loud error instead of a silent fork.
+    /// There is no live RNG to capture: workload schedules and fault plans
+    /// are pre-generated, so the loop itself is deterministic state
+    /// machine + calendar.
+    pub fn pause_state(&self) -> Option<OrchestratorState> {
+        let st = self.loop_state.as_ref()?;
+        Some(OrchestratorState {
+            cluster: self.cluster.snapshot_state(),
+            tsdb: self.tsdb.snapshot_state(),
+            aggregator_next_due: self.aggregator.next_due(),
+            scheduler: self.scheduler.snapshot_state(),
+            chaos: self.chaos.as_ref().map(|e| e.snapshot_state()),
+            calendar: st.cal.entries(),
+            next_arrival: st.next as u64,
+            deadline: st.deadline,
+            skipped: self.skipped as u64,
+            util_series: self.util_series.clone(),
+            active_util: self.active_util.clone(),
+            next_metric: self.next_metric,
+            events_seen: self.events_seen as u64,
+            round: self.round,
+            event_counts: self.event_counts.to_vec(),
+        })
+    }
+
+    /// Rebuild a paused orchestrator from a captured state plus the run's
+    /// static configuration. The scheduler must be the same policy that
+    /// produced the state (its learned state is restored via
+    /// [`Scheduler::restore_state`]); `chaos_plan` must be the original
+    /// plan when the state carries a chaos cursor. Wall-clock observers
+    /// (phase timers, heartbeat-latency histogram, obs, tracer) restart
+    /// empty — they describe the process, not the simulation. The per-round
+    /// `StatsCache` is built fresh each heartbeat, so restore invalidates
+    /// it by construction.
+    pub fn resume(
+        mut cluster_cfg: ClusterConfig,
+        mut scheduler: Box<dyn Scheduler>,
+        cfg: OrchestratorConfig,
+        chaos_plan: Option<FaultPlan>,
+        state: OrchestratorState,
+    ) -> Result<Self, serde::Error> {
+        if !scheduler.wants_cluster_auto_sleep() {
+            cluster_cfg.auto_sleep_after = None;
+        }
+        scheduler.restore_state(&state.scheduler)?;
+        let heartbeat = cfg.heartbeat.max(cfg.tick);
+        let mut aggregator = UtilizationAggregator::new(heartbeat, cfg.window);
+        aggregator.restore_next_due(state.aggregator_next_due);
+        let chaos = match state.chaos {
+            None => None,
+            Some(cs) => {
+                let plan = chaos_plan.ok_or_else(|| {
+                    serde::Error::custom("state carries a chaos cursor but no plan was supplied")
+                })?;
+                Some(ChaosEngine::from_state(plan, cs))
+            }
+        };
+        let mut event_counts = [0u64; 5];
+        for (slot, v) in event_counts.iter_mut().zip(state.event_counts.iter()) {
+            *slot = *v;
+        }
+        let events_seen = state.events_seen as usize;
+        Ok(KubeKnots {
+            cluster: Cluster::from_state(cluster_cfg, state.cluster),
+            tsdb: TimeSeriesDb::from_state(TsdbConfig::default(), state.tsdb),
+            aggregator,
+            scheduler,
+            cfg,
+            obs: Obs::disabled(),
+            timers: PhaseTimers::new(),
+            chaos,
+            chaos_buf: Vec::new(),
+            skipped: state.skipped as usize,
+            util_series: state.util_series,
+            active_util: state.active_util,
+            next_metric: state.next_metric,
+            events_seen,
+            tracer: Tracer::disabled(),
+            lifecycle: LifecycleTracker::new(),
+            trace_seen: events_seen,
+            round: state.round,
+            event_counts,
+            hb_latency: Histogram::latency_us(),
+            loop_state: Some(EventLoopState {
+                cal: EventCalendar::from_entries(&state.calendar),
+                next: state.next_arrival as usize,
+                deadline: state.deadline,
+            }),
+            journal: None,
+        })
+    }
+
     /// The tick-grid loop: the `naive_ticking` oracle (one tick at a time)
     /// and PR 5's span calendar (polled `next_due()` hints, `span_ticks`
     /// returns 1 for the oracle) share this body. Kept as the A/B
@@ -261,16 +461,22 @@ impl KubeKnots {
     /// arrivals, chaos and the heartbeat — exactly the calendar's priority
     /// order — and it only ever observes layers at grid points.
     fn run_events(&mut self, schedule: &[ScheduledPod]) {
-        let mut next = 0usize;
+        self.begin_events(schedule);
+        let done = self.drive_events(schedule, None);
+        debug_assert!(done, "an unbounded drive runs to completion");
+    }
+
+    /// Seed the calendar and lift the loop locals onto `self`, without
+    /// driving: one self-rescheduling chain per producer — each handler
+    /// pops exactly one entry and schedules at most one successor, so the
+    /// heap never holds more than one event per class.
+    fn begin_events(&mut self, schedule: &[ScheduledPod]) {
         let last_arrival = schedule.last().map(|s| s.at).unwrap_or(SimTime::ZERO);
         let deadline = last_arrival + self.cfg.drain_grace;
         let tick = self.cfg.tick;
         let tick_us = tick.as_micros().max(1);
         let start = self.cluster.now();
 
-        // Seed one self-rescheduling chain per producer: each handler pops
-        // exactly one entry and schedules at most one successor, so the
-        // heap never holds more than one event per class.
         let mut cal = EventCalendar::new();
         cal.schedule(
             grid_at_or_after(self.aggregator.next_due().unwrap_or(start), tick_us),
@@ -286,20 +492,39 @@ impl KubeKnots {
         // first tick; collect_metrics then anchors it to the interval grid.
         cal.schedule(start + tick, CoreEvent::MetricGrid);
         cal.schedule(grid_at_or_after(deadline, tick_us), CoreEvent::DrainDeadline);
+        self.loop_state = Some(EventLoopState { cal, next: 0, deadline });
+    }
 
-        loop {
+    /// Drive a begun (or resumed) event loop. With `stop: None` runs to
+    /// completion and returns `true`; with a stop time, pauses at the
+    /// first event boundary at or past it and returns `false`, leaving
+    /// every loop local on `self` so [`KubeKnots::pause_state`] can
+    /// capture it.
+    fn drive_events(&mut self, schedule: &[ScheduledPod], stop: Option<SimTime>) -> bool {
+        // knots-allow: P1 -- both callers (run_events, drive) establish loop_state via begin_events first; driving an un-begun loop is a harness bug worth aborting on
+        let mut st = self.loop_state.take().expect("begin_events before drive_events");
+        let tick = self.cfg.tick;
+        let tick_us = tick.as_micros().max(1);
+
+        let done = loop {
             let now = self.cluster.now();
+            // The pause boundary: *before* popping this instant's events,
+            // so a resumed loop re-enters exactly here with the same
+            // calendar and processes the instant identically.
+            if stop.is_some_and(|s| now >= s) {
+                break false;
+            }
             // Start-of-instant control events (arrivals, then chaos, then
             // the heartbeat — `pop_due` yields priority order).
-            while let Some(kind) = cal.pop_due(now) {
-                self.handle_event(kind, now, schedule, &mut next, &mut cal);
+            while let Some(kind) = st.cal.pop_due(now) {
+                self.handle_event(kind, now, schedule, &mut st.next, &mut st.cal);
             }
             // Jump to the next event: at least one tick, never past one.
             // Nothing can fire strictly between grid-snapped events, so
             // the span is closed-form; it still stops early on the exact
             // tick the cluster drains.
-            let arrivals_done = next >= schedule.len();
-            let target = cal.peek_time().map_or(now + tick, |t| t.max(now + tick));
+            let arrivals_done = st.next >= schedule.len();
+            let target = st.cal.peek_time().map_or(now + tick, |t| t.max(now + tick));
             let k = (target.as_micros() - now.as_micros()) / tick_us;
             if k <= 1 {
                 self.step_and_probe();
@@ -311,12 +536,12 @@ impl KubeKnots {
             // (those pop at the top of the next iteration), matching the
             // oracle's step → collect → break-check → next-tick order.
             let now = self.cluster.now();
-            while let Some((t, CoreEvent::MetricGrid)) = cal.peek() {
+            while let Some((t, CoreEvent::MetricGrid)) = st.cal.peek() {
                 if t > now {
                     break;
                 }
-                cal.pop();
-                self.handle_event(CoreEvent::MetricGrid, now, schedule, &mut next, &mut cal);
+                st.cal.pop();
+                self.handle_event(CoreEvent::MetricGrid, now, schedule, &mut st.next, &mut st.cal);
             }
             self.garbage_collect();
             if self.tracer.enabled() {
@@ -324,13 +549,15 @@ impl KubeKnots {
             }
 
             if arrivals_done && self.cluster.is_drained() {
-                break;
+                break true;
             }
-            if now >= deadline {
+            if now >= st.deadline {
                 self.event_counts[CoreEvent::DrainDeadline.priority() as usize] += 1;
-                break;
+                break true;
             }
-        }
+        };
+        self.loop_state = Some(st);
+        done
     }
 
     /// Apply one calendar event at `now` and schedule the producer's next
@@ -347,6 +574,9 @@ impl KubeKnots {
         cal: &mut EventCalendar,
     ) {
         self.event_counts[kind.priority() as usize] += 1;
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(AppliedEvent { at: now, kind });
+        }
         let tick_us = self.cfg.tick.as_micros().max(1);
         match kind {
             CoreEvent::MetricGrid => {
@@ -962,6 +1192,7 @@ impl KubeKnots {
             corruption_windows: fc.corruption_windows,
             corrupted_samples: fc.corrupted_samples,
             heartbeat_delays: fc.heartbeat_delays,
+            controller_crashes: fc.controller_crashes,
             rejected_samples: self.tsdb.rejected_total(),
             gave_up,
         };
@@ -1004,6 +1235,7 @@ impl KubeKnots {
             faults,
             events_processed,
             events_per_sim_second,
+            recovery: RecoveryStats::default(),
         }
     }
 }

@@ -24,7 +24,7 @@
 use crate::action::Action;
 use crate::binpack::decreasing_order;
 use crate::context::{app_key, SchedContext};
-use crate::history::AppUsageHistory;
+use crate::history::{AppHistoryState, AppUsageHistory};
 use crate::traits::Scheduler;
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::pod::QosClass;
@@ -313,6 +313,16 @@ impl Scheduler for Cbp {
         // for latency; the paper measures its power 15-25% above PP/Res-Ag
         // (Fig. 11a) for exactly this reason.
         false
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.history.snapshot_state())
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let hs: AppHistoryState = serde::Deserialize::from_value(state)?;
+        self.history = AppUsageHistory::from_state(hs);
+        Ok(())
     }
 
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<Action> {

@@ -63,9 +63,32 @@ impl Gandiva {
     }
 }
 
+/// Serializable form of Gandiva's decision state (snapshot interchange).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GandivaState {
+    /// When the last time-slice rotation happened.
+    pub last_rotation: Option<SimTime>,
+    /// When the last packing migration happened.
+    pub last_migration: Option<SimTime>,
+}
+
 impl Scheduler for Gandiva {
     fn name(&self) -> &'static str {
         "Gandiva"
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&GandivaState {
+            last_rotation: self.last_rotation,
+            last_migration: self.last_migration,
+        })
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let s: GandivaState = serde::Deserialize::from_value(state)?;
+        self.last_rotation = s.last_rotation;
+        self.last_migration = s.last_migration;
+        Ok(())
     }
 
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<Action> {

@@ -132,6 +132,74 @@ impl AppUsageHistory {
     pub fn is_empty(&self) -> bool {
         self.apps.is_empty()
     }
+
+    /// Export the learned statistics for a control-plane snapshot
+    /// (see crates/recovery). Apps are emitted in BTreeMap (name) order so
+    /// the serialized form is deterministic.
+    pub fn snapshot_state(&self) -> AppHistoryState {
+        AppHistoryState {
+            cap: self.cap as u64,
+            apps: self
+                .apps
+                .iter()
+                .map(|(name, s)| AppStatsState {
+                    name: name.clone(),
+                    mem_samples: s.mem_samples.iter().copied().collect(),
+                    sm_samples: s.sm_samples.iter().copied().collect(),
+                    reference: s.reference.clone(),
+                    peak_mb: s.peak_mb,
+                    count: s.count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a history from exported statistics. Inverse of
+    /// [`snapshot_state`](Self::snapshot_state).
+    pub fn from_state(state: AppHistoryState) -> Self {
+        let cap = (state.cap as usize).max(8);
+        let apps = state
+            .apps
+            .into_iter()
+            .map(|a| {
+                let stats = AppStats {
+                    mem_samples: a.mem_samples.into_iter().collect(),
+                    sm_samples: a.sm_samples.into_iter().collect(),
+                    reference: a.reference,
+                    peak_mb: a.peak_mb,
+                    count: a.count,
+                };
+                (a.name, stats)
+            })
+            .collect();
+        AppUsageHistory { cap, apps }
+    }
+}
+
+/// Serializable form of one app's [`AppStats`] (snapshot interchange).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AppStatsState {
+    /// Application name (the map key in the live structure).
+    pub name: String,
+    /// Recent memory observations, oldest first, MB.
+    pub mem_samples: Vec<f64>,
+    /// Recent SM-share observations, oldest first.
+    pub sm_samples: Vec<f64>,
+    /// Reference memory series for correlation checks.
+    pub reference: Vec<f64>,
+    /// Largest memory observation ever seen, MB.
+    pub peak_mb: f64,
+    /// Total observations.
+    pub count: u64,
+}
+
+/// Serializable form of a whole [`AppUsageHistory`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AppHistoryState {
+    /// Per-app sample cap the history was created with.
+    pub cap: u64,
+    /// Per-app statistics, sorted by app name.
+    pub apps: Vec<AppStatsState>,
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ use crate::cbp::{
     CbpConfig,
 };
 use crate::context::SchedContext;
-use crate::history::AppUsageHistory;
+use crate::history::{AppHistoryState, AppUsageHistory};
 use crate::traits::Scheduler;
 use knots_forecast::arima::Ar1;
 use knots_forecast::autocorr::has_forecastable_trend;
@@ -176,6 +176,16 @@ impl Scheduler for CbpPp {
 
     fn wants_cluster_auto_sleep(&self) -> bool {
         false // PP issues its own Sleep/Wake actions (Algorithm 1 + §VI-C)
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.history.snapshot_state())
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let hs: AppHistoryState = serde::Deserialize::from_value(state)?;
+        self.history = AppUsageHistory::from_state(hs);
+        Ok(())
     }
 
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<Action> {

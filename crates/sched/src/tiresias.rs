@@ -70,9 +70,28 @@ struct Waiting {
     suspended: bool,
 }
 
+/// Serializable form of Tiresias' decision state (snapshot interchange).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TiresiasState {
+    /// Per-node last-preemption instants, sorted by node id.
+    pub last_preempt: Vec<(NodeId, SimTime)>,
+}
+
 impl Scheduler for Tiresias {
     fn name(&self) -> &'static str {
         "Tiresias"
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&TiresiasState {
+            last_preempt: self.last_preempt.iter().map(|(&n, &t)| (n, t)).collect(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let s: TiresiasState = serde::Deserialize::from_value(state)?;
+        self.last_preempt = s.last_preempt.into_iter().collect();
+        Ok(())
     }
 
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<Action> {

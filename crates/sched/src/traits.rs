@@ -30,6 +30,23 @@ pub trait Scheduler {
     fn wants_cluster_auto_sleep(&self) -> bool {
         true
     }
+
+    /// Export the policy's learned state for a control-plane snapshot
+    /// (see crates/recovery). Stateless policies return
+    /// [`serde::Value::Null`]; stateful policies must export everything
+    /// that influences future decisions, or a restored controller diverges
+    /// from an uninterrupted run.
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restore state previously exported by
+    /// [`snapshot_state`](Self::snapshot_state). Errors mean the snapshot
+    /// does not match this policy (wrong scheduler or corrupted state).
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -818,6 +818,122 @@ impl Cluster {
             self.step(dt);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (durable control plane; see crates/recovery).
+    // ------------------------------------------------------------------
+
+    /// Clone every dynamic field into a serializable [`ClusterState`].
+    /// Read-only: taking a snapshot must never perturb the simulation.
+    pub fn snapshot_state(&self) -> ClusterState {
+        let kv = |m: &BTreeMap<PodId, Pod>| m.iter().map(|(k, v)| (*k, v.clone())).collect();
+        ClusterState {
+            now: self.now,
+            next_pod: self.next_pod,
+            queue: self.queue.iter().copied().collect(),
+            pending: kv(&self.pending),
+            suspended: kv(&self.suspended),
+            relaunching: self
+                .relaunching
+                .iter()
+                .map(|(&(at, seq), (id, p))| (at, seq, *id, p.clone()))
+                .collect(),
+            relaunch_seq: self.relaunch_seq,
+            completed: kv(&self.completed),
+            failed: kv(&self.failed),
+            events: self.events.clone(),
+            sleep_scan_due: self.sleep_scan_due,
+            nodes: self.nodes.clone(),
+        }
+    }
+
+    /// Rebuild a cluster from a snapshot plus the same configuration it was
+    /// originally built with (config is a static input and does not travel
+    /// through snapshots). The `location` index is reconstructed from the
+    /// state maps; the worker pool is left unspawned and re-materializes
+    /// lazily on the first parallel step, exactly as after [`Cluster::new`].
+    pub fn from_state(cfg: ClusterConfig, state: ClusterState) -> Self {
+        let mut location = BTreeMap::new();
+        for id in state.pending.iter().map(|(id, _)| *id) {
+            location.insert(id, Loc::Pending);
+        }
+        for id in state.suspended.iter().map(|(id, _)| *id) {
+            location.insert(id, Loc::Suspended);
+        }
+        for id in state.relaunching.iter().map(|(_, _, id, _)| *id) {
+            location.insert(id, Loc::Relaunching);
+        }
+        for id in state.completed.iter().map(|(id, _)| *id) {
+            location.insert(id, Loc::Completed);
+        }
+        for id in state.failed.iter().map(|(id, _)| *id) {
+            location.insert(id, Loc::Failed);
+        }
+        for node in &state.nodes {
+            for (id, _) in node.residents() {
+                location.insert(id, Loc::OnNode(node.id()));
+            }
+        }
+        let workers = cfg.workers.unwrap_or_else(default_threads).max(1);
+        Cluster {
+            cfg,
+            nodes: state.nodes,
+            now: state.now,
+            next_pod: state.next_pod,
+            queue: state.queue.into_iter().collect(),
+            pending: state.pending.into_iter().collect(),
+            suspended: state.suspended.into_iter().collect(),
+            relaunching: state
+                .relaunching
+                .into_iter()
+                .map(|(at, seq, id, p)| ((at, seq), (id, p)))
+                .collect(),
+            relaunch_seq: state.relaunch_seq,
+            completed: state.completed.into_iter().collect(),
+            failed: state.failed.into_iter().collect(),
+            location,
+            events: state.events,
+            sleep_scan_due: state.sleep_scan_due,
+            workers,
+            pool: None,
+        }
+    }
+}
+
+/// Serializable image of a [`Cluster`]'s dynamic state.
+///
+/// Configuration is deliberately absent: a restore re-provisions the same
+/// `ClusterConfig` and only evolving state travels through the snapshot.
+/// Map- and deque-shaped fields are flattened to sorted vectors (the serde
+/// shim round-trips Vec/tuple/Option shapes but not keyed maps or
+/// `VecDeque`), and the `location` index is not stored at all — it is
+/// rebuilt from the maps it mirrors.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ClusterState {
+    /// Simulation clock at capture.
+    pub now: SimTime,
+    /// Next pod id to allocate.
+    pub next_pod: u64,
+    /// Pending queue, front first.
+    pub queue: Vec<PodId>,
+    /// Pending pods in id order.
+    pub pending: Vec<(PodId, Pod)>,
+    /// Suspended pods in id order.
+    pub suspended: Vec<(PodId, Pod)>,
+    /// Relaunch backlog as `(due, seq, id, pod)`, key order.
+    pub relaunching: Vec<(SimTime, u64, PodId, Pod)>,
+    /// Monotonic relaunch insertion sequence.
+    pub relaunch_seq: u64,
+    /// Completed pods in id order.
+    pub completed: Vec<(PodId, Pod)>,
+    /// Crash-loop-abandoned pods in id order.
+    pub failed: Vec<(PodId, Pod)>,
+    /// Full event log (report accounting and GC/trace cursors index it).
+    pub events: Vec<Event>,
+    /// Cached auto-sleep scan deadline.
+    pub sleep_scan_due: Option<SimTime>,
+    /// Every node, including residents, energy meters and image caches.
+    pub nodes: Vec<Node>,
 }
 
 #[cfg(test)]

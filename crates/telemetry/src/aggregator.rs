@@ -83,6 +83,13 @@ impl UtilizationAggregator {
         let base = self.next_due.unwrap_or(now);
         self.next_due = Some(base + by);
     }
+
+    /// Re-arm the heartbeat from a snapshot (durable control plane; see
+    /// crates/recovery). `next_due` is the aggregator's only dynamic state —
+    /// heartbeat and window are configuration re-supplied at restore.
+    pub fn restore_next_due(&mut self, next_due: Option<SimTime>) {
+        self.next_due = next_due;
+    }
 }
 
 /// Assemble a [`ClusterSnapshot`] from the cluster's current state.

@@ -26,4 +26,4 @@ pub mod tsdb;
 
 pub use aggregator::UtilizationAggregator;
 pub use snapshot::{ClusterSnapshot, NodeView, PodView};
-pub use tsdb::{SeriesStats, TimeSeriesDb, TsdbConfig};
+pub use tsdb::{SeriesStats, TimeSeriesDb, TsdbConfig, TsdbState};

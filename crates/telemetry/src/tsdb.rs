@@ -684,6 +684,97 @@ impl TimeSeriesDb {
         g.pods.clear();
         g.rejected_total = 0;
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (durable control plane; see crates/recovery).
+    // ------------------------------------------------------------------
+
+    /// Serializable image of every retained series, run-exact. Read-only
+    /// under the read lock; taking a snapshot never perturbs the store.
+    pub fn snapshot_state(&self) -> TsdbState {
+        let g = self.inner.read();
+        TsdbState {
+            rejected_total: g.rejected_total,
+            nodes: g
+                .nodes
+                .iter()
+                .map(|e| {
+                    e.as_ref().map(|e| NodeSeriesState {
+                        rejected: e.rejected,
+                        runs: e.ring.runs.iter().map(|r| (r.at0, r.dt, r.n, r.v)).collect(),
+                    })
+                })
+                .collect(),
+            pods: g
+                .pods
+                .iter()
+                .map(|e| {
+                    e.as_ref().map(|e| PodSeriesState {
+                        rejected: e.rejected,
+                        runs: e.ring.runs.iter().map(|r| (r.at0, r.dt, r.n, r.v)).collect(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a store from a snapshot plus its original configuration.
+    /// Empty (`None`) slots — pods forgotten after completion — are
+    /// preserved as `None`, so slot indices keep their meaning.
+    pub fn from_state(cfg: TsdbConfig, state: TsdbState) -> Self {
+        fn ring<V: Copy>(runs: Vec<(SimTime, SimDuration, u64, V)>) -> RleRing<V> {
+            let len = runs.iter().map(|(_, _, n, _)| *n as usize).sum();
+            RleRing {
+                runs: runs.into_iter().map(|(at0, dt, n, v)| Run { at0, dt, n, v }).collect(),
+                len,
+            }
+        }
+        let inner = Inner {
+            rejected_total: state.rejected_total,
+            nodes: state
+                .nodes
+                .into_iter()
+                .map(|e| e.map(|e| NodeEntry { ring: ring(e.runs), rejected: e.rejected }))
+                .collect(),
+            pods: state
+                .pods
+                .into_iter()
+                .map(|e| e.map(|e| PodEntry { ring: ring(e.runs), rejected: e.rejected }))
+                .collect(),
+        };
+        TimeSeriesDb { cfg, inner: RwLock::new(inner) }
+    }
+}
+
+/// Serializable image of one node series: rejected-sample counter plus the
+/// RLE runs as `(at0, dt, n, value)` tuples. The logical sample count is
+/// recomputed from the run lengths on restore.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NodeSeriesState {
+    /// Samples rejected (non-finite) on this series.
+    pub rejected: u64,
+    /// The retained runs, oldest first.
+    pub runs: Vec<(SimTime, SimDuration, u64, GpuSample)>,
+}
+
+/// Serializable image of one pod series; see [`NodeSeriesState`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PodSeriesState {
+    /// Samples rejected (non-finite) on this series.
+    pub rejected: u64,
+    /// The retained runs, oldest first.
+    pub runs: Vec<(SimTime, SimDuration, u64, Usage)>,
+}
+
+/// Serializable image of the whole store (see [`TimeSeriesDb::snapshot_state`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TsdbState {
+    /// Running total of rejected samples across every series.
+    pub rejected_total: u64,
+    /// Node slot table; `None` slots are preserved.
+    pub nodes: Vec<Option<NodeSeriesState>>,
+    /// Pod slot table; `None` slots (forgotten pods) are preserved.
+    pub pods: Vec<Option<PodSeriesState>>,
 }
 
 #[cfg(test)]

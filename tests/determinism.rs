@@ -187,6 +187,48 @@ fn every_loop_mode_matches_naive_ticking_under_chaos() {
     }
 }
 
+#[test]
+fn gave_up_terminal_path_is_identical_across_all_loop_modes() {
+    // The crash-loop cap's terminal `GaveUp` path used to be exercised
+    // only under `LoopMode::Naive` in tests; pin it across all three loop
+    // modes: with the cap at 1, every pod crashed by a node failure is
+    // abandoned, and the abandonment must land on the same tick — same
+    // digest, same `gave_up` count — whether the loop crawls, jumps spans,
+    // or runs on the event queue.
+    use knots_chaos::{gen, ChaosEngine, GenConfig};
+    use knots_core::config::OrchestratorConfig;
+    use knots_core::orchestrator::KubeKnots;
+    use knots_sim::cluster::ClusterConfig;
+    use knots_workloads::loadgen::{LoadGenConfig, LoadGenerator};
+
+    let nodes = 4usize;
+    let duration = SimDuration::from_secs(60);
+    let schedule = LoadGenerator::generate(AppMix::Mix2, &LoadGenConfig::new(duration, 42));
+    let plan = || {
+        gen::generate(&GenConfig { seed: 9, nodes, duration, faults_per_minute: 30.0 })
+    };
+    let run = |mode: LoopMode, naive: bool| {
+        let mut cluster_cfg = ClusterConfig::homogeneous(nodes, knots_sim::config::TESTBED_GPU);
+        cluster_cfg.overheads.crash_loop_cap = 1;
+        let orch = OrchestratorConfig {
+            heartbeat: SimDuration::from_millis(50),
+            mode,
+            naive_ticking: naive,
+            ..Default::default()
+        };
+        let mut k = KubeKnots::new(cluster_cfg, Box::new(knots_sched::pp::CbpPp::new()), orch)
+            .with_chaos(ChaosEngine::new(plan()));
+        let report = k.run_schedule(&schedule);
+        (knots_analyzer::report_digest(&report), report.faults.gave_up)
+    };
+    let naive = run(LoopMode::Naive, true);
+    assert!(naive.1 > 0, "scenario must actually abandon crash-looping pods (gave_up = 0)");
+    for mode in [LoopMode::Calendar, LoopMode::EventQueue] {
+        let fast = run(mode, false);
+        assert_eq!(fast, naive, "{mode:?}: GaveUp terminal path diverged from naive ticking");
+    }
+}
+
 mod event_interleavings {
     //! Property: for *arbitrary* event interleavings — random seeds,
     //! off-grid heartbeat periods, durations and fault intensities — the
