@@ -1,0 +1,152 @@
+//! Rule S1: shard-merge code paths join results by index, in order.
+//!
+//! The sharded core (DESIGN.md §16) promises that per-shard results are
+//! always folded back in a deterministic order: candidate orders are
+//! k-way merges of per-shard sorted runs, rollups fold shard summaries in
+//! shard order, and parallel lanes join by index. A `HashMap`/`HashSet`
+//! inside such a function reintroduces per-instance iteration order; a
+//! channel receive (even the blocking `recv` that C4 permits elsewhere)
+//! joins results in arrival order, which depends on thread scheduling.
+//! Both are denied at the source in any function whose name marks it as a
+//! shard/merge/rollup path.
+//!
+//! Like E1, S1 is scope-aware: it consults the [`crate::parser::ScopeTree`]
+//! to resolve which `fn` owns a token, and only tokens inside a
+//! merge-path-named body of a decision crate can fire.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileContext;
+use crate::lexer::Tok;
+use crate::parser::ScopeTree;
+use crate::rules::{DECISION_CRATES, S1};
+
+/// True when `name` marks a shard-merge code path: any `_`-separated
+/// segment is a shard/merge/rollup word. Substrings inside other words
+/// (`submerged`) do not bind.
+fn is_merge_path_name(name: &str) -> bool {
+    name.split('_').any(|seg| {
+        matches!(
+            seg,
+            "shard" | "shards" | "sharded" | "merge" | "merges" | "merged" | "rollup" | "rollups"
+        )
+    })
+}
+
+/// Run rule S1 over one file's token stream.
+pub fn scan(
+    toks: &[Tok],
+    tree: &ScopeTree,
+    ctx: &FileContext,
+    test_lines: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !(ctx.is_library() && DECISION_CRATES.iter().any(|c| ctx.crate_name == *c)) {
+        return;
+    }
+    let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+    let diag = |t: &Tok, msg: String| Diagnostic {
+        rule: S1.id,
+        severity: S1.severity,
+        path: ctx.path.clone(),
+        line: t.line,
+        col: t.col,
+        message: msg,
+        hint: S1.hint,
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if in_test(t.line) {
+            continue;
+        }
+        let Some(f) = tree.enclosing_fn(i).filter(|f| is_merge_path_name(&f.name)) else {
+            continue;
+        };
+        let Some(name) = t.ident() else { continue };
+        match name {
+            "HashMap" | "HashSet" => {
+                out.push(diag(
+                    t,
+                    format!(
+                        "`{name}` inside shard-merge path `{}`: iteration order is random \
+                         per instance, so the merged result depends on the partition",
+                        f.name
+                    ),
+                ));
+            }
+            "recv" | "try_recv" | "recv_timeout" | "try_iter"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                out.push(diag(
+                    t,
+                    format!(
+                        "`{name}` inside shard-merge path `{}` joins results in arrival \
+                         order; join per-shard results by index instead",
+                        f.name
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FileKind;
+    use crate::lexer::lex;
+
+    fn run_in(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileContext {
+            path: format!("crates/{crate_name}/src/x.rs"),
+            crate_name: crate_name.into(),
+            kind: FileKind::Library,
+        };
+        let lexed = lex(src);
+        let tree = crate::parser::parse(&lexed.toks);
+        let mut out = Vec::new();
+        scan(&lexed.toks, &tree, &ctx, &[], &mut out);
+        out
+    }
+
+    #[test]
+    fn merge_path_naming_convention() {
+        assert!(is_merge_path_name("merge_shard_orders"));
+        assert!(is_merge_path_name("shard_free_memory_order"));
+        assert!(is_merge_path_name("query_rollup"));
+        assert!(is_merge_path_name("sharded_step"));
+        // Substrings inside other words do not bind.
+        assert!(!is_merge_path_name("submerged"));
+        assert!(!is_merge_path_name("free_memory_order"));
+        assert!(!is_merge_path_name("mergesort"));
+    }
+
+    #[test]
+    fn hash_collections_fire_only_inside_merge_paths_of_decision_crates() {
+        let bad = "fn merge_shard_results(xs: &[u32]) { let m: HashMap<u32, u32> = make(); }";
+        assert_eq!(run_in("sched", bad).len(), 1);
+        assert_eq!(run_in("telemetry", bad).len(), 1);
+        // Same collection outside a merge path: S1 silent (D2 covers it).
+        let ok = "fn fold_results(xs: &[u32]) { let m: HashMap<u32, u32> = make(); }";
+        assert!(run_in("sched", ok).is_empty());
+        // Outside the decision crates: silent.
+        assert!(run_in("workloads", bad).is_empty());
+    }
+
+    #[test]
+    fn blocking_recv_fires_inside_merge_paths() {
+        // Plain `recv()` is fine under C4 but not in a merge path: arrival
+        // order is a scheduler-dependent join.
+        let bad = "fn merge_lanes(rx: &Receiver<u32>) { while let Ok(v) = rx.recv() { f(v); } }";
+        let hits = run_in("sim", bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("arrival"));
+        // By-index joins don't use channels at all.
+        let ok = "fn merge_lanes(slots: &mut [u32]) { for (i, s) in slots.iter().enumerate() { f(i, s); } }";
+        assert!(run_in("sim", ok).is_empty());
+        // A bare ident `recv` that is not a method call does not bind.
+        let ok2 = "fn merge_lanes(recv: u32) { let x = recv + 1; }";
+        assert!(run_in("sim", ok2).is_empty());
+    }
+}

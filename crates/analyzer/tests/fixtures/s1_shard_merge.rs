@@ -1,0 +1,49 @@
+//! S1 fixture: unordered joins inside shard-merge code paths.
+//! Checked as decision-crate library code; it does not need to compile.
+
+fn fires_hash_in_merge(shards: &[Vec<u32>]) -> Vec<u32> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut out = Vec::new();
+    for run in shards {
+        for v in run {
+            if seen.insert(*v) {
+                out.push(*v);
+            }
+        }
+    }
+    out
+}
+
+fn fires_recv_join_in_shard_step(rx: &Receiver<(usize, u32)>) -> Vec<u32> {
+    let mut out = Vec::new();
+    while let Ok((_, v)) = rx.recv() {
+        out.push(v);
+    }
+    out
+}
+
+fn fires_map_in_rollup(parts: &[Part]) -> HashMap<u32, f64> {
+    parts.iter().map(|p| (p.id, p.sum)).collect()
+}
+
+fn clean_by_index_merge(shards: &[Vec<u32>]) -> Vec<u32> {
+    let mut cursors = vec![0usize; shards.len()];
+    let mut out = Vec::new();
+    while let Some(best) = pick_min(shards, &cursors) {
+        out.push(shards[best][cursors[best]]);
+        cursors[best] += 1;
+    }
+    out
+}
+
+fn clean_outside_merge_paths(rx: &Receiver<u32>) {
+    // Not a merge-path name: S1 stays silent (C4/D2 own these elsewhere).
+    while let Ok(v) = rx.recv() {
+        use_(v);
+    }
+}
+
+fn suppressed_merge(shards: &[Vec<u32>]) {
+    // knots-allow: S1 -- fixture: demonstrates suppression; set is never iterated
+    let seen: HashSet<u32> = HashSet::new();
+}

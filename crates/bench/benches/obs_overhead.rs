@@ -111,6 +111,7 @@ fn bench_decide_with_recorder(c: &mut Criterion) {
             recorder,
             cache: Default::default(),
             freshness: None,
+            shards: 1,
         };
         group.bench_with_input(BenchmarkId::new("cbp", label), &(), |b, _| {
             let mut s = Cbp::new();

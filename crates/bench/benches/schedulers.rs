@@ -104,6 +104,7 @@ fn bench_decide(c: &mut Criterion) {
             recorder: None,
             cache: Default::default(),
             freshness: None,
+            shards: 1,
         };
         let label = format!("{nodes}n_{queue}q");
         group.bench_with_input(BenchmarkId::new("uniform", &label), &(), |b, _| {

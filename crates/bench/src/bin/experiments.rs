@@ -19,7 +19,9 @@
 //!   recovery  controller-crash density sweep: checkpoint/WAL recovery cost
 //!             with per-leg bit-identity checks (DESIGN.md §15)
 //!   perf      decision-loop microbenchmarks + sweep timings -> BENCH_6.json
-//!   all       everything above except trace, chaos, recovery and perf
+//!   scale     32 -> 1,024-node sweep: serial vs sharded-parallel core,
+//!             wall time + schedule-round p99, digest-checked -> BENCH_7.json
+//!   all       everything above except trace, chaos, recovery, perf and scale
 //! ```
 //!
 //! `--quick` shrinks run lengths for smoke testing; the defaults match the
@@ -44,7 +46,7 @@ use knots_workloads::dnn::DnnWorkloadConfig;
 use std::io::Write as _;
 
 const USAGE: &str =
-    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|trace|ablation|chaos|recovery|perf|all> \
+    "usage: experiments <fig1|fig2|fig3|fig4|cluster|fig10b|dnn|trace|ablation|chaos|recovery|perf|scale|all> \
      [--quick] [--seed N] [--secs N] [--json DIR] [--threads N] [--out FILE] \
      [--trace FILE.jsonl] [--metrics FILE.prom]";
 
@@ -358,6 +360,47 @@ fn run_perf(opts: &Opts) {
     eprintln!("[perf: all determinism digests match]");
 }
 
+fn run_scale(opts: &Opts) {
+    let nodes: &[usize] =
+        if opts.quick { &[32, 64, 128] } else { &[32, 64, 128, 256, 512, 1024] };
+    let shards = if opts.quick { 2 } else { 8 };
+    let secs = opts.secs.unwrap_or(if opts.quick { 20 } else { 60 });
+    eprintln!(
+        "[scale sweep: {} node counts up to {}, {} shard(s) x {} worker(s), {}s window each ...]",
+        nodes.len(),
+        nodes.last().copied().unwrap_or(0),
+        shards,
+        opts.threads,
+        secs
+    );
+    let t0 = std::time::Instant::now();
+    let points = scale_sweep::run(nodes, shards, opts.threads, secs, opts.seed);
+    eprintln!("[scale sweep done in {:.1?}]", t0.elapsed());
+    emit(opts, "scale", &[scale_sweep::table(&points)]);
+    // Stable per-point digest lines: CI runs the sweep twice and diffs
+    // these (the wall-clock columns above legitimately differ).
+    for p in &points {
+        println!("scale-digest nodes={} shards={} {:#018x}", p.nodes, p.shards, p.digest);
+    }
+    let report = scale_sweep::ScaleReport {
+        quick: opts.quick,
+        seed: opts.seed,
+        secs,
+        available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        effective_threads: opts.threads,
+        points,
+    };
+    let path = opts.out.as_deref().unwrap_or("BENCH_7.json");
+    let payload = serde_json::to_string_pretty(&report).expect("serialize scale report");
+    std::fs::write(path, payload).expect("write scale report");
+    eprintln!("[wrote {path}]");
+    if !report.ok() {
+        eprintln!("[scale: BIT-IDENTITY CHECK FAILED — a sharded leg diverged]");
+        std::process::exit(1);
+    }
+    eprintln!("[scale: every sharded-parallel leg matches its serial baseline]");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
@@ -384,6 +427,7 @@ fn main() {
         "chaos" => run_chaos(&opts),
         "recovery" => run_recovery(&opts),
         "perf" => run_perf(&opts),
+        "scale" => run_scale(&opts),
         "all" => {
             run_fig1(&opts);
             run_fig2(&opts);

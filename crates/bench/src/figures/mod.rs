@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod chaos_sweep;
 pub mod recovery_sweep;
+pub mod scale_sweep;
 pub mod fig01_energy_efficiency;
 pub mod fig02_alibaba;
 pub mod fig03_rodinia;

@@ -146,6 +146,11 @@ pub struct OrchestratorState {
     pub round: u64,
     /// Per-class processed-event counters (priority order, 5 entries).
     pub event_counts: Vec<u64>,
+    /// Shard count of the cluster core that produced this state. Static
+    /// configuration, recorded so resuming under a different partitioning
+    /// is a loud error instead of a silent re-shard (digests are
+    /// shard-invariant, but the snapshot format guards it anyway).
+    pub shards: u64,
 }
 
 impl KubeKnots {
@@ -160,9 +165,14 @@ impl KubeKnots {
         }
         let heartbeat = cfg.heartbeat.max(cfg.tick);
         let nodes = cluster_cfg.node_models.len();
+        let cluster = Cluster::new(cluster_cfg);
+        // The TSDB partitions along the cluster's shard layout so each
+        // shard's probe lane owns its rings (single-shard → one partition,
+        // same bits either way).
+        let tsdb = TimeSeriesDb::partitioned(TsdbConfig::default(), cluster.shard_layout());
         KubeKnots {
-            cluster: Cluster::new(cluster_cfg),
-            tsdb: TimeSeriesDb::default(),
+            cluster,
+            tsdb,
             aggregator: UtilizationAggregator::new(heartbeat, cfg.window),
             scheduler,
             cfg,
@@ -332,6 +342,7 @@ impl KubeKnots {
             events_seen: self.events_seen as u64,
             round: self.round,
             event_counts: self.event_counts.to_vec(),
+            shards: self.cluster.shards() as u64,
         })
     }
 
@@ -372,9 +383,19 @@ impl KubeKnots {
             *slot = *v;
         }
         let events_seen = state.events_seen as usize;
+        let cluster = Cluster::from_state(cluster_cfg, state.cluster);
+        if cluster.shards() as u64 != state.shards {
+            return Err(serde::Error::custom(format!(
+                "snapshot was taken with {} shard(s) but the supplied config yields {}",
+                state.shards,
+                cluster.shards()
+            )));
+        }
+        let tsdb =
+            TimeSeriesDb::from_state_partitioned(TsdbConfig::default(), cluster.shard_layout(), state.tsdb);
         Ok(KubeKnots {
-            cluster: Cluster::from_state(cluster_cfg, state.cluster),
-            tsdb: TimeSeriesDb::from_state(TsdbConfig::default(), state.tsdb),
+            cluster,
+            tsdb,
             aggregator,
             scheduler,
             cfg,
@@ -939,6 +960,7 @@ impl KubeKnots {
                 recorder: Some(&self.obs.recorder),
                 cache: knots_sched::StatsCache::new(),
                 freshness: self.cfg.freshness,
+                shards: self.cluster.shards(),
             };
             let actions = self.scheduler.decide(&ctx);
             // The cache dies with the round; fold its effectiveness into the

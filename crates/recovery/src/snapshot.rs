@@ -21,7 +21,10 @@ use crate::RecoveryError;
 
 /// Current snapshot format version. Bump on any change to
 /// [`OrchestratorState`]'s shape; decode rejects other versions.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// History: 1 = original shape; 2 = sharded cluster core (the state
+/// records the shard count so a resume under a different partitioning
+/// fails loudly).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit over a byte slice — the integrity digest of the payload.
 /// Hand-rolled (15 lines) rather than depending on the analyzer's hasher:

@@ -23,11 +23,12 @@
 //! cache hit returns the same bits as a recompute. `tests/statscache.rs`
 //! fuzzes this bit-identity with seeded-LCG series.
 
+use crate::shard_order::{shard_free_memory_order, shard_packing_order};
 use knots_forecast::spearman::{pearson, ranks};
 use knots_sim::ids::{NodeId, PodId};
 use knots_sim::metrics::Metric;
 use knots_sim::time::{SimDuration, SimTime};
-use knots_telemetry::TimeSeriesDb;
+use knots_telemetry::{ClusterSnapshot, TimeSeriesDb};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -59,6 +60,11 @@ pub struct StatsCache {
     ref_ranks: SeriesMemo<(String, usize)>,
     /// Pairwise Spearman ρ keyed (app, resident pod, overlap n).
     rho: RefCell<BTreeMap<(String, PodId, usize), f64>>,
+    /// This round's free-memory candidate order (Algorithm 1), built via
+    /// the shard-local merge and shared by every placement pass.
+    free_memory_order: RefCell<Option<Rc<Vec<NodeId>>>>,
+    /// This round's consolidation (packing) candidate order.
+    packing_order: RefCell<Option<Rc<Vec<NodeId>>>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }
@@ -122,6 +128,38 @@ impl StatsCache {
         tsdb.node_series_into(node, Metric::MemUsedMb, now, window, &mut buf);
         let rc = Rc::new(buf);
         self.node_mem.borrow_mut().insert(node, Rc::clone(&rc));
+        rc
+    }
+
+    /// The round's free-memory placement order, built shard-locally and
+    /// k-way merged ([`crate::shard_order::shard_free_memory_order`]),
+    /// computed at most once per round. Bit-identical to
+    /// [`ClusterSnapshot::nodes_by_free_memory`] for every shard count.
+    pub fn free_memory_order(
+        &self,
+        snapshot: &ClusterSnapshot,
+        shards: usize,
+    ) -> Rc<Vec<NodeId>> {
+        if let Some(o) = self.free_memory_order.borrow().as_ref() {
+            self.hit();
+            return Rc::clone(o);
+        }
+        self.miss();
+        let rc = Rc::new(shard_free_memory_order(snapshot, shards));
+        *self.free_memory_order.borrow_mut() = Some(Rc::clone(&rc));
+        rc
+    }
+
+    /// Packing counterpart of [`Self::free_memory_order`]; bit-identical
+    /// to [`ClusterSnapshot::nodes_by_packing`] for every shard count.
+    pub fn packing_order(&self, snapshot: &ClusterSnapshot, shards: usize) -> Rc<Vec<NodeId>> {
+        if let Some(o) = self.packing_order.borrow().as_ref() {
+            self.hit();
+            return Rc::clone(o);
+        }
+        self.miss();
+        let rc = Rc::new(shard_packing_order(snapshot, shards));
+        *self.packing_order.borrow_mut() = Some(Rc::clone(&rc));
         rc
     }
 

@@ -331,8 +331,9 @@ impl Scheduler for Cbp {
         actions.extend(resize_actions(&self.history, &self.cfg, ctx));
 
         // Candidate nodes ordered by *measured* free memory, most free
-        // first (the real-time signal Knots adds over Res-Ag).
-        let order = ctx.snapshot.nodes_by_free_memory();
+        // first (the real-time signal Knots adds over Res-Ag), merged
+        // from per-shard sorted runs.
+        let order = ctx.free_memory_order();
         let mut free: BTreeMap<NodeId, (f64, f64)> = ctx
             .snapshot
             .active_nodes()
@@ -344,7 +345,7 @@ impl Scheduler for Cbp {
             let pod = &ctx.pending[i];
             let limit = effective_limit(&actions, pod.id, pod.limit_mb);
             let mut placed = false;
-            for node_id in &order {
+            for node_id in order.iter() {
                 let Some(node) = ctx.snapshot.node(*node_id) else { continue };
                 let (prov, meas) = free[node_id];
                 if limit > prov + 1e-9 || limit > meas + 1e-9 {
@@ -497,6 +498,7 @@ mod tests {
             recorder: Some(&rec),
             cache: Default::default(),
             freshness: None,
+            shards: 1,
         };
         let acts = s.decide(&c);
         // The audit trail must carry the rejecting Spearman coefficient.
@@ -551,6 +553,7 @@ mod tests {
             recorder: Some(&rec),
             cache: Default::default(),
             freshness: Some(SimDuration::from_secs(1)),
+            shards: 1,
         };
         let acts = s.decide(&c);
         let trace = rec.export_jsonl();
@@ -596,6 +599,7 @@ mod tests {
             recorder: None,
             cache: Default::default(),
             freshness: None,
+            shards: 1,
         };
         let acts = s.decide(&c);
         assert!(

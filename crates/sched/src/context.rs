@@ -6,6 +6,7 @@ use knots_sim::ids::{NodeId, PodId};
 use knots_sim::pod::QosClass;
 use knots_sim::time::{SimDuration, SimTime};
 use knots_telemetry::{ClusterSnapshot, TimeSeriesDb};
+use std::rc::Rc;
 
 /// What the scheduler knows about one pending pod.
 ///
@@ -84,6 +85,12 @@ pub struct SchedContext<'a> {
     /// baseline instead of deciding on dead data after a probe dropout or
     /// node failure.
     pub freshness: Option<SimDuration>,
+    /// Shard count of the cluster this snapshot came from. Candidate node
+    /// orderings are built shard-locally and k-way merged
+    /// ([`crate::shard_order`]); the merged order is bit-identical for
+    /// every shard count, so this only controls how the sort is chunked,
+    /// never what the scheduler decides.
+    pub shards: usize,
 }
 
 impl SchedContext<'_> {
@@ -104,6 +111,19 @@ impl SchedContext<'_> {
     pub fn node_series_fresh(&self, node: NodeId) -> bool {
         let Some(max_age) = self.freshness else { return true };
         self.tsdb.node_last_at(node).is_some_and(|at| self.now.saturating_since(at) <= max_age)
+    }
+
+    /// Active nodes by measured free memory, most free first — the
+    /// `Sort_by_Free_Memory` order of Algorithm 1, assembled from
+    /// per-shard sorted runs and memoized for the round.
+    pub fn free_memory_order(&self) -> Rc<Vec<NodeId>> {
+        self.cache.free_memory_order(self.snapshot, self.shards)
+    }
+
+    /// Active nodes by packing (least free memory first), assembled from
+    /// per-shard sorted runs and memoized for the round.
+    pub fn packing_order(&self) -> Rc<Vec<NodeId>> {
+        self.cache.packing_order(self.snapshot, self.shards)
     }
 }
 

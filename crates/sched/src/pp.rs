@@ -199,9 +199,9 @@ impl Scheduler for CbpPp {
         // while the active fleet is lightly used, balance by free memory
         // once it saturates.
         let order = if ctx.snapshot.mean_active_sm_util() > 0.6 {
-            ctx.snapshot.nodes_by_free_memory()
+            ctx.free_memory_order()
         } else {
-            ctx.snapshot.nodes_by_packing()
+            ctx.packing_order()
         };
         let mut free: BTreeMap<NodeId, (f64, f64)> = ctx
             .snapshot
@@ -396,6 +396,7 @@ mod tests {
             recorder: Some(&rec),
             cache: Default::default(),
             freshness: None,
+            shards: 1,
         };
         assert!(s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
         // Algorithm-1 branch taken must be in the audit trail.
@@ -435,6 +436,7 @@ mod tests {
             recorder: Some(&rec),
             cache: Default::default(),
             freshness: Some(SimDuration::from_secs(1)),
+            shards: 1,
         };
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
         let trace = rec.export_jsonl();
@@ -473,6 +475,7 @@ mod tests {
             recorder: None,
             cache: Default::default(),
             freshness: None,
+            shards: 1,
         };
         // Used is ~15.8 GB now and rising: a 2 GB pod must be refused.
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 2_000.0));
@@ -495,6 +498,7 @@ mod tests {
             recorder: Some(&rec),
             cache: Default::default(),
             freshness: None,
+            shards: 1,
         };
         assert!(!s.forecast_admits(&c, NodeId(0), 16_384.0, 100.0), "no data: reject");
         assert!(rec.export_jsonl().contains("insufficient_history"));

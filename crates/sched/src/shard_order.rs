@@ -1,0 +1,165 @@
+//! Shard-local candidate ordering with a deterministic k-way merge.
+//!
+//! At fleet scale the head node no longer sorts one global node table per
+//! round: each shard of the cluster sorts its own slice of the snapshot
+//! and the scheduler merges the per-shard runs. The merge is
+//! bit-deterministic by construction — both orderings tie-break on
+//! `NodeId`, so the comparator is a strict total order with **no equal
+//! elements**, and a k-way merge of sorted runs of *any* partition of the
+//! node table reproduces exactly the global sort
+//! ([`ClusterSnapshot::nodes_by_free_memory`] /
+//! [`ClusterSnapshot::nodes_by_packing`]). Shard-count invariance is
+//! asserted here against the flat reference and fuzzed end-to-end in
+//! `tests/determinism.rs`.
+
+use knots_sim::ids::NodeId;
+use knots_sim::shard::ShardLayout;
+use knots_telemetry::{ClusterSnapshot, NodeView};
+use std::cmp::Ordering;
+
+/// `Sort_by_Free_Memory` (Algorithm 1) built shard-locally: most measured
+/// free memory first, ties by node id. Bit-identical to
+/// [`ClusterSnapshot::nodes_by_free_memory`] at every shard count.
+pub fn shard_free_memory_order(snapshot: &ClusterSnapshot, shards: usize) -> Vec<NodeId> {
+    merge_shard_orders(snapshot, shards, |a, b| {
+        b.free_measured_mb.total_cmp(&a.free_measured_mb).then(a.id.cmp(&b.id))
+    })
+}
+
+/// Consolidation order built shard-locally: least free memory first, ties
+/// by node id. Bit-identical to [`ClusterSnapshot::nodes_by_packing`] at
+/// every shard count.
+pub fn shard_packing_order(snapshot: &ClusterSnapshot, shards: usize) -> Vec<NodeId> {
+    merge_shard_orders(snapshot, shards, |a, b| {
+        a.free_measured_mb.total_cmp(&b.free_measured_mb).then(a.id.cmp(&b.id))
+    })
+}
+
+/// Sort each shard's active slice of the node table, then k-way merge the
+/// sorted runs under `cmp`. `cmp` must be a strict total order — the id
+/// tie-break guarantees no two distinct nodes compare equal — which is
+/// what makes the merged order independent of the partition. A tie, were
+/// one possible, would resolve to the lowest shard index: merges are
+/// stable two-way merges (a tie keeps the left run) over adjacent run
+/// pairs, and the left run always holds the lower shard indices.
+///
+/// Tournament rounds of pairwise merges cost `n·⌈log2 k⌉` comparisons in
+/// tight two-way loops, against `n·k` for a linear scan over all run
+/// heads — at 1,024 nodes × 8 shards the difference is the decide phase's
+/// whole sharding overhead.
+fn merge_shard_orders(
+    snapshot: &ClusterSnapshot,
+    shards: usize,
+    cmp: impl Fn(&NodeView, &NodeView) -> Ordering,
+) -> Vec<NodeId> {
+    let layout = ShardLayout::new(snapshot.nodes.len(), shards);
+    let mut runs: Vec<Vec<&NodeView>> = Vec::with_capacity(layout.shards());
+    for r in layout.ranges() {
+        let mut run: Vec<&NodeView> = snapshot.nodes[r].iter().filter(|n| !n.asleep).collect();
+        run.sort_by(|a, b| cmp(a, b));
+        runs.push(run);
+    }
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(left) = it.next() {
+            match it.next() {
+                Some(right) => next.push(merge_two(left, right, &cmp)),
+                None => next.push(left),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().map(|run| run.into_iter().map(|n| n.id).collect()).unwrap_or_default()
+}
+
+/// Stable two-way merge: a tie takes the left element, so lower shard
+/// indices win ties at every tournament round.
+fn merge_two<'a>(
+    left: Vec<&'a NodeView>,
+    right: Vec<&'a NodeView>,
+    cmp: &impl Fn(&NodeView, &NodeView) -> Ordering,
+) -> Vec<&'a NodeView> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        if cmp(left[i], right[j]) != Ordering::Greater {
+            out.push(left[i]);
+            i += 1;
+        } else {
+            out.push(right[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knots_sim::metrics::GpuSample;
+    use knots_sim::resources::GpuModel;
+    use knots_sim::time::SimTime;
+    use knots_telemetry::NodeView;
+
+    fn node(id: usize, free: f64, asleep: bool) -> NodeView {
+        NodeView {
+            id: NodeId(id),
+            model: GpuModel::P100,
+            capacity_mb: 16_384.0,
+            free_measured_mb: free,
+            free_provision_mb: free,
+            sample: GpuSample::default(),
+            pods: vec![],
+            asleep,
+            waking: false,
+        }
+    }
+
+    /// Snapshot with duplicated free values (tie-break coverage), sleepers,
+    /// and an irregular length so chunked ranges are uneven.
+    fn snap(n: usize) -> ClusterSnapshot {
+        let nodes = (0..n)
+            .map(|i| {
+                let free = ((i as f64 * 37.0) % 11.0) * 500.0; // many ties
+                node(i, free, i % 7 == 3)
+            })
+            .collect();
+        ClusterSnapshot { at: SimTime::ZERO, nodes }
+    }
+
+    #[test]
+    fn merge_matches_flat_sort_for_every_shard_count() {
+        for n in [0usize, 1, 2, 9, 10, 40, 101] {
+            let s = snap(n);
+            let flat_free = s.nodes_by_free_memory();
+            let flat_pack = s.nodes_by_packing();
+            for shards in [1usize, 2, 3, 4, 8, 16, 1000] {
+                assert_eq!(
+                    shard_free_memory_order(&s, shards),
+                    flat_free,
+                    "free order diverged at n={n} shards={shards}"
+                );
+                assert_eq!(
+                    shard_packing_order(&s, shards),
+                    flat_pack,
+                    "packing order diverged at n={n} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_free_memory_merges_deterministically() {
+        // total_cmp gives NaN a fixed place in the order, so a poisoned
+        // reading must not break shard invariance either.
+        let mut s = snap(12);
+        s.nodes[5].free_measured_mb = f64::NAN;
+        let flat = s.nodes_by_free_memory();
+        for shards in [1usize, 2, 4, 8] {
+            assert_eq!(shard_free_memory_order(&s, shards), flat);
+        }
+    }
+}

@@ -79,6 +79,7 @@ pub fn ctx<'a>(
         recorder: None,
         cache: Default::default(),
         freshness: None,
+        shards: 1,
     }
 }
 

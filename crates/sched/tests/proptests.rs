@@ -135,6 +135,7 @@ proptest! {
             recorder: None,
             cache: Default::default(),
             freshness: None,
+            shards: 1,
         };
         let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
             Box::new(Uniform::new()),

@@ -18,6 +18,7 @@ use crate::node::{Node, StepOutcome};
 use crate::pod::{Pod, PodSpec};
 use crate::pool::{default_threads, WorkerPool};
 use crate::resources::GpuModel;
+use crate::shard::ShardLayout;
 use crate::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -43,6 +44,12 @@ pub struct ClusterConfig {
     /// (production registries mirror hot images; pre-warmed services skip
     /// the cold start).
     pub prewarm_images: Vec<ImageId>,
+    /// Shard count for the sharded fan-out. `None` (and `Some(1)`) keep the
+    /// cluster single-shard; higher counts partition the nodes into
+    /// contiguous [`ShardLayout`] ranges, each stepped as its own worker
+    /// lane. Digests are bit-identical across shard counts — sharding only
+    /// changes *where* node work runs, never the fold order.
+    pub shards: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -55,6 +62,7 @@ impl ClusterConfig {
             parallel_threshold: 64,
             workers: None,
             prewarm_images: Vec::new(),
+            shards: None,
         }
     }
 
@@ -82,7 +90,14 @@ impl ClusterConfig {
             parallel_threshold: 64,
             workers: None,
             prewarm_images: Vec::new(),
+            shards: None,
         }
+    }
+
+    /// Builder-style override of the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
     }
 
     /// Builder-style override of the auto-sleep policy.
@@ -138,6 +153,8 @@ pub struct Cluster {
     sleep_scan_due: Option<SimTime>,
     /// Worker count for the parallel fan-out, resolved once at build time.
     workers: usize,
+    /// Shard layout, resolved once at build time from `cfg.shards`.
+    layout: ShardLayout,
     /// Persistent worker pool, built lazily on the first parallel step so
     /// serial clusters never spawn threads.
     pool: Option<WorkerPool>,
@@ -157,6 +174,7 @@ impl Cluster {
             })
             .collect();
         let workers = cfg.workers.unwrap_or_else(default_threads).max(1);
+        let layout = ShardLayout::new(nodes.len(), cfg.shards.unwrap_or(1));
         Cluster {
             cfg,
             nodes,
@@ -173,6 +191,7 @@ impl Cluster {
             events: Vec::new(),
             sleep_scan_due: None,
             workers,
+            layout,
             pool: None,
         }
     }
@@ -189,6 +208,21 @@ impl Cluster {
     /// The configuration this cluster was built with.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// Effective shard count (≥ 1), resolved at construction.
+    pub fn shards(&self) -> usize {
+        self.layout.shards()
+    }
+
+    /// Resolved worker-thread count (≥ 1) for parallel fan-outs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The contiguous shard layout over this cluster's node ids.
+    pub fn shard_layout(&self) -> ShardLayout {
+        self.layout
     }
 
     /// All nodes.
@@ -593,9 +627,14 @@ impl Cluster {
 
         // 1. Step the nodes. Above the parallel threshold (and with more
         //    than one resolved worker) fan out on the persistent pool;
-        //    outcomes are folded in node order either way, so results are
-        //    deterministic and identical across both paths.
-        if quiet.is_none() && self.workers > 1 && self.nodes.len() >= self.cfg.parallel_threshold {
+        //    a multi-shard layout engages the pool regardless of the
+        //    threshold so every shard steps as its own lane. Outcomes are
+        //    folded in node order either way, so results are deterministic
+        //    and identical across all paths and shard counts.
+        if quiet.is_none()
+            && self.workers > 1
+            && (self.nodes.len() >= self.cfg.parallel_threshold || self.layout.shards() > 1)
+        {
             self.step_nodes_pooled(now, dt);
         } else {
             for i in 0..self.nodes.len() {
@@ -614,17 +653,24 @@ impl Cluster {
         self.auto_sleep_pass();
     }
 
-    /// Fan node stepping out over the persistent worker pool. The node
-    /// vector is split into per-worker chunks that are *moved* to the pool
-    /// (no borrows cross threads) and reassembled in index order, then all
-    /// outcomes fold in node order — bit-identical to the serial path.
+    /// Fan node stepping out over the persistent worker pool. With a
+    /// multi-shard layout each chunk is exactly one shard's contiguous
+    /// node range — its own pool lane; single-shard clusters split into
+    /// per-worker chunks as before. Chunks are *moved* to the pool (no
+    /// borrows cross threads) and reassembled in index order, then all
+    /// outcomes fold in node order — bit-identical to the serial path and
+    /// invariant across shard counts.
     fn step_nodes_pooled(&mut self, now: SimTime, dt: SimDuration) {
         if self.pool.is_none() {
             self.pool = Some(WorkerPool::new(self.workers));
         }
         let Some(pool) = self.pool.as_ref() else { return };
-        let chunk = self.nodes.len().div_ceil(self.workers).max(1);
-        let mut chunks: Vec<Vec<Node>> = Vec::with_capacity(self.workers);
+        let chunk = if self.layout.shards() > 1 {
+            self.layout.chunk()
+        } else {
+            self.nodes.len().div_ceil(self.workers).max(1)
+        };
+        let mut chunks: Vec<Vec<Node>> = Vec::with_capacity(self.workers.max(self.layout.shards()));
         let mut rest = std::mem::take(&mut self.nodes);
         while rest.len() > chunk {
             let tail = rest.split_off(chunk);
@@ -875,6 +921,7 @@ impl Cluster {
             }
         }
         let workers = cfg.workers.unwrap_or_else(default_threads).max(1);
+        let layout = ShardLayout::new(state.nodes.len(), cfg.shards.unwrap_or(1));
         Cluster {
             cfg,
             nodes: state.nodes,
@@ -895,6 +942,7 @@ impl Cluster {
             events: state.events,
             sleep_scan_due: state.sleep_scan_due,
             workers,
+            layout,
             pool: None,
         }
     }
@@ -1161,6 +1209,39 @@ mod tests {
         for (a, b) in serial.2.iter().zip(parallel.2.iter()) {
             assert!((a.sm_util - b.sm_util).abs() < 1e-12);
             assert!((a.mem_used_mb - b.mem_used_mb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sharded_stepping_is_bit_identical_across_shard_counts() {
+        let build = |shards: usize| {
+            let mut cfg = quiet_cfg(40);
+            cfg.shards = Some(shards);
+            // Two workers force the pooled path on single-core hosts; the
+            // node count sits below the parallel threshold so only the
+            // multi-shard legs engage the pool — exactly the asymmetry the
+            // invariance claim has to survive.
+            cfg.workers = Some(2);
+            let mut c = Cluster::new(cfg);
+            assert_eq!(c.shards(), shards.max(1));
+            for i in 0..40 {
+                let id = c.submit(spec(0.3 + (i % 5) as f64 / 10.0, 500.0, 0.8), SimTime::ZERO);
+                c.place(id, NodeId(i % 40)).unwrap();
+            }
+            for _ in 0..100 {
+                c.step(SimDuration::from_millis(10));
+            }
+            (c.completed_len(), c.total_energy_joules().to_bits(), c.samples())
+        };
+        let base = build(1);
+        for shards in [2usize, 4, 8] {
+            let leg = build(shards);
+            assert_eq!(base.0, leg.0, "{shards} shards");
+            assert_eq!(base.1, leg.1, "{shards} shards");
+            for (a, b) in base.2.iter().zip(leg.2.iter()) {
+                assert_eq!(a.sm_util.to_bits(), b.sm_util.to_bits(), "{shards} shards");
+                assert_eq!(a.mem_used_mb.to_bits(), b.mem_used_mb.to_bits(), "{shards} shards");
+            }
         }
     }
 

@@ -14,7 +14,12 @@
 //!
 //! The store is internally synchronized (`parking_lot::RwLock`) so node
 //! writers and the head-node reader may run concurrently, mirroring the
-//! paper's distributed deployment.
+//! paper's distributed deployment. At fleet scale both layers shard along
+//! the cluster's [`knots_sim::shard::ShardLayout`]: the TSDB partitions its
+//! rings per shard (per-shard write lanes via
+//! [`tsdb::TimeSeriesDb::shard_writer`]), and the aggregator assembles the
+//! snapshot shard by shard plus a federated [`aggregator::ClusterRollup`]
+//! of per-shard summaries with bounded staleness.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +29,6 @@ pub mod probe;
 pub mod snapshot;
 pub mod tsdb;
 
-pub use aggregator::UtilizationAggregator;
+pub use aggregator::{ClusterRollup, ShardSummary, UtilizationAggregator};
 pub use snapshot::{ClusterSnapshot, NodeView, PodView};
-pub use tsdb::{SeriesStats, TimeSeriesDb, TsdbConfig, TsdbState};
+pub use tsdb::{SeriesStats, TimeSeriesDb, TsdbConfig, TsdbShardWriter, TsdbState, TsdbWriter};

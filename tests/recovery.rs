@@ -231,10 +231,19 @@ fn corrupted_snapshots_fail_with_typed_errors_not_panics() {
     rotten.payload.replace_range(mid..mid + 1, "X");
     assert!(matches!(rotten.state(), Err(RecoveryError::DigestMismatch { .. })));
 
-    // Version skew.
+    // Version skew — both a future format and the pre-sharding v1 format
+    // are rejected with the typed error carrying both versions.
     let mut skewed = snap.clone();
     skewed.version = 999;
     assert!(matches!(skewed.state(), Err(RecoveryError::VersionMismatch { found: 999, .. })));
+    skewed.version = 1;
+    match skewed.state() {
+        Err(RecoveryError::VersionMismatch { found, expected }) => {
+            assert_eq!(found, 1);
+            assert_eq!(expected, knots_recovery::SNAPSHOT_VERSION);
+        }
+        other => panic!("v1 snapshot must be version-rejected, got {other:?}"),
+    }
 
     // Truncated payload with a "fixed up" digest: malformed JSON, no panic.
     let mut truncated = snap.clone();
@@ -282,6 +291,87 @@ fn every_state_struct_round_trips_byte_stably() {
         stable(&state.calendar, "calendar entries");
         stable(&state, "OrchestratorState");
     }
+}
+
+/// Crash-mid-sweep with a sharded core (2 shards, 2 worker lanes): the
+/// partitioned TSDB and the recorded shard count must survive checkpoint →
+/// crash → resume with the same bits as the uninterrupted sharded run —
+/// which itself matches the single-shard oracle bit for bit. Resuming the
+/// sharded snapshot under a different partitioning fails loudly.
+#[test]
+fn sharded_crash_resume_is_bit_identical() {
+    let secs = 30u64;
+    let (schedule, mut cluster_cfg, orch) = setup(42, 50, secs);
+    cluster_cfg.shards = Some(2);
+    cluster_cfg.workers = Some(2);
+    let p = plan(42, SimDuration::from_secs(secs), 6.0, 0.0);
+
+    // Single-shard oracle: the shard count must not change any bit, TSDB
+    // samples included.
+    let flat = {
+        let mut cfg = cluster_cfg.clone();
+        cfg.shards = None;
+        cfg.workers = None;
+        let mut k = KubeKnots::new(cfg, scheduler_by_name("CBP+PP").unwrap(), orch)
+            .with_chaos(ChaosEngine::new(p.clone()));
+        let report = k.run_schedule(&schedule);
+        leg_result(&k, &report, secs)
+    };
+    let oracle = {
+        let mut k = KubeKnots::new(cluster_cfg.clone(), scheduler_by_name("CBP+PP").unwrap(), orch)
+            .with_chaos(ChaosEngine::new(p.clone()));
+        let report = k.run_schedule(&schedule);
+        leg_result(&k, &report, secs)
+    };
+    assert_eq!(flat, oracle, "sharded run diverged from the single-shard oracle");
+
+    let mut k = KubeKnots::new(cluster_cfg.clone(), scheduler_by_name("CBP+PP").unwrap(), orch)
+        .with_chaos(ChaosEngine::new(p.clone()));
+    k.begin(&schedule);
+    k.enable_journal();
+    assert!(!k.drive(&schedule, Some(SimTime(7_000_000))), "run ended before checkpoint");
+    let snap = Snapshot::capture(&k).unwrap();
+    let state = snap.state().unwrap();
+    assert_eq!(state.shards, 2, "snapshot must record the shard count");
+    k.take_journal();
+    let mut wal = knots_recovery::WriteAheadLog::new();
+    assert!(!k.drive(&schedule, Some(SimTime(19_000_000))), "run ended before crash");
+    wal.append(&k.take_journal());
+    drop(k);
+
+    // Config drift: a resume that would re-partition the cluster is a
+    // typed error, not a silent re-shard.
+    let mut drifted_cfg = cluster_cfg.clone();
+    drifted_cfg.shards = Some(4);
+    assert!(
+        KubeKnots::resume(
+            drifted_cfg,
+            scheduler_by_name("CBP+PP").unwrap(),
+            orch,
+            Some(p.clone()),
+            snap.state().unwrap(),
+        )
+        .is_err(),
+        "resume under a different shard count must fail"
+    );
+
+    let mut revived = KubeKnots::resume(
+        cluster_cfg,
+        scheduler_by_name("CBP+PP").unwrap(),
+        orch,
+        Some(p.clone()),
+        state,
+    )
+    .unwrap();
+    revived.enable_journal();
+    assert!(!revived.drive(&schedule, Some(SimTime(19_000_000))), "replay overshot the run");
+    wal.verify_replay(&revived.take_journal()).expect("replay must match the WAL");
+    assert!(revived.drive(&schedule, None), "resumed run must complete");
+    let report = revived.report_now(schedule.len());
+    let rec = leg_result(&revived, &report, secs);
+    assert_eq!(oracle.0, rec.0, "report digest diverged");
+    assert_eq!(oracle.1, rec.1, "energy total diverged");
+    assert_eq!(oracle.2, rec.2, "TSDB node sample bits diverged");
 }
 
 #[test]
